@@ -1,0 +1,178 @@
+// Command lsmbench regenerates the evaluation of Thonangi & Yang, "On
+// Log-Structured Merge for Solid-State Drives" (ICDE 2017): every figure
+// of Section V, as tables on stdout (or CSV files with -csv).
+//
+// Sizes are the paper's, scaled by -scale (default 0.05) with the level
+// geometry preserved; absolute writes/MB therefore differ from the paper,
+// but orderings, gaps, and crossovers are comparable. Use -quick for a
+// fast smoke pass, or -scale 1 to run the original sizes.
+//
+// Usage:
+//
+//	lsmbench -fig 6            # regenerate Figure 6 (a, b and c)
+//	lsmbench -fig all -csv out # everything, as CSV files under out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"lsmssd/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: 1-10, 'queries', or 'all'")
+		scale = flag.Float64("scale", 0.05, "size scale relative to the paper (1.0 = paper sizes)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		csv   = flag.String("csv", "", "write CSV files into this directory instead of text to stdout")
+		quick = flag.Bool("quick", false, "fewer sizes per figure (smoke pass)")
+	)
+	flag.Parse()
+
+	// The harness allocates heavily but briefly (merge outputs, payload
+	// buffers); a relaxed GC target trades memory for wall-clock time.
+	debug.SetGCPercent(400)
+
+	p := experiments.Params{Scale: *scale, Seed: *seed}.WithDefaults()
+	figs := strings.Split(*fig, ",")
+	if *fig == "all" {
+		figs = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "queries"}
+	}
+	for _, f := range figs {
+		start := time.Now()
+		tables, err := run(p, strings.TrimSpace(f), *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lsmbench: figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if err := emit(t, *csv); err != nil {
+				fmt.Fprintf(os.Stderr, "lsmbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "lsmbench: figure %s done in %s\n", f, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(p experiments.Params, fig string, quick bool) ([]*experiments.Table, error) {
+	switch fig {
+	case "1":
+		_, t, err := p.Fig1(100)
+		return []*experiments.Table{t}, err
+	case "2":
+		ta, err := p.Fig2(experiments.Uniform)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := p.Fig2(experiments.Normal)
+		return []*experiments.Table{ta, tb}, err
+	case "3":
+		_, t, err := p.Fig3([]string{"Full", "ChooseBest"}, pick(quick, 50, 250), pick(quick, 10, 2.5))
+		return []*experiments.Table{t}, err
+	case "4":
+		_, t, err := p.Fig3([]string{"Full", "ChooseBest", "TestMixed"}, pick(quick, 50, 250), pick(quick, 10, 2.5))
+		return []*experiments.Table{t}, err
+	case "5":
+		ta, err := p.Fig5(experiments.Uniform)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := p.Fig5(experiments.Normal)
+		return []*experiments.Table{ta, tb}, err
+	case "6":
+		var sizesU, sizesT []float64
+		if quick {
+			sizesU = []float64{200, 800, 1400, 2000}
+			sizesT = []float64{200, 1500, 3000, 8000}
+		}
+		ta, err := p.Fig6(experiments.Uniform, sizesU)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := p.Fig6(experiments.Normal, sizesU)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := p.Fig6(experiments.TPC, sizesT)
+		return []*experiments.Table{ta, tb, tc}, err
+	case "7":
+		var sizes []float64
+		if quick {
+			sizes = []float64{200, 2000}
+		}
+		t, err := p.Fig7(sizes)
+		return []*experiments.Table{t}, err
+	case "8":
+		var pcts []float64
+		if quick {
+			pcts = []float64{0.005, 1, 20}
+		}
+		t, err := p.Fig8(pcts)
+		return []*experiments.Table{t}, err
+	case "9":
+		var payloads []float64
+		if quick {
+			payloads = []float64{25, 1000, 4000}
+		}
+		t, err := p.Fig9(payloads)
+		return []*experiments.Table{t}, err
+	case "10":
+		var cps []float64
+		if quick {
+			cps = []float64{500, 1000, 1500, 2000}
+		}
+		t, err := p.Fig10(cps)
+		return []*experiments.Table{t}, err
+	case "q", "queries":
+		var pols []string
+		if quick {
+			pols = []string{"Full-P", "ChooseBest", "Mixed"}
+		}
+		t, err := p.QueryOverhead(pols, 300)
+		return []*experiments.Table{t}, err
+	}
+	return nil, fmt.Errorf("unknown figure %q (want 1-10 or queries)", fig)
+}
+
+func pick(quick bool, q, full float64) float64 {
+	if quick {
+		return q
+	}
+	return full
+}
+
+func emit(t *experiments.Table, csvDir string) error {
+	if csvDir == "" {
+		_, err := t.WriteTo(os.Stdout)
+		fmt.Println()
+		return err
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, t.Title)
+	if len(name) > 60 {
+		name = name[:60]
+	}
+	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(os.Stdout, "wrote %s\n", f.Name())
+	return t.CSV(f)
+}

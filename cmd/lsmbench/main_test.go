@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lsmssd/internal/experiments"
+)
+
+func tinyParams() experiments.Params {
+	return experiments.Params{Scale: 0.002, Seed: 3}.WithDefaults()
+}
+
+func TestRunFigureDispatch(t *testing.T) {
+	p := tinyParams()
+	// Only the cheap figures; the expensive ones share the exact same
+	// code path through experiments and are covered there and by the
+	// benchmarks.
+	for _, fig := range []string{"1", "3"} {
+		tables, err := run(p, fig, true)
+		if err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("fig %s: no tables", fig)
+		}
+		for _, tab := range tables {
+			if tab.Title == "" || len(tab.Rows) == 0 {
+				t.Errorf("fig %s: empty table %+v", fig, tab.Title)
+			}
+		}
+	}
+	if _, err := run(p, "42", false); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestEmitText(t *testing.T) {
+	tab := &experiments.Table{Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+	if err := emit(tab, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitCSV(t *testing.T) {
+	dir := t.TempDir()
+	tab := &experiments.Table{
+		Title:  "Figure X: some / strange? title with a very long tail that should be truncated safely 1234567890",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+	}
+	if err := emit(tab, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries = %v, %v", entries, err)
+	}
+	name := entries[0].Name()
+	if !strings.HasSuffix(name, ".csv") || strings.ContainsAny(name, "/? ") {
+		t.Errorf("bad file name %q", name)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,2\n" {
+		t.Errorf("csv content %q", data)
+	}
+}
+
+func TestPick(t *testing.T) {
+	if pick(true, 1, 2) != 1 || pick(false, 1, 2) != 2 {
+		t.Error("pick broken")
+	}
+}

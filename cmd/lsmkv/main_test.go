@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"lsmssd"
+)
+
+func testDB(t *testing.T) *lsmssd.DB {
+	t.Helper()
+	db, err := lsmssd.Open(lsmssd.Options{
+		RecordsPerBlock: 8,
+		MemtableBlocks:  2,
+		Gamma:           4,
+		Delta:           0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func do(t *testing.T, db *lsmssd.DB, line string) error {
+	t.Helper()
+	return dispatch(db, strings.Fields(line))
+}
+
+func TestDispatchBasicCommands(t *testing.T) {
+	db := testDB(t)
+	for _, line := range []string{
+		"put 1 hello world",
+		"put 2 x",
+		"get 1",
+		"get 999",
+		"del 2",
+		"scan 0 100",
+		"fill 500 7",
+		"churn 500 8",
+		"stats",
+		"levels",
+		"hist 1 10",
+		"validate",
+		"help",
+	} {
+		if err := do(t, db, line); err != nil {
+			t.Errorf("%q: %v", line, err)
+		}
+	}
+	v, ok, err := db.Get(1)
+	if err != nil || !ok || string(v) != "hello world" {
+		t.Errorf("put did not store multiword value: %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := db.Get(2); ok {
+		t.Error("del did not delete")
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	db := testDB(t)
+	for _, line := range []string{
+		"put",        // missing key
+		"put 1",      // missing value
+		"get",        // missing key
+		"scan 5",     // missing hi
+		"bogus",      // unknown command
+		"put abc x",  // non-numeric key
+		"hist 99 10", // absent level
+	} {
+		if err := do(t, db, line); err == nil {
+			t.Errorf("%q: expected error", line)
+		}
+	}
+}
+
+func TestDispatchQuit(t *testing.T) {
+	db := testDB(t)
+	if err := do(t, db, "quit"); err != errQuit {
+		t.Errorf("quit returned %v", err)
+	}
+	if err := do(t, db, "exit"); err != errQuit {
+		t.Errorf("exit returned %v", err)
+	}
+}

@@ -1,0 +1,225 @@
+package lsmssd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/core"
+	"lsmssd/internal/histogram"
+	"lsmssd/internal/manifest"
+	"lsmssd/internal/storage"
+)
+
+// DB is a key-value store backed by the paper's LSM-tree. All methods are
+// safe for concurrent use; operations are serialized internally (the
+// paper's concurrency-control improvements are orthogonal to its merge
+// contributions and are out of scope here).
+type DB struct {
+	mu   sync.Mutex
+	opts Options
+	tree *core.Tree
+	raw  storage.Device // the unwrapped device, for Close
+}
+
+// Open creates or reopens a DB with the given options. An empty Options
+// value yields an in-memory engine with the paper's defaults.
+//
+// With Path set, Open looks for a manifest (Path + ".manifest") written by
+// a previous Close or Checkpoint and, if present, restores the store from
+// it; otherwise the file is created fresh. The manifest provides clean-
+// shutdown persistence, not crash durability — requests since the last
+// checkpoint are lost on a crash (there is no write-ahead log; see the
+// package documentation).
+func Open(opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	cfg := core.Config{
+		Policy:          opts.buildPolicy(),
+		BlockCapacity:   opts.RecordsPerBlock,
+		K0:              opts.MemtableBlocks,
+		Gamma:           opts.Gamma,
+		Epsilon:         opts.Epsilon,
+		CacheBlocks:     opts.CacheBlocks,
+		BloomBitsPerKey: opts.BloomBitsPerKey,
+		Seed:            opts.Seed,
+	}
+
+	if opts.Path != "" {
+		st, err := manifest.Load(manifestPath(opts.Path))
+		switch {
+		case err == nil:
+			return reopen(opts, cfg, st)
+		case errors.Is(err, manifest.ErrNoManifest):
+			// fresh store below
+		default:
+			return nil, err
+		}
+	}
+
+	var dev storage.Device
+	if opts.Path != "" {
+		fd, err := storage.OpenFileDevice(opts.Path, opts.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		dev = fd
+	} else {
+		dev = storage.NewMemDevice()
+	}
+	cfg.Device = dev
+	tree, err := core.New(cfg)
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	return &DB{opts: opts, tree: tree, raw: dev}, nil
+}
+
+func manifestPath(path string) string { return path + ".manifest" }
+
+// reopen restores a DB from a manifest over the existing device file.
+func reopen(opts Options, cfg core.Config, st manifest.State) (*DB, error) {
+	want := manifest.Config{
+		BlockCapacity: cfg.BlockCapacity,
+		K0:            cfg.K0,
+		Gamma:         cfg.Gamma,
+		Epsilon:       cfg.Epsilon,
+		Seed:          cfg.Seed,
+	}
+	if st.Config.BlockCapacity != want.BlockCapacity || st.Config.K0 != want.K0 ||
+		st.Config.Gamma != want.Gamma || st.Config.Epsilon != want.Epsilon {
+		return nil, fmt.Errorf("lsmssd: options (B=%d K0=%d Γ=%d ε=%g) do not match manifest (B=%d K0=%d Γ=%d ε=%g)",
+			want.BlockCapacity, want.K0, want.Gamma, want.Epsilon,
+			st.Config.BlockCapacity, st.Config.K0, st.Config.Gamma, st.Config.Epsilon)
+	}
+	var live []storage.BlockID
+	for _, metas := range st.Levels {
+		for _, m := range metas {
+			live = append(live, m.ID)
+		}
+	}
+	fd, err := storage.ReopenFileDevice(opts.Path, opts.BlockSize, live)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Device = fd
+	tree, err := core.Restore(cfg, core.ExportedState{Levels: st.Levels, Memtable: st.Memtable})
+	if err != nil {
+		fd.Close()
+		return nil, err
+	}
+	return &DB{opts: opts, tree: tree, raw: fd}, nil
+}
+
+// Checkpoint atomically persists the store's metadata (level indexes and
+// memtable contents) to the manifest, so a subsequent Open restores the
+// current state. Only meaningful for file-backed stores; a no-op without
+// Path.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	if db.opts.Path == "" {
+		return nil
+	}
+	st := db.tree.Export()
+	cfg := db.tree.Config()
+	return manifest.Save(manifestPath(db.opts.Path), manifest.State{
+		Config: manifest.Config{
+			BlockCapacity: cfg.BlockCapacity,
+			K0:            cfg.K0,
+			Gamma:         cfg.Gamma,
+			Epsilon:       cfg.Epsilon,
+			Seed:          cfg.Seed,
+		},
+		Levels:   st.Levels,
+		Memtable: st.Memtable,
+	})
+}
+
+// Put inserts or updates the value stored for key.
+func (db *DB) Put(key uint64, value []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tree.Put(block.Key(key), value)
+}
+
+// Delete removes key. Deleting an absent key is a no-op that still costs a
+// logged tombstone, as in any LSM store.
+func (db *DB) Delete(key uint64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tree.Delete(block.Key(key))
+}
+
+// Get returns the value stored for key.
+func (db *DB) Get(key uint64) (value []byte, found bool, err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tree.Get(block.Key(key))
+}
+
+// Scan calls fn for each key in [lo, hi] in ascending order until fn
+// returns false.
+func (db *DB) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tree.Scan(block.Key(lo), block.Key(hi), func(k block.Key, v []byte) bool {
+		return fn(uint64(k), v)
+	})
+}
+
+// Close checkpoints a file-backed store and releases the DB's resources.
+// The DB must not be used afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.checkpointLocked(); err != nil {
+		db.raw.Close()
+		return err
+	}
+	return db.raw.Close()
+}
+
+// Validate checks every internal invariant (level ordering, waste
+// constraints, storage accounting). It is cheap enough for periodic health
+// checks and does not perturb the I/O statistics.
+func (db *DB) Validate() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tree.Validate()
+}
+
+// ForceGrow adds a storage level ahead of the bottom level's natural
+// overflow. The paper notes that a relatively empty bottom level makes
+// merges into it unusually cheap and leaves strategic level growth as an
+// open direction; this exposes the experiment. Most applications should
+// let the tree grow on its own.
+func (db *DB) ForceGrow() {
+	tree, unlock := db.lockedTree()
+	defer unlock()
+	tree.ForceGrow()
+}
+
+// Histogram returns the normalized key-frequency histogram of storage
+// level (1-based) over buckets equal subdivisions of [0, keySpace) — the
+// paper's Figure 1 diagnostic.
+func (db *DB) Histogram(level int, keySpace uint64, buckets int) ([]float64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	counts, err := histogram.Level(db.tree, level, keySpace, buckets)
+	if err != nil {
+		return nil, err
+	}
+	return histogram.Normalize(counts), nil
+}
+
+// tree exposes the engine to sibling files (stats, tuning).
+func (db *DB) lockedTree() (*core.Tree, func()) {
+	db.mu.Lock()
+	return db.tree, db.mu.Unlock
+}

@@ -1,0 +1,85 @@
+package lsmssd_test
+
+import (
+	"fmt"
+	"log"
+
+	"lsmssd"
+)
+
+func Example() {
+	db, err := lsmssd.Open(lsmssd.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Put(7, []byte("seven"))
+	v, ok, _ := db.Get(7)
+	fmt.Println(string(v), ok)
+
+	db.Delete(7)
+	_, ok, _ = db.Get(7)
+	fmt.Println(ok)
+	// Output:
+	// seven true
+	// false
+}
+
+func ExampleDB_Scan() {
+	db, err := lsmssd.Open(lsmssd.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	for _, k := range []uint64{30, 10, 20, 40} {
+		db.Put(k, []byte{byte(k)})
+	}
+	db.Scan(10, 30, func(k uint64, _ []byte) bool {
+		fmt.Println(k)
+		return true
+	})
+	// Output:
+	// 10
+	// 20
+	// 30
+}
+
+func ExampleOpen_policies() {
+	// Each merge policy from the paper is one Options field away; the
+	// "-P" variants disable block-preserving merges.
+	for _, p := range []lsmssd.Policy{lsmssd.Full, lsmssd.RR, lsmssd.ChooseBest, lsmssd.Mixed} {
+		db, err := lsmssd.Open(lsmssd.Options{MergePolicy: p, DisablePreserve: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(p)
+		db.Close()
+	}
+	// Output:
+	// Full
+	// RR
+	// ChooseBest
+	// Mixed
+}
+
+func ExampleDB_Stats() {
+	db, err := lsmssd.Open(lsmssd.Options{
+		RecordsPerBlock: 8,
+		MemtableBlocks:  2,
+		Gamma:           4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	for k := uint64(0); k < 100; k++ {
+		db.Put(k, []byte("v"))
+	}
+	s := db.Stats()
+	fmt.Println(s.Inserts, s.Height >= 2, s.BlocksWritten > 0)
+	// Output:
+	// 100 true true
+}

@@ -1,0 +1,3 @@
+module lsmssd
+
+go 1.22

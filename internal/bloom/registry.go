@@ -1,0 +1,67 @@
+package bloom
+
+import (
+	"lsmssd/internal/block"
+	"lsmssd/internal/storage"
+)
+
+// Registry maps live data blocks to their Bloom filters. A single registry
+// is shared by all levels of a tree: a block preserved by a merge keeps
+// its ID and therefore its filter, whatever level it lands in.
+//
+// The registry also keeps skip statistics so experiments can report how
+// many block reads the filters avoided.
+type Registry struct {
+	bitsPerKey float64
+	filters    map[storage.BlockID]*Filter
+	Skipped    int64 // lookups answered "absent" without a block read
+	Passed     int64 // lookups that had to read the block
+}
+
+// NewRegistry returns a registry building filters of bitsPerKey bits/key.
+func NewRegistry(bitsPerKey float64) *Registry {
+	return &Registry{
+		bitsPerKey: bitsPerKey,
+		filters:    make(map[storage.BlockID]*Filter),
+	}
+}
+
+// Add builds and stores the filter for a freshly written block.
+func (r *Registry) Add(id storage.BlockID, b *block.Block) {
+	keys := make([]block.Key, b.Len())
+	for i, rec := range b.Records() {
+		keys[i] = rec.Key
+	}
+	r.filters[id] = NewFilter(keys, r.bitsPerKey)
+}
+
+// Drop removes the filter of a freed block.
+func (r *Registry) Drop(id storage.BlockID) { delete(r.filters, id) }
+
+// MayContain consults the block's filter; blocks without a filter
+// (registry attached mid-life) conservatively report true.
+func (r *Registry) MayContain(id storage.BlockID, k block.Key) bool {
+	f, ok := r.filters[id]
+	if !ok {
+		r.Passed++
+		return true
+	}
+	if f.MayContain(k) {
+		r.Passed++
+		return true
+	}
+	r.Skipped++
+	return false
+}
+
+// Len returns the number of registered filters.
+func (r *Registry) Len() int { return len(r.filters) }
+
+// MemoryBits returns the total filter size in bits.
+func (r *Registry) MemoryBits() int {
+	total := 0
+	for _, f := range r.filters {
+		total += f.SizeBits()
+	}
+	return total
+}

@@ -1,0 +1,162 @@
+// Package btree maintains the per-level index over data blocks: the
+// metadata the paper keeps in the internal nodes of each level's B+tree
+// ("those immediately above the data blocks ... in practice cached in main
+// memory", Section III-C).
+//
+// Each level of the LSM-tree is a key-ordered sequence of data blocks with
+// pairwise-disjoint key ranges. The Index stores one BlockMeta (block id,
+// min key, max key, record count) per data block — exactly the information
+// the ChooseBest policy scans and the merge operation uses for its bulk
+// deletes and inserts. Since internal nodes live in memory and are excluded
+// from the paper's write accounting, the index is represented as a fence
+// array with logarithmic search; bulk ReplaceRange is the only mutation, as
+// in the paper's merge ("each bulk operation affects at most one key range
+// per internal level").
+package btree
+
+import (
+	"fmt"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/storage"
+)
+
+// BlockMeta is the fence-key entry for one data block. Tombstones counts
+// the delete records inside the block; the block-preserving merge consults
+// it to refuse reusing a tombstone-carrying block in the bottom level,
+// where tombstones must not survive.
+type BlockMeta struct {
+	ID         storage.BlockID
+	Min, Max   block.Key
+	Count      int // number of records in the block
+	Tombstones int // number of tombstone (delete) records among them
+}
+
+// MetaFor builds the BlockMeta describing b stored under id.
+func MetaFor(id storage.BlockID, b *block.Block) BlockMeta {
+	m := BlockMeta{ID: id, Min: b.MinKey(), Max: b.MaxKey(), Count: b.Len()}
+	for _, r := range b.Records() {
+		if r.Tombstone {
+			m.Tombstones++
+		}
+	}
+	return m
+}
+
+// Index is the in-memory block index of one level. The zero value is an
+// empty index.
+type Index struct {
+	metas   []BlockMeta
+	records int
+}
+
+// NewIndex builds an index over the given metadata, which must be in key
+// order with disjoint ranges (validated lazily via Validate).
+func NewIndex(metas []BlockMeta) *Index {
+	x := &Index{metas: metas}
+	for _, m := range metas {
+		x.records += m.Count
+	}
+	return x
+}
+
+// Len returns the number of data blocks in the level.
+func (x *Index) Len() int { return len(x.metas) }
+
+// Records returns the number of records across all blocks.
+func (x *Index) Records() int { return x.records }
+
+// Meta returns the metadata of the i-th block.
+func (x *Index) Meta(i int) BlockMeta { return x.metas[i] }
+
+// All exposes the metadata slice. Callers must treat it as read-only; it is
+// invalidated by the next mutation.
+func (x *Index) All() []BlockMeta { return x.metas }
+
+// MinKey returns the smallest key in the level. Valid only when Len() > 0.
+func (x *Index) MinKey() block.Key { return x.metas[0].Min }
+
+// MaxKey returns the largest key in the level. Valid only when Len() > 0.
+func (x *Index) MaxKey() block.Key { return x.metas[len(x.metas)-1].Max }
+
+// Find returns the position of the block whose key range contains k, if
+// any. This is the lookup descent through the cached internal nodes.
+func (x *Index) Find(k block.Key) (int, bool) {
+	i := x.lowerBound(k)
+	if i < len(x.metas) && x.metas[i].Min <= k {
+		return i, true
+	}
+	return 0, false
+}
+
+// lowerBound returns the first position whose Max >= k.
+func (x *Index) lowerBound(k block.Key) int {
+	lo, hi := 0, len(x.metas)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x.metas[mid].Max < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Overlap returns the half-open range [start, end) of block positions whose
+// key ranges intersect [lo, hi]. The merge operation uses this to locate Y,
+// the next-level blocks overlapping the merged key range.
+func (x *Index) Overlap(lo, hi block.Key) (start, end int) {
+	start = x.lowerBound(lo) // first block with Max >= lo
+	end = start
+	for end < len(x.metas) && x.metas[end].Min <= hi {
+		end++
+	}
+	return start, end
+}
+
+// ReplaceRange substitutes the blocks in positions [i, j) with repl: the
+// bulk-delete of Y followed by bulk-insert of Z from the paper's merge
+// operation. repl must preserve key order relative to the neighbours.
+func (x *Index) ReplaceRange(i, j int, repl []BlockMeta) {
+	if i < 0 || j < i || j > len(x.metas) {
+		panic(fmt.Sprintf("btree: ReplaceRange [%d,%d) of %d blocks", i, j, len(x.metas)))
+	}
+	for _, m := range x.metas[i:j] {
+		x.records -= m.Count
+	}
+	for _, m := range repl {
+		x.records += m.Count
+	}
+	out := make([]BlockMeta, 0, len(x.metas)-(j-i)+len(repl))
+	out = append(out, x.metas[:i]...)
+	out = append(out, repl...)
+	out = append(out, x.metas[j:]...)
+	x.metas = out
+}
+
+// Validate checks the level invariants: every block non-empty with
+// Min <= Max, blocks in key order with disjoint ranges, and the cached
+// record total consistent.
+func (x *Index) Validate() error {
+	total := 0
+	for i, m := range x.metas {
+		if m.Count <= 0 {
+			return fmt.Errorf("btree: block %d (id %d) empty", i, m.ID)
+		}
+		if m.Min > m.Max {
+			return fmt.Errorf("btree: block %d (id %d) has Min %d > Max %d", i, m.ID, m.Min, m.Max)
+		}
+		if m.ID == 0 {
+			return fmt.Errorf("btree: block %d has invalid id", i)
+		}
+		if i > 0 && x.metas[i-1].Max >= m.Min {
+			return fmt.Errorf("btree: blocks %d,%d overlap: %d >= %d", i-1, i, x.metas[i-1].Max, m.Min)
+		}
+		total += m.Count
+	}
+	if total != x.records {
+		return fmt.Errorf("btree: cached record count %d != actual %d", x.records, total)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+// Package cache provides an LRU buffer cache layered over a storage
+// device.
+//
+// The paper's setup reserves a buffer cache beside the memory-resident L0
+// (16MB by default, 100MB for the large experiments). Reads served from the
+// cache cost nothing; writes are write-through, so the device's write
+// counter — the paper's cost metric — is unaffected by caching.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/storage"
+)
+
+// Cache is an LRU block cache implementing storage.Device by decorating an
+// underlying device. A capacity of zero disables caching (all calls pass
+// through).
+type Cache struct {
+	mu       sync.Mutex
+	dev      storage.Device
+	capacity int
+	lru      *list.List // front = most recent; values are *entry
+	index    map[storage.BlockID]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type entry struct {
+	id  storage.BlockID
+	blk *block.Block
+}
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	Hits   int64
+	Misses int64
+}
+
+// New returns an LRU cache of the given capacity (in blocks) over dev.
+func New(dev storage.Device, capacity int) *Cache {
+	return &Cache{
+		dev:      dev,
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[storage.BlockID]*list.Element),
+	}
+}
+
+// Alloc passes through to the underlying device.
+func (c *Cache) Alloc() storage.BlockID { return c.dev.Alloc() }
+
+// Write stores the block write-through and caches it (newly written blocks
+// are about to be read back only rarely — merges stream — but keeping them
+// warm matches an OS page cache's behaviour and the paper's setup, which
+// leaves on-disk caching on).
+func (c *Cache) Write(id storage.BlockID, b *block.Block) error {
+	if err := c.dev.Write(id, b); err != nil {
+		return err
+	}
+	if c.capacity > 0 {
+		c.mu.Lock()
+		c.insert(id, b)
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// Read returns the cached block if present; otherwise it reads through and
+// caches the result. Only cache misses reach the device's read counter.
+func (c *Cache) Read(id storage.BlockID) (*block.Block, error) {
+	if c.capacity > 0 {
+		c.mu.Lock()
+		if el, ok := c.index[id]; ok {
+			c.lru.MoveToFront(el)
+			b := el.Value.(*entry).blk
+			c.hits++
+			c.mu.Unlock()
+			return b, nil
+		}
+		c.misses++
+		c.mu.Unlock()
+	}
+	b, err := c.dev.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	if c.capacity > 0 {
+		c.mu.Lock()
+		c.insert(id, b)
+		c.mu.Unlock()
+	}
+	return b, nil
+}
+
+// Peek serves from the cache when possible and otherwise peeks through,
+// never counting device reads and never rearranging the LRU list.
+func (c *Cache) Peek(id storage.BlockID) (*block.Block, error) {
+	if c.capacity > 0 {
+		c.mu.Lock()
+		if el, ok := c.index[id]; ok {
+			b := el.Value.(*entry).blk
+			c.mu.Unlock()
+			return b, nil
+		}
+		c.mu.Unlock()
+	}
+	return c.dev.Peek(id)
+}
+
+// Free evicts the block from the cache and frees it on the device.
+func (c *Cache) Free(id storage.BlockID) error {
+	c.mu.Lock()
+	if el, ok := c.index[id]; ok {
+		c.lru.Remove(el)
+		delete(c.index, id)
+	}
+	c.mu.Unlock()
+	return c.dev.Free(id)
+}
+
+// Counters returns the underlying device's counters.
+func (c *Cache) Counters() storage.Counters { return c.dev.Counters() }
+
+// ResetCounters resets the underlying device's traffic counters.
+func (c *Cache) ResetCounters() { c.dev.ResetCounters() }
+
+// Close drops the cache and closes the underlying device.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	c.lru.Init()
+	c.index = make(map[storage.BlockID]*list.Element)
+	c.mu.Unlock()
+	return c.dev.Close()
+}
+
+// Stats returns hit/miss counts.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses}
+}
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// insert adds or refreshes id, evicting the LRU entry when full.
+// Callers hold c.mu.
+func (c *Cache) insert(id storage.BlockID, b *block.Block) {
+	if el, ok := c.index[id]; ok {
+		el.Value.(*entry).blk = b
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.lru.Len() >= c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.index, oldest.Value.(*entry).id)
+	}
+	c.index[id] = c.lru.PushFront(&entry{id: id, blk: b})
+}

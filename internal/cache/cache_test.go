@@ -1,0 +1,157 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/storage"
+)
+
+func testBlock(k block.Key) *block.Block {
+	return block.New([]block.Record{{Key: k, Payload: []byte("v")}})
+}
+
+func fill(t *testing.T, d storage.Device, n int) []storage.BlockID {
+	t.Helper()
+	ids := make([]storage.BlockID, n)
+	for i := range ids {
+		ids[i] = d.Alloc()
+		if err := d.Write(ids[i], testBlock(block.Key(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ids
+}
+
+func TestCacheHitAvoidsDeviceRead(t *testing.T) {
+	dev := storage.NewMemDevice()
+	c := New(dev, 8)
+	ids := fill(t, c, 4)
+	dev.ResetCounters()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Read(ids[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := dev.Counters().Reads; got != 0 {
+		t.Errorf("device reads = %d, want 0 (all hits: block was cached at write)", got)
+	}
+	st := c.Stats()
+	if st.Hits != 10 {
+		t.Errorf("hits = %d, want 10", st.Hits)
+	}
+}
+
+func TestCacheMissReadsThrough(t *testing.T) {
+	dev := storage.NewMemDevice()
+	ids := fill(t, dev, 3) // written directly to device, cache cold
+	c := New(dev, 8)
+	dev.ResetCounters()
+	if _, err := c.Read(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Counters().Reads; got != 1 {
+		t.Errorf("device reads = %d, want 1 (miss then hit)", got)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	dev := storage.NewMemDevice()
+	c := New(dev, 2)
+	ids := fill(t, c, 3) // writing 3 into capacity-2 cache evicts ids[0]
+	dev.ResetCounters()
+	if _, err := c.Read(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Counters().Reads; got != 1 {
+		t.Errorf("device reads = %d, want 1 (ids[0] was evicted)", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheWriteThrough(t *testing.T) {
+	dev := storage.NewMemDevice()
+	c := New(dev, 4)
+	fill(t, c, 4)
+	if got := dev.Counters().Writes; got != 4 {
+		t.Errorf("device writes = %d, want 4: cache must not absorb writes", got)
+	}
+}
+
+func TestCacheFreeEvicts(t *testing.T) {
+	dev := storage.NewMemDevice()
+	c := New(dev, 4)
+	ids := fill(t, c, 2)
+	if err := c.Free(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache len after free = %d, want 1", c.Len())
+	}
+	if _, err := c.Read(ids[0]); err == nil {
+		t.Error("read of freed block succeeded")
+	}
+}
+
+func TestCachePeekDoesNotCount(t *testing.T) {
+	dev := storage.NewMemDevice()
+	ids := fill(t, dev, 1)
+	c := New(dev, 4)
+	dev.ResetCounters()
+	if _, err := c.Peek(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Counters().Reads; got != 0 {
+		t.Errorf("Peek counted %d device reads, want 0", got)
+	}
+}
+
+func TestZeroCapacityPassesThrough(t *testing.T) {
+	dev := storage.NewMemDevice()
+	c := New(dev, 0)
+	ids := fill(t, c, 2)
+	dev.ResetCounters()
+	c.Read(ids[0])
+	c.Read(ids[0])
+	if got := dev.Counters().Reads; got != 2 {
+		t.Errorf("device reads = %d, want 2 (caching disabled)", got)
+	}
+}
+
+// Property: under any access pattern the cache never exceeds its capacity
+// and always returns the same content as the raw device.
+func TestQuickCacheTransparency(t *testing.T) {
+	f := func(accesses []uint8, capSeed uint8) bool {
+		capacity := int(capSeed) % 5
+		dev := storage.NewMemDevice()
+		c := New(dev, capacity)
+		const n = 10
+		ids := make([]storage.BlockID, n)
+		for i := range ids {
+			ids[i] = c.Alloc()
+			if err := c.Write(ids[i], testBlock(block.Key(100+i))); err != nil {
+				return false
+			}
+		}
+		for _, a := range accesses {
+			i := int(a) % n
+			b, err := c.Read(ids[i])
+			if err != nil || b.MinKey() != block.Key(100+i) {
+				return false
+			}
+			if capacity > 0 && c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

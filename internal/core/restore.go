@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/btree"
+)
+
+// ExportedState is the tree's reconstructible in-memory state: the block
+// metadata of every level (the cached internal B+tree nodes) plus the
+// memtable contents. Data blocks themselves live on the device.
+type ExportedState struct {
+	Levels   [][]btree.BlockMeta // index 0 is L1
+	Memtable []block.Record
+}
+
+// Export captures the state needed to Restore this tree over the same
+// device contents later.
+func (t *Tree) Export() ExportedState {
+	st := ExportedState{Memtable: t.mem.All()}
+	for _, l := range t.levels {
+		metas := make([]btree.BlockMeta, len(l.Index().All()))
+		copy(metas, l.Index().All())
+		st.Levels = append(st.Levels, metas)
+	}
+	return st
+}
+
+// Restore builds a tree over an existing device from exported state. The
+// configuration must match the one the state was exported under (block
+// capacity, K0, Γ, ε); the device must already hold every referenced
+// block.
+func Restore(cfg Config, st ExportedState) (*Tree, error) {
+	t, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Levels) == 0 {
+		return nil, fmt.Errorf("core: restore state has no levels")
+	}
+	// New starts with one empty level; rebuild the full stack.
+	for len(t.levels) < len(st.Levels) {
+		t.levels = append(t.levels, t.newLevel(len(t.levels)+1))
+	}
+	for i, metas := range st.Levels {
+		if err := t.levels[i].ReplaceRange(0, 0, metas, nil); err != nil {
+			return nil, err
+		}
+		if err := t.levels[i].Index().Validate(); err != nil {
+			return nil, fmt.Errorf("core: restore L%d: %w", i+1, err)
+		}
+	}
+	for _, r := range st.Memtable {
+		t.mem.Put(r)
+	}
+	if err := t.checkOverflows(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import "lsmssd/internal/storage"
+
+// Stats aggregates tree-level accounting. Device traffic (the paper's
+// write-cost metric) lives in the device counters; per-level write series
+// live on the levels; this struct carries request accounting and merge
+// counts.
+type Stats struct {
+	Requests     int64
+	Inserts      int64
+	Deletes      int64
+	Lookups      int64
+	Scans        int64
+	RequestBytes int64 // key+payload bytes of modifications processed
+	Merges       int64
+	FullMerges   int64
+	Grows        int64 // times the tree gained a level
+}
+
+// LevelStats is a read-only snapshot of one storage level.
+type LevelStats struct {
+	Number        int
+	Blocks        int
+	Records       int
+	Capacity      int
+	WasteFactor   float64
+	BlocksWritten int64
+	Compactions   int64
+}
+
+// Snapshot is a full accounting snapshot of the tree.
+type Snapshot struct {
+	Stats    Stats
+	Device   storage.Counters
+	MemLen   int
+	MemBytes int
+	Height   int
+	Levels   []LevelStats
+}
+
+// Stats returns the tree's request/merge counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// Snapshot captures the full accounting state.
+func (t *Tree) Snapshot() Snapshot {
+	s := Snapshot{
+		Stats:    t.stats,
+		Device:   t.dev.Counters(),
+		MemLen:   t.mem.Len(),
+		MemBytes: t.mem.Bytes(),
+		Height:   t.Height(),
+	}
+	for i, l := range t.levels {
+		s.Levels = append(s.Levels, LevelStats{
+			Number:        i + 1,
+			Blocks:        l.Blocks(),
+			Records:       l.Records(),
+			Capacity:      l.Capacity(),
+			WasteFactor:   l.WasteFactor(),
+			BlocksWritten: l.BlocksWritten,
+			Compactions:   l.Compactions,
+		})
+	}
+	return s
+}
+
+// Records returns the number of live records currently indexed (an upper
+// bound: records shadowed by newer versions in upper levels and pending
+// tombstones are counted as stored).
+func (t *Tree) Records() int {
+	n := t.mem.Len()
+	for _, l := range t.levels {
+		n += l.Records()
+	}
+	return n
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/bloom"
+	"lsmssd/internal/btree"
+	"lsmssd/internal/cache"
+	"lsmssd/internal/level"
+	"lsmssd/internal/memtable"
+	"lsmssd/internal/merge"
+	"lsmssd/internal/policy"
+	"lsmssd/internal/storage"
+)
+
+// Tree is the LSM-tree engine. It is not safe for concurrent use; callers
+// requiring concurrency wrap it (see the public lsmssd package).
+type Tree struct {
+	cfg    Config
+	dev    storage.Device // Config.Device, possibly behind a cache
+	cache  *cache.Cache   // non-nil when CacheBlocks > 0
+	blooms *bloom.Registry
+	mem    *memtable.Table
+	levels []*level.Level // levels[i] is L_{i+1}
+
+	stats   Stats
+	onMerge func(MergeEvent)
+
+	// Memoized L0 virtual-block metadata: policies consult it several
+	// times per merge decision and rebuilding it walks the whole
+	// memtable.
+	memMetas    []btree.BlockMeta
+	memMetasVer uint64
+}
+
+// MergeEvent describes one executed merge, delivered to the OnMerge hook.
+// Level numbers follow the paper: 0 is the memtable, h−1 the bottom.
+type MergeEvent struct {
+	From, To         int
+	Full             bool // whole source level merged
+	XBlocks, YBlocks int
+	BlocksWritten    int // fresh blocks written into the target
+	PreservedX       int
+	PreservedY       int
+	RepairWrites     int // both source- and target-side pair repairs
+	CompactionWrites int // both source- and target-side compactions
+	RecordsIn        int // records that entered the target level
+}
+
+// New builds an empty tree with one storage level (a 2-level tree in the
+// paper's counting: L0 plus L1). Levels are added as the bottom overflows.
+func New(cfg Config) (*Tree, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree{cfg: cfg, dev: cfg.Device}
+	if cfg.CacheBlocks > 0 {
+		t.cache = cache.New(cfg.Device, cfg.CacheBlocks)
+		t.dev = t.cache
+	}
+	if cfg.BloomBitsPerKey > 0 {
+		t.blooms = bloom.NewRegistry(cfg.BloomBitsPerKey)
+	}
+	t.mem = memtable.New(cfg.Seed)
+	t.levels = append(t.levels, t.newLevel(1))
+	return t, nil
+}
+
+func (t *Tree) newLevel(number int) *level.Level {
+	return level.New(level.Config{
+		Device:        t.dev,
+		BlockCapacity: t.cfg.BlockCapacity,
+		Epsilon:       t.cfg.Epsilon,
+		Capacity:      t.cfg.capacityBlocks(number),
+		Blooms:        t.blooms,
+	})
+}
+
+// OnMerge registers fn to be called after every merge (nil to unregister).
+// The parameter-learning harness and the per-level cost plots hang off
+// this hook.
+func (t *Tree) OnMerge(fn func(MergeEvent)) { t.onMerge = fn }
+
+// Height returns the number of levels including L0, i.e. the paper's h.
+func (t *Tree) Height() int { return len(t.levels) + 1 }
+
+// Level returns the i-th storage level (1-based, like the paper's L_i).
+// It is exposed for diagnostics and experiments; treat it as read-only.
+func (t *Tree) Level(i int) *level.Level { return t.levels[i-1] }
+
+// Memtable exposes L0 for diagnostics; treat it as read-only.
+func (t *Tree) Memtable() *memtable.Table { return t.mem }
+
+// Device returns the device seen by the tree (after cache wrapping).
+func (t *Tree) Device() storage.Device { return t.dev }
+
+// Cache returns the tree-owned buffer cache, or nil.
+func (t *Tree) Cache() *cache.Cache { return t.cache }
+
+// Blooms returns the Bloom filter registry, or nil.
+func (t *Tree) Blooms() *bloom.Registry { return t.blooms }
+
+// Policy returns the merge policy in use.
+func (t *Tree) Policy() policy.Policy { return t.cfg.Policy }
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// memCapacityRecords is L0's capacity expressed in records.
+func (t *Tree) memCapacityRecords() int { return t.cfg.K0 * t.cfg.BlockCapacity }
+
+// --- policy.View implementation ----------------------------------------
+
+// SourceMetas implements policy.View.
+func (t *Tree) SourceMetas(from int) []btree.BlockMeta {
+	if from == 0 {
+		if ver := t.mem.Version(); t.memMetas == nil || ver != t.memMetasVer {
+			vms := t.mem.VirtualBlocks(t.cfg.BlockCapacity)
+			metas := make([]btree.BlockMeta, len(vms))
+			for i, vm := range vms {
+				metas[i] = btree.BlockMeta{Min: vm.Min, Max: vm.Max, Count: vm.Count}
+			}
+			t.memMetas, t.memMetasVer = metas, ver
+		}
+		return t.memMetas
+	}
+	return t.levels[from-1].Index().All()
+}
+
+// TargetMetas implements policy.View.
+func (t *Tree) TargetMetas(from int) []btree.BlockMeta {
+	if from >= len(t.levels) {
+		return nil
+	}
+	return t.levels[from].Index().All()
+}
+
+// CapacityBlocks implements policy.View.
+func (t *Tree) CapacityBlocks(level int) int { return t.cfg.capacityBlocks(level) }
+
+// SizeBlocks implements policy.View: S(L_i) in required blocks.
+func (t *Tree) SizeBlocks(level int) int {
+	if level == 0 {
+		return (t.mem.Len() + t.cfg.BlockCapacity - 1) / t.cfg.BlockCapacity
+	}
+	if level > len(t.levels) {
+		return 0
+	}
+	return t.levels[level-1].RequiredBlocks()
+}
+
+// --- overflow handling ---------------------------------------------------
+
+// levelsGrewNotifier is implemented by policies that keep per-level state
+// (RR's cursors) needing relocation when the tree gains a level.
+type levelsGrewNotifier interface{ LevelsGrew(oldBottom int) }
+
+// checkOverflows runs the overflow cascade: while any level is at
+// capacity, merge from it (or grow the tree when the bottom fills up).
+func (t *Tree) checkOverflows() error {
+	for {
+		if t.mem.Len() >= t.memCapacityRecords() {
+			if err := t.mergeFromMem(); err != nil {
+				return err
+			}
+			continue
+		}
+		acted := false
+		for i := 1; i <= len(t.levels); i++ {
+			l := t.levels[i-1]
+			if !l.Full() {
+				continue
+			}
+			if i == len(t.levels) {
+				t.grow()
+			} else if err := t.mergeFromLevel(i); err != nil {
+				return err
+			}
+			acted = true
+			break
+		}
+		if !acted {
+			return nil
+		}
+	}
+}
+
+// ForceGrow adds a level ahead of the bottom level's overflow. The paper
+// observes (Section V-A) that full merges into a relatively empty new
+// bottom level are very cost-effective and asks "whether we can increase
+// the number of levels strategically to gain performance in certain
+// situations"; this hook makes that experiment possible (see
+// BenchmarkExtensionForcedGrowth).
+func (t *Tree) ForceGrow() { t.grow() }
+
+// grow relabels the overflowing bottom level L_{h−1} as L_h and inserts a
+// fresh empty L_{h−1}, increasing the tree's height by one (Section II-A).
+func (t *Tree) grow() {
+	n := len(t.levels) // old bottom is level number n
+	old := t.levels[n-1]
+	old.SetCapacity(t.cfg.capacityBlocks(n + 1))
+	fresh := t.newLevel(n)
+	t.levels = append(t.levels[:n-1], fresh, old)
+	if g, ok := t.cfg.Policy.(levelsGrewNotifier); ok {
+		g.LevelsGrew(n)
+	}
+	t.stats.Grows++
+}
+
+// mergeFromMem merges records out of L0 into L1 per the policy's decision.
+func (t *Tree) mergeFromMem() error {
+	d := t.cfg.Policy.Decide(t, 0)
+	var recs []block.Record
+	full := d.Full
+	if d.Full {
+		recs = t.mem.TakeRange(0, ^block.Key(0))
+	} else {
+		metas := t.SourceMetas(0)
+		if d.From < 0 || d.To > len(metas) || d.From >= d.To {
+			return fmt.Errorf("core: policy %s returned bad L0 window [%d,%d) of %d",
+				t.cfg.Policy.Name(), d.From, d.To, len(metas))
+		}
+		if d.From == 0 && d.To == len(metas) {
+			full = true
+		}
+		recs = t.mem.TakeRange(metas[d.From].Min, metas[d.To-1].Max)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("core: empty merge window from L0")
+	}
+	src := merge.NewRecordSource(recs, t.cfg.BlockCapacity)
+	tgt := t.levels[0]
+	res, err := merge.Merge(src, 0, src.NumBlocks(), tgt, merge.Options{
+		Preserve:       t.cfg.Policy.Preserve(),
+		DropTombstones: t.bottom(1),
+	})
+	if err != nil {
+		return err
+	}
+	t.emitMerge(0, full, src.NumBlocks(), res, 0, 0)
+	return nil
+}
+
+// mergeFromLevel merges a window of L_i into L_{i+1} per the policy.
+func (t *Tree) mergeFromLevel(i int) error {
+	src := t.levels[i-1]
+	tgt := t.levels[i]
+	d := t.cfg.Policy.Decide(t, i)
+	from, to := d.From, d.To
+	if d.Full {
+		from, to = 0, src.Blocks()
+	}
+	if from < 0 || to > src.Blocks() || from >= to {
+		return fmt.Errorf("core: policy %s returned bad window [%d,%d) of %d blocks at L%d",
+			t.cfg.Policy.Name(), from, to, src.Blocks(), i)
+	}
+	full := d.Full || (from == 0 && to == src.Blocks())
+	res, err := merge.Merge(merge.LevelSource{Level: src}, from, to, tgt, merge.Options{
+		Preserve:       t.cfg.Policy.Preserve(),
+		DropTombstones: t.bottom(i + 1),
+	})
+	if err != nil {
+		return err
+	}
+	repairW, compW, err := merge.RemoveSourceWindow(src, from, to, res.KeepSource)
+	if err != nil {
+		return err
+	}
+	t.emitMerge(i, full, to-from, res, repairW, compW)
+	return nil
+}
+
+// bottom reports whether level number i is the bottom level.
+func (t *Tree) bottom(i int) bool { return i == len(t.levels) }
+
+func (t *Tree) emitMerge(from int, full bool, xBlocks int, res merge.Result, srcRepairW, srcCompW int) {
+	t.stats.Merges++
+	if full {
+		t.stats.FullMerges++
+	}
+	ev := MergeEvent{
+		From:             from,
+		To:               from + 1,
+		Full:             full,
+		XBlocks:          xBlocks,
+		YBlocks:          res.YBlocks,
+		BlocksWritten:    res.BlocksWritten,
+		PreservedX:       res.PreservedX,
+		PreservedY:       res.PreservedY,
+		RepairWrites:     res.RepairWrites + srcRepairW,
+		CompactionWrites: res.CompactionWrites + srcCompW,
+		RecordsIn:        res.RecordsIn,
+	}
+	if t.onMerge != nil {
+		t.onMerge(ev)
+	}
+}
+
+// Validate checks every invariant of every level plus cross-level block
+// accounting; tests and the harness call it between phases. It uses Peek
+// throughout, leaving the experiment counters untouched.
+func (t *Tree) Validate() error {
+	liveWant := int64(0)
+	for i, l := range t.levels {
+		if err := l.ValidateContents(); err != nil {
+			return fmt.Errorf("core: L%d: %w", i+1, err)
+		}
+		liveWant += int64(l.Blocks())
+		if want := t.cfg.capacityBlocks(i + 1); l.Capacity() != want {
+			return fmt.Errorf("core: L%d capacity %d, want %d", i+1, l.Capacity(), want)
+		}
+	}
+	if got := t.dev.Counters().Live; got != liveWant {
+		return fmt.Errorf("core: device has %d live blocks, levels reference %d", got, liveWant)
+	}
+	// Tombstones must not survive in the bottom level.
+	if n := len(t.levels); n > 0 {
+		idx := t.levels[n-1].Index()
+		for i := 0; i < idx.Len(); i++ {
+			if idx.Meta(i).Tombstones > 0 {
+				return fmt.Errorf("core: tombstones in bottom level block %d", i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import "testing"
+
+// BenchmarkProfileSteady exists for profiling the steady-state pipeline
+// (go test -bench ProfileSteady -cpuprofile cpu.out ./internal/experiments).
+func BenchmarkProfileSteady(b *testing.B) {
+	p := Params{Scale: 0.05, Seed: 1}.WithDefaults()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunSteady(SteadySpec{
+			PolicyName: "ChooseBest", Delta: 0.05,
+			Workload:  p.uniformWL(100),
+			DatasetMB: 300, K0MB: 16, CacheMB: 100,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+// Package learn implements the paper's parameter-learning procedure for
+// the Mixed merge policy (Section IV-C): the thresholds τ₂,…,τ_{h−2} are
+// learned one level at a time, top-down, followed by the bottom-level
+// decision β. Theorem 4 shows this greedy order is globally optimal;
+// Theorem 5 shows the per-level cost curve C(τ) is concave-up, so each
+// threshold can be found by golden-section search over the discretized
+// domain — or, as the paper does in practice, a linear scan that stops
+// when C(τ) starts to increase.
+//
+// Learning is performed online on a live tree: the learner drives the
+// provided workload through the tree, watches merge events to detect the
+// level cycles that delimit measurements, and mutates the Mixed policy's
+// parameters in place.
+package learn
+
+import (
+	"fmt"
+	"math"
+
+	"lsmssd/internal/core"
+	"lsmssd/internal/policy"
+	"lsmssd/internal/workload"
+)
+
+// SearchKind selects the threshold search strategy.
+type SearchKind int
+
+// Search strategies for the per-level threshold.
+const (
+	// LinearEarlyStop scans the grid from τ=0 upward and stops once the
+	// measured cost starts to increase (the paper's practical choice).
+	LinearEarlyStop SearchKind = iota
+	// GoldenSection runs a golden-section (Fibonacci) search over the
+	// grid, using O(log |Dτ|) measurements (Theorem 5).
+	GoldenSection
+	// Exhaustive measures every grid point (used to plot Figure 5).
+	Exhaustive
+)
+
+// Options tunes the learning procedure.
+type Options struct {
+	// TauGrid is the discretized threshold domain Dτ. Default: multiples
+	// of 10% in [0, 1].
+	TauGrid []float64
+	// Search selects the strategy (default LinearEarlyStop).
+	Search SearchKind
+	// MaxBytesPerCycle caps the workload bytes driven while waiting for
+	// a single cycle to complete, to bound runaway measurements.
+	// Default: 256 MB.
+	MaxBytesPerCycle int64
+	// BetaWindowBytes is the measurement window for the bottom-level
+	// decision β. Default: 64 × K0 blocks worth of requests.
+	BetaWindowBytes int64
+}
+
+func (o Options) withDefaults(t *core.Tree) Options {
+	if o.TauGrid == nil {
+		for i := 0; i <= 10; i++ {
+			o.TauGrid = append(o.TauGrid, float64(i)/10)
+		}
+	}
+	if o.MaxBytesPerCycle == 0 {
+		o.MaxBytesPerCycle = 256 << 20
+	}
+	if o.BetaWindowBytes == 0 {
+		cfg := t.Config()
+		o.BetaWindowBytes = int64(64 * cfg.K0 * cfg.BlockCapacity * 16)
+	}
+	return o
+}
+
+// Result reports the learned parameters and the measurement effort spent.
+type Result struct {
+	Taus         map[int]float64
+	Beta         bool
+	Measurements int
+	BytesDriven  int64
+}
+
+// Learn tunes m's parameters in place by driving gen through tree. The
+// tree must have been built with m as its policy and should be in (or
+// near) a steady state. The tree's OnMerge hook is used during learning
+// and released afterwards.
+func Learn(tree *core.Tree, m *policy.Mixed, gen workload.Generator, o Options) (Result, error) {
+	o = o.withDefaults(tree)
+	lr := &learner{tree: tree, m: m, gen: gen, o: o}
+	defer tree.OnMerge(nil)
+
+	res := Result{Taus: make(map[int]float64)}
+	h := tree.Height()
+
+	// Top-down: internal levels 2..h-2.
+	for target := 2; target <= h-2; target++ {
+		tau, err := lr.searchTau(target)
+		if err != nil {
+			return res, err
+		}
+		m.SetTau(target, tau)
+		res.Taus[target] = tau
+	}
+
+	// Bottom decision β: compare the steady-state cost under both
+	// settings, full measurement window each.
+	if h >= 3 {
+		cFalse, err := lr.measureBeta(false)
+		if err != nil {
+			return res, err
+		}
+		cTrue, err := lr.measureBeta(true)
+		if err != nil {
+			return res, err
+		}
+		m.SetBeta(cTrue < cFalse)
+		res.Beta = cTrue < cFalse
+	}
+	res.Measurements = lr.measurements
+	res.BytesDriven = lr.bytes
+	return res, nil
+}
+
+// Curve measures C(τ) for every grid point at the given target level,
+// regenerating the paper's Figure 5. The Mixed policy's τ for that level
+// is left at the final grid value.
+func Curve(tree *core.Tree, m *policy.Mixed, gen workload.Generator, target int, o Options) ([]float64, error) {
+	o = o.withDefaults(tree)
+	lr := &learner{tree: tree, m: m, gen: gen, o: o}
+	defer tree.OnMerge(nil)
+	lr.prepare(target)
+	out := make([]float64, len(o.TauGrid))
+	for i, tau := range o.TauGrid {
+		c, err := lr.measureTau(target, tau)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+type learner struct {
+	tree *core.Tree
+	m    *policy.Mixed
+	gen  workload.Generator
+	o    Options
+
+	measurements int
+	bytes        int64
+}
+
+// prepare configures the policy around a τ measurement at `target`: the
+// already-learned thresholds above stay; merges from L_target into
+// L_target+1 are forced Full; everything below runs ChooseBest.
+func (lr *learner) prepare(target int) {
+	h := lr.tree.Height()
+	if target+1 == h-1 {
+		lr.m.SetBeta(true)
+	} else {
+		lr.m.SetTau(target+1, 2.0) // S < 2K always: forced Full
+	}
+	for j := target + 2; j <= h-2; j++ {
+		lr.m.SetTau(j, 0)
+	}
+	if target+1 != h-1 {
+		lr.m.SetBeta(false)
+	}
+}
+
+// searchTau finds argmin C(τ) for the target level using the configured
+// strategy.
+func (lr *learner) searchTau(target int) (float64, error) {
+	lr.prepare(target)
+	grid := lr.o.TauGrid
+	memo := make(map[int]float64)
+	eval := func(i int) (float64, error) {
+		if c, ok := memo[i]; ok {
+			return c, nil
+		}
+		c, err := lr.measureTau(target, grid[i])
+		if err != nil {
+			return 0, err
+		}
+		memo[i] = c
+		return c, nil
+	}
+
+	switch lr.o.Search {
+	case GoldenSection:
+		i, err := goldenSection(len(grid), eval)
+		return grid[i], err
+	case Exhaustive:
+		best, bestC := 0, math.Inf(1)
+		for i := range grid {
+			c, err := eval(i)
+			if err != nil {
+				return 0, err
+			}
+			if c < bestC {
+				best, bestC = i, c
+			}
+		}
+		return grid[best], nil
+	default: // LinearEarlyStop
+		bestC, err := eval(0)
+		if err != nil {
+			return 0, err
+		}
+		best := 0
+		for i := 1; i < len(grid); i++ {
+			c, err := eval(i)
+			if err != nil {
+				return 0, err
+			}
+			if c >= bestC {
+				break // concave-up: past the minimum
+			}
+			best, bestC = i, c
+		}
+		return grid[best], nil
+	}
+}
+
+// measureTau measures C(τ…, τ_target=tau): writes into L1..L_target per
+// record merged into L1, over one full cycle of L_target (from empty,
+// right after a full merge into L_target+1, until the next one).
+func (lr *learner) measureTau(target int, tau float64) (float64, error) {
+	lr.m.SetTau(target, tau)
+	lr.measurements++
+
+	// Skip to a cycle boundary.
+	if err := lr.driveUntilFullMergeInto(target + 1); err != nil {
+		return 0, err
+	}
+	// Measure one cycle.
+	var writes, records int64
+	done := false
+	lr.tree.OnMerge(func(ev core.MergeEvent) {
+		if ev.To <= target {
+			writes += int64(ev.BlocksWritten + ev.RepairWrites + ev.CompactionWrites)
+		}
+		if ev.To == 1 {
+			records += int64(ev.RecordsIn)
+		}
+		if ev.To == target+1 && ev.Full {
+			done = true
+		}
+	})
+	if err := lr.driveWhile(func() bool { return !done }); err != nil {
+		return 0, err
+	}
+	if records == 0 {
+		return math.Inf(1), nil
+	}
+	return float64(writes) / float64(records), nil
+}
+
+// measureBeta measures the total merge cost per record merged into L1 over
+// a fixed window, under the given bottom-level decision.
+func (lr *learner) measureBeta(beta bool) (float64, error) {
+	lr.m.SetBeta(beta)
+	lr.measurements++
+	// Warm up for a fraction of the window so the bottom settles under
+	// the new regime.
+	if err := lr.driveBytes(lr.o.BetaWindowBytes / 2); err != nil {
+		return 0, err
+	}
+	var writes, records int64
+	lr.tree.OnMerge(func(ev core.MergeEvent) {
+		writes += int64(ev.BlocksWritten + ev.RepairWrites + ev.CompactionWrites)
+		if ev.To == 1 {
+			records += int64(ev.RecordsIn)
+		}
+	})
+	if err := lr.driveBytes(lr.o.BetaWindowBytes); err != nil {
+		return 0, err
+	}
+	lr.tree.OnMerge(nil)
+	if records == 0 {
+		return math.Inf(1), nil
+	}
+	return float64(writes) / float64(records), nil
+}
+
+func (lr *learner) driveUntilFullMergeInto(target int) error {
+	seen := false
+	lr.tree.OnMerge(func(ev core.MergeEvent) {
+		if ev.To == target && ev.Full {
+			seen = true
+		}
+	})
+	return lr.driveWhile(func() bool { return !seen })
+}
+
+// driveWhile issues requests while cond holds, within the per-cycle byte
+// cap.
+func (lr *learner) driveWhile(cond func() bool) error {
+	var driven int64
+	for cond() {
+		if driven >= lr.o.MaxBytesPerCycle {
+			return fmt.Errorf("learn: cycle did not close within %d bytes", lr.o.MaxBytesPerCycle)
+		}
+		n, err := workload.DriveN(lr.gen, lr.tree, 1)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("learn: workload generator stalled")
+		}
+		driven += n
+		lr.bytes += n
+	}
+	return nil
+}
+
+func (lr *learner) driveBytes(budget int64) error {
+	n, err := workload.Drive(lr.gen, lr.tree, budget)
+	lr.bytes += n
+	return err
+}
+
+// goldenSection minimizes a unimodal function over grid indices [0, n).
+func goldenSection(n int, eval func(int) (float64, error)) (int, error) {
+	lo, hi := 0, n-1
+	phi := (math.Sqrt(5) - 1) / 2
+	for hi-lo > 2 {
+		span := float64(hi - lo)
+		a := hi - int(math.Round(phi*span))
+		b := lo + int(math.Round(phi*span))
+		if a == b {
+			b++
+		}
+		if a <= lo {
+			a = lo + 1
+		}
+		if b >= hi {
+			b = hi - 1
+		}
+		if a >= b {
+			break
+		}
+		ca, err := eval(a)
+		if err != nil {
+			return 0, err
+		}
+		cb, err := eval(b)
+		if err != nil {
+			return 0, err
+		}
+		if ca <= cb {
+			hi = b
+		} else {
+			lo = a
+		}
+	}
+	best, bestC := lo, math.Inf(1)
+	for i := lo; i <= hi; i++ {
+		c, err := eval(i)
+		if err != nil {
+			return 0, err
+		}
+		if c < bestC {
+			best, bestC = i, c
+		}
+	}
+	return best, nil
+}

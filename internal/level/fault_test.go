@@ -1,0 +1,100 @@
+package level
+
+import (
+	"errors"
+	"testing"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/btree"
+	"lsmssd/internal/storage"
+)
+
+// readFailDev fails all reads after a trigger, for error-path coverage.
+type readFailDev struct {
+	*storage.MemDevice
+	fail bool
+}
+
+var errBoom = errors.New("boom")
+
+func (d *readFailDev) Read(id storage.BlockID) (*block.Block, error) {
+	if d.fail {
+		return nil, errBoom
+	}
+	return d.MemDevice.Read(id)
+}
+
+func TestRepairPairReadError(t *testing.T) {
+	dev := &readFailDev{MemDevice: storage.NewMemDevice()}
+	l := New(Config{Device: dev, BlockCapacity: 4, Epsilon: 0.5, Capacity: 100})
+	load(t, l, 2, 2)
+	dev.fail = true
+	if _, err := l.RepairPair(0); !errors.Is(err, errBoom) {
+		t.Errorf("RepairPair error = %v, want boom", err)
+	}
+}
+
+func TestCompactReadError(t *testing.T) {
+	dev := &readFailDev{MemDevice: storage.NewMemDevice()}
+	l := New(Config{Device: dev, BlockCapacity: 4, Epsilon: 0.2, Capacity: 100})
+	load(t, l, 3, 3, 3)
+	dev.fail = true
+	if _, err := l.Compact(); !errors.Is(err, errBoom) {
+		t.Errorf("Compact error = %v, want boom", err)
+	}
+}
+
+func TestGetAndAscendReadError(t *testing.T) {
+	dev := &readFailDev{MemDevice: storage.NewMemDevice()}
+	l := New(Config{Device: dev, BlockCapacity: 4, Epsilon: 0.2, Capacity: 100})
+	load(t, l, 4, 4)
+	dev.fail = true
+	if _, _, err := l.Get(0); !errors.Is(err, errBoom) {
+		t.Errorf("Get error = %v", err)
+	}
+	if err := l.Ascend(0, 100, func(block.Record) bool { return true }); !errors.Is(err, errBoom) {
+		t.Errorf("Ascend error = %v", err)
+	}
+}
+
+func TestReplaceRangeDoubleFreeError(t *testing.T) {
+	dev := storage.NewMemDevice()
+	l := New(Config{Device: dev, BlockCapacity: 4, Epsilon: 0.2, Capacity: 100})
+	load(t, l, 4, 4)
+	id := l.Index().Meta(0).ID
+	if err := dev.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	// The level now references a freed block; removing it must surface
+	// the double free instead of silently continuing.
+	if err := l.ReplaceRange(0, 1, nil, nil); err == nil {
+		t.Error("double free not surfaced")
+	}
+}
+
+func TestValidateContentsDetectsMetaDrift(t *testing.T) {
+	dev := storage.NewMemDevice()
+	l := New(Config{Device: dev, BlockCapacity: 4, Epsilon: 0.2, Capacity: 100})
+	load(t, l, 4, 4)
+	// Corrupt the cached metadata: claim a different max key.
+	m := l.Index().Meta(0)
+	m.Max += 1
+	l.Index().ReplaceRange(0, 1, []btree.BlockMeta{m})
+	if err := l.ValidateContents(); err == nil {
+		t.Error("metadata drift not detected")
+	}
+}
+
+func TestRepairRangeOutOfBoundsIsSafe(t *testing.T) {
+	dev := storage.NewMemDevice()
+	l := New(Config{Device: dev, BlockCapacity: 4, Epsilon: 0.2, Capacity: 100})
+	load(t, l, 4, 4)
+	for _, bounds := range [][2]int{{-5, -1}, {10, 20}, {0, 100}} {
+		if _, err := l.RepairRange(bounds[0], bounds[1]); err != nil {
+			t.Errorf("RepairRange(%v) errored: %v", bounds, err)
+		}
+	}
+	if err := l.ValidateContents(); err != nil {
+		t.Fatal(err)
+	}
+}

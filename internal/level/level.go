@@ -1,0 +1,345 @@
+// Package level implements one on-storage level of the LSM-tree under the
+// paper's relaxed storage requirements (Section II-B).
+//
+// Unlike the classic LSM-tree, a level's data blocks need not sit at
+// contiguous physical addresses and need not be full. Waste is bounded by
+// two constraints:
+//
+//   - level-wise: the fraction of empty record slots across the level's
+//     data blocks is at most ε (default 0.2) for levels with at least two
+//     blocks;
+//   - pairwise: any two consecutive data blocks store strictly more than B
+//     records in total.
+//
+// The level also carries the slack accounting used by the block-preserving
+// merge: each merge into the level may add at most ⌊ε·|X|·B⌋ net empty
+// slots, where |X| is the number of source blocks merged; unused slack
+// carries over until the next compaction.
+package level
+
+import (
+	"fmt"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/bloom"
+	"lsmssd/internal/btree"
+	"lsmssd/internal/storage"
+)
+
+// Level is one storage-resident level (L1 and below).
+type Level struct {
+	dev      storage.Device
+	idx      *btree.Index
+	b        int             // block capacity B in records
+	epsilon  float64         // maximum waste factor ε
+	capacity int             // level capacity K_i in blocks
+	blooms   *bloom.Registry // optional shared per-block Bloom filters
+
+	// Slack accounting for block preservation (Section II-B): allowance
+	// accumulates ⌊ε·|X|·B⌋ per merge since the last compaction; used is
+	// w, the cumulative net increase in empty slots.
+	slackAllowance int
+	slackUsed      int
+
+	// Cumulative write accounting for this level (blocks written by
+	// merges into it, pairwise repairs, and compactions), the series
+	// plotted per level in the paper's Figures 3 and 4.
+	BlocksWritten int64
+	Compactions   int64
+}
+
+// Config carries the immutable parameters of a level.
+type Config struct {
+	Device        storage.Device
+	BlockCapacity int     // B, records per block
+	Epsilon       float64 // ε, maximum waste factor
+	Capacity      int     // K_i, level capacity in blocks
+	// Blooms, when non-nil, maintains a Bloom filter per data block to
+	// skip reads for absent keys (shared across the tree's levels).
+	Blooms *bloom.Registry
+}
+
+// New returns an empty level.
+func New(cfg Config) *Level {
+	if cfg.BlockCapacity < 1 {
+		panic("level: block capacity must be >= 1")
+	}
+	return &Level{
+		dev:      cfg.Device,
+		idx:      btree.NewIndex(nil),
+		b:        cfg.BlockCapacity,
+		epsilon:  cfg.Epsilon,
+		capacity: cfg.Capacity,
+		blooms:   cfg.Blooms,
+	}
+}
+
+// Index exposes the level's block index (read-only use by policies).
+func (l *Level) Index() *btree.Index { return l.idx }
+
+// Blocks returns the number of data blocks currently in the level.
+func (l *Level) Blocks() int { return l.idx.Len() }
+
+// Records returns the number of records currently in the level.
+func (l *Level) Records() int { return l.idx.Records() }
+
+// Capacity returns K_i, the level capacity in blocks.
+func (l *Level) Capacity() int { return l.capacity }
+
+// SetCapacity updates K_i (used when the tree grows a level and existing
+// levels are relabelled).
+func (l *Level) SetCapacity(k int) { l.capacity = k }
+
+// BlockCapacity returns B.
+func (l *Level) BlockCapacity() int { return l.b }
+
+// RequiredBlocks returns the number of blocks needed to store the level's
+// records compactly: ⌈records/B⌉. The paper measures level size — and
+// therefore overflow — in required blocks.
+func (l *Level) RequiredBlocks() int {
+	return (l.idx.Records() + l.b - 1) / l.b
+}
+
+// Full reports whether the level has reached its capacity, triggering a
+// merge into the next level.
+func (l *Level) Full() bool { return l.RequiredBlocks() >= l.capacity }
+
+// EmptySlots returns the total number of unused record slots.
+func (l *Level) EmptySlots() int { return l.idx.Len()*l.b - l.idx.Records() }
+
+// WasteFactor returns the fraction of empty slots across the level's data
+// blocks, or 0 for an empty level.
+func (l *Level) WasteFactor() float64 {
+	if l.idx.Len() == 0 {
+		return 0
+	}
+	return float64(l.EmptySlots()) / float64(l.idx.Len()*l.b)
+}
+
+// WasteOK reports whether the level-wise waste constraint holds. Levels
+// with fewer than two data blocks are exempt (a single block may be
+// arbitrarily empty), and so are maximally packed levels (fewer empty
+// slots than one block): a small level can exceed ε even when compacted —
+// e.g. 6 records with B=5 pack as (5,1), waste 0.4 — and compaction cannot
+// improve on maximal packing.
+func (l *Level) WasteOK() bool {
+	if l.idx.Len() < 2 || l.EmptySlots() < l.b {
+		return true
+	}
+	return l.WasteFactor() <= l.epsilon
+}
+
+// PairOK reports whether the pairwise waste constraint holds between the
+// blocks at positions i and i+1: together they must hold strictly more
+// than B records.
+func (l *Level) PairOK(i int) bool {
+	return l.idx.Meta(i).Count+l.idx.Meta(i+1).Count > l.b
+}
+
+// ReadAt returns the data block at position i, counting a device read.
+func (l *Level) ReadAt(i int) (*block.Block, error) {
+	return l.dev.Read(l.idx.Meta(i).ID)
+}
+
+// PeekAt returns the data block at position i without traffic accounting.
+func (l *Level) PeekAt(i int) (*block.Block, error) {
+	return l.dev.Peek(l.idx.Meta(i).ID)
+}
+
+// WriteNew allocates and writes a fresh data block, returning its metadata.
+// It counts one block write against this level.
+func (l *Level) WriteNew(b *block.Block) (btree.BlockMeta, error) {
+	id := l.dev.Alloc()
+	if err := l.dev.Write(id, b); err != nil {
+		return btree.BlockMeta{}, err
+	}
+	if l.blooms != nil {
+		l.blooms.Add(id, b)
+	}
+	l.BlocksWritten++
+	return btree.MetaFor(id, b), nil
+}
+
+// ReplaceRange performs the bulk-delete of positions [i, j) and bulk-insert
+// of repl, freeing the removed device blocks except those whose IDs appear
+// in keep (blocks preserved by a block-preserving merge keep their storage).
+func (l *Level) ReplaceRange(i, j int, repl []btree.BlockMeta, keep map[storage.BlockID]bool) error {
+	for _, m := range l.idx.All()[i:j] {
+		if keep[m.ID] {
+			continue
+		}
+		if err := l.dev.Free(m.ID); err != nil {
+			return err
+		}
+		if l.blooms != nil {
+			l.blooms.Drop(m.ID)
+		}
+	}
+	l.idx.ReplaceRange(i, j, repl)
+	return nil
+}
+
+// Slack accounting -----------------------------------------------------
+
+// GrantSlack credits the allowance for a merge of xBlocks source blocks:
+// ⌊ε·xBlocks·B⌋ additional empty slots may be introduced.
+func (l *Level) GrantSlack(xBlocks int) {
+	l.slackAllowance += int(l.epsilon * float64(xBlocks) * float64(l.b))
+}
+
+// SlackLimit returns the running bound on slackUsed during a merge: the
+// paper's m·⌊εδK_iB⌋ − B + 1 (generalized to variable merge sizes).
+func (l *Level) SlackLimit() int { return l.slackAllowance - l.b + 1 }
+
+// SlackUsed returns w, the cumulative net increase in empty slots since
+// the last compaction.
+func (l *Level) SlackUsed() int { return l.slackUsed }
+
+// AddSlackUsed adjusts w by d (negative when merges consume slack).
+func (l *Level) AddSlackUsed(d int) { l.slackUsed += d }
+
+// Repairs ---------------------------------------------------------------
+
+// RepairPair enforces the pairwise constraint between positions i and i+1
+// by replacing the two blocks with a single block holding their combined
+// contents (one extra write), as in cases 1 and 3 of the paper's merge
+// operation. It reports whether a repair was performed.
+func (l *Level) RepairPair(i int) (bool, error) {
+	if i < 0 || i+1 >= l.idx.Len() || l.PairOK(i) {
+		return false, nil
+	}
+	a, err := l.ReadAt(i)
+	if err != nil {
+		return false, err
+	}
+	b, err := l.ReadAt(i + 1)
+	if err != nil {
+		return false, err
+	}
+	combined := make([]block.Record, 0, a.Len()+b.Len())
+	combined = append(combined, a.Records()...)
+	combined = append(combined, b.Records()...)
+	// Combined fits in one block: the violated constraint says counts
+	// sum to <= B.
+	nb := block.New(combined)
+	meta, err := l.WriteNew(nb)
+	if err != nil {
+		return false, err
+	}
+	if err := l.ReplaceRange(i, i+2, []btree.BlockMeta{meta}, nil); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RepairRange enforces the pairwise constraint for pairs with left
+// position in [lo-1, hi] (clamped), cascading when a repair creates a new
+// violation next door. Each repair writes one block and removes one, so
+// the loop terminates. It returns the number of repair writes.
+func (l *Level) RepairRange(lo, hi int) (int, error) {
+	repairs := 0
+	i := lo - 1
+	if i < 0 {
+		i = 0
+	}
+	for i+1 < l.idx.Len() && i <= hi {
+		if !l.PairOK(i) {
+			if _, err := l.RepairPair(i); err != nil {
+				return repairs, err
+			}
+			repairs++
+			if i > 0 {
+				i--
+			}
+		} else {
+			i++
+		}
+	}
+	return repairs, nil
+}
+
+// MaybeCompact rewrites the level compactly in one pass if the level-wise
+// waste constraint is violated (cases 2 and 4). It returns the number of
+// blocks written (0 when no compaction was needed).
+func (l *Level) MaybeCompact() (int, error) {
+	if l.WasteOK() {
+		return 0, nil
+	}
+	return l.Compact()
+}
+
+// Compact rewrites every record of the level into freshly packed blocks
+// and resets the slack accounting. It returns the number of blocks
+// written.
+func (l *Level) Compact() (int, error) {
+	n := l.idx.Len()
+	builder := block.NewBuilder(l.b)
+	for i := 0; i < n; i++ {
+		blk, err := l.ReadAt(i)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range blk.Records() {
+			builder.Add(r)
+		}
+	}
+	blocks := builder.Finish()
+	metas := make([]btree.BlockMeta, 0, len(blocks))
+	for _, nb := range blocks {
+		m, err := l.WriteNew(nb)
+		if err != nil {
+			return 0, err
+		}
+		metas = append(metas, m)
+	}
+	if err := l.ReplaceRange(0, n, metas, nil); err != nil {
+		return 0, err
+	}
+	l.slackAllowance = 0
+	l.slackUsed = 0
+	l.Compactions++
+	return len(blocks), nil
+}
+
+// Validate checks all level invariants: index consistency, the pairwise
+// constraint between every adjacent pair, and the level-wise waste bound.
+func (l *Level) Validate() error {
+	if err := l.idx.Validate(); err != nil {
+		return err
+	}
+	for i := 0; i+1 < l.idx.Len(); i++ {
+		if !l.PairOK(i) {
+			return fmt.Errorf("level: pairwise waste violated at %d: %d+%d <= B=%d",
+				i, l.idx.Meta(i).Count, l.idx.Meta(i+1).Count, l.b)
+		}
+	}
+	if !l.WasteOK() {
+		return fmt.Errorf("level: waste factor %.3f exceeds ε=%.3f", l.WasteFactor(), l.epsilon)
+	}
+	for i := 0; i < l.idx.Len(); i++ {
+		if c := l.idx.Meta(i).Count; c > l.b {
+			return fmt.Errorf("level: block %d overfull: %d > B=%d", i, c, l.b)
+		}
+	}
+	return nil
+}
+
+// ValidateContents additionally checks that metadata matches the stored
+// blocks (diagnostic; uses Peek so accounting is unaffected).
+func (l *Level) ValidateContents() error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	for i := 0; i < l.idx.Len(); i++ {
+		m := l.idx.Meta(i)
+		blk, err := l.dev.Peek(m.ID)
+		if err != nil {
+			return fmt.Errorf("level: block %d: %w", i, err)
+		}
+		if blk.Len() != m.Count || blk.MinKey() != m.Min || blk.MaxKey() != m.Max {
+			return fmt.Errorf("level: block %d metadata %+v does not match contents (%d records, [%d,%d])",
+				i, m, blk.Len(), blk.MinKey(), blk.MaxKey())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+// Package manifest persists and restores the LSM-tree's in-memory state —
+// the per-level block metadata (the cached internal B+tree nodes) and the
+// memtable contents — so a file-backed store survives clean shutdowns.
+//
+// This is deliberately not a write-ahead log: the paper's engine keeps L0
+// in memory and its durability story is orthogonal to the merge-policy
+// contribution. The manifest provides checkpoint/restore semantics: it is
+// written atomically (temp file + rename) on Close or Checkpoint, and a
+// crash between checkpoints loses the requests since the last one.
+package manifest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/btree"
+	"lsmssd/internal/storage"
+)
+
+// Format (little endian):
+//
+//	magic   "LSMM"            4 bytes
+//	version uint32            currently 1
+//	config  6 × uint64        blockCapacity, k0, gamma, epsilon(bits), seed, levels
+//	per level:
+//	    blocks uint64
+//	    per block: id, min, max, count, tombstones (uint64 each)
+//	memtable:
+//	    records uint64
+//	    per record: key uint64, flags uint8, plen uint32, payload
+//	crc32 of everything above  uint32
+
+const (
+	magic   = "LSMM"
+	version = 1
+)
+
+// ErrNoManifest is returned by Load when the manifest file does not exist.
+var ErrNoManifest = errors.New("manifest: not found")
+
+// Config is the subset of the tree configuration that must match between
+// the writer and the reader of a manifest.
+type Config struct {
+	BlockCapacity int
+	K0            int
+	Gamma         int
+	Epsilon       float64
+	Seed          int64
+}
+
+// State is everything needed to reconstruct a tree over an existing
+// device.
+type State struct {
+	Config   Config
+	Levels   [][]btree.BlockMeta // index 0 is L1
+	Memtable []block.Record      // key order not required; replayed via Put
+}
+
+// Save writes the state atomically to path.
+func Save(path string, st State) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	w := bufio.NewWriter(io.MultiWriter(f, crc))
+
+	writeU64 := func(vs ...uint64) {
+		var buf [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			w.Write(buf[:])
+		}
+	}
+	w.WriteString(magic)
+	var v32 [4]byte
+	binary.LittleEndian.PutUint32(v32[:], version)
+	w.Write(v32[:])
+	writeU64(
+		uint64(st.Config.BlockCapacity),
+		uint64(st.Config.K0),
+		uint64(st.Config.Gamma),
+		floatBits(st.Config.Epsilon),
+		uint64(st.Config.Seed),
+		uint64(len(st.Levels)),
+	)
+	for _, metas := range st.Levels {
+		writeU64(uint64(len(metas)))
+		for _, m := range metas {
+			writeU64(uint64(m.ID), uint64(m.Min), uint64(m.Max), uint64(m.Count), uint64(m.Tombstones))
+		}
+	}
+	writeU64(uint64(len(st.Memtable)))
+	for _, r := range st.Memtable {
+		writeU64(uint64(r.Key))
+		flags := byte(0)
+		if r.Tombstone {
+			flags = 1
+		}
+		w.WriteByte(flags)
+		var l32 [4]byte
+		binary.LittleEndian.PutUint32(l32[:], uint32(len(r.Payload)))
+		w.Write(l32[:])
+		w.Write(r.Payload)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("manifest: %w", err)
+	}
+	var c32 [4]byte
+	binary.LittleEndian.PutUint32(c32[:], crc.Sum32())
+	if _, err := f.Write(c32[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads and verifies a manifest.
+func Load(path string) (State, error) {
+	var st State
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return st, ErrNoManifest
+	}
+	if err != nil {
+		return st, fmt.Errorf("manifest: %w", err)
+	}
+	if len(raw) < len(magic)+4+4 {
+		return st, fmt.Errorf("manifest: truncated (%d bytes)", len(raw))
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return st, fmt.Errorf("manifest: checksum mismatch")
+	}
+	r := &reader{buf: body}
+	if string(r.bytes(4)) != magic {
+		return st, fmt.Errorf("manifest: bad magic")
+	}
+	if v := r.u32(); v != version {
+		return st, fmt.Errorf("manifest: unsupported version %d", v)
+	}
+	st.Config = Config{
+		BlockCapacity: int(r.u64()),
+		K0:            int(r.u64()),
+		Gamma:         int(r.u64()),
+		Epsilon:       bitsFloat(r.u64()),
+		Seed:          int64(r.u64()),
+	}
+	levels := int(r.u64())
+	if levels > 64 {
+		return st, fmt.Errorf("manifest: implausible level count %d", levels)
+	}
+	for i := 0; i < levels; i++ {
+		n := int(r.u64())
+		metas := make([]btree.BlockMeta, 0, n)
+		for j := 0; j < n; j++ {
+			metas = append(metas, btree.BlockMeta{
+				ID:         storage.BlockID(r.u64()),
+				Min:        block.Key(r.u64()),
+				Max:        block.Key(r.u64()),
+				Count:      int(r.u64()),
+				Tombstones: int(r.u64()),
+			})
+		}
+		st.Levels = append(st.Levels, metas)
+	}
+	n := int(r.u64())
+	st.Memtable = make([]block.Record, 0, n)
+	for i := 0; i < n; i++ {
+		rec := block.Record{Key: block.Key(r.u64())}
+		rec.Tombstone = r.bytes(1)[0] == 1
+		plen := int(r.u32())
+		if plen > 0 {
+			rec.Payload = append([]byte(nil), r.bytes(plen)...)
+		}
+		st.Memtable = append(st.Memtable, rec)
+	}
+	if r.err != nil {
+		return st, fmt.Errorf("manifest: %w", r.err)
+	}
+	return st, nil
+}
+
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || len(r.buf) < n {
+		r.err = fmt.Errorf("unexpected end of manifest")
+		return make([]byte, n)
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *reader) u64() uint64 { return binary.LittleEndian.Uint64(r.bytes(8)) }
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
+
+func floatBits(f float64) uint64 { return uint64(int64(f * 1e9)) }
+func bitsFloat(b uint64) float64 { return float64(int64(b)) / 1e9 }

@@ -1,0 +1,211 @@
+// Package memtable implements L0, the memory-resident top level of the
+// LSM-tree, as a skiplist-backed sorted index.
+//
+// L0 "logs" modifications: an insert stores an index record; a delete or
+// update for a key not present in L0 stores a tombstone/update record that
+// will cancel out matching records in lower levels during merges
+// (Section II-A). Because partial merge policies operate on block windows,
+// the memtable can present its contents as a sequence of *virtual blocks*
+// of B records each, with the same metadata (min key, max key, count) that
+// on-storage levels expose.
+package memtable
+
+import (
+	"math/rand"
+
+	"lsmssd/internal/block"
+)
+
+const (
+	maxHeight = 16
+	branching = 4
+)
+
+type node struct {
+	rec  block.Record
+	next [maxHeight]*node
+}
+
+// Table is the L0 index. It is not safe for concurrent use; the tree
+// serializes access.
+type Table struct {
+	head    *node
+	height  int
+	count   int
+	bytes   int
+	version uint64 // bumped by every mutation; lets callers memoize views
+	rng     *rand.Rand
+}
+
+// New returns an empty memtable. The seed makes skiplist tower heights —
+// and therefore all downstream experiment traces — deterministic.
+func New(seed int64) *Table {
+	return &Table{
+		head:   &node{},
+		height: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Len returns the number of records (including tombstones) in the table.
+func (t *Table) Len() int { return t.count }
+
+// Version returns a counter that changes with every mutation, so derived
+// views (e.g. virtual-block metadata) can be cached until the table
+// changes.
+func (t *Table) Version() uint64 { return t.version }
+
+// Bytes returns the total request-byte footprint of the stored records.
+func (t *Table) Bytes() int { return t.bytes }
+
+// Put inserts or overwrites the record for r.Key.
+func (t *Table) Put(r block.Record) {
+	t.version++
+	var update [maxHeight]*node
+	n := t.findGE(r.Key, &update)
+	if n != nil && n.rec.Key == r.Key {
+		t.bytes += r.Size() - n.rec.Size()
+		n.rec = r
+		return
+	}
+	h := t.randomHeight()
+	if h > t.height {
+		for i := t.height; i < h; i++ {
+			update[i] = t.head
+		}
+		t.height = h
+	}
+	nn := &node{rec: r}
+	for i := 0; i < h; i++ {
+		nn.next[i] = update[i].next[i]
+		update[i].next[i] = nn
+	}
+	t.count++
+	t.bytes += r.Size()
+}
+
+// Get returns the record stored for k, if any. The caller must check
+// Tombstone to interpret the result.
+func (t *Table) Get(k block.Key) (block.Record, bool) {
+	n := t.findGE(k, nil)
+	if n != nil && n.rec.Key == k {
+		return n.rec, true
+	}
+	return block.Record{}, false
+}
+
+// Delete removes the record for k, reporting whether it was present.
+// Note this is a physical removal used when draining merged ranges; a
+// logical delete request is a Put of a tombstone record.
+func (t *Table) Delete(k block.Key) bool {
+	t.version++
+	var update [maxHeight]*node
+	n := t.findGE(k, &update)
+	if n == nil || n.rec.Key != k {
+		return false
+	}
+	for i := 0; i < t.height; i++ {
+		if update[i].next[i] == n {
+			update[i].next[i] = n.next[i]
+		}
+	}
+	for t.height > 1 && t.head.next[t.height-1] == nil {
+		t.height--
+	}
+	t.count--
+	t.bytes -= n.rec.Size()
+	return true
+}
+
+// Ascend calls fn for each record with key in [lo, hi] in key order,
+// stopping early if fn returns false.
+func (t *Table) Ascend(lo, hi block.Key, fn func(block.Record) bool) {
+	n := t.findGE(lo, nil)
+	for n != nil && n.rec.Key <= hi {
+		if !fn(n.rec) {
+			return
+		}
+		n = n.next[0]
+	}
+}
+
+// All returns every record in key order. It allocates; use Ascend for
+// streaming access.
+func (t *Table) All() []block.Record {
+	out := make([]block.Record, 0, t.count)
+	for n := t.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, n.rec)
+	}
+	return out
+}
+
+// TakeRange removes and returns all records with key in [lo, hi], in key
+// order. Merges from L0 call this to drain the merged window.
+func (t *Table) TakeRange(lo, hi block.Key) []block.Record {
+	var out []block.Record
+	t.Ascend(lo, hi, func(r block.Record) bool {
+		out = append(out, r)
+		return true
+	})
+	for _, r := range out {
+		t.Delete(r.Key)
+	}
+	return out
+}
+
+// VirtualMeta describes one virtual block of the memtable: a run of up to
+// capacity records presented with level-style block metadata so that the
+// partial merge policies (RR, ChooseBest) can treat L0 like any other
+// source level.
+type VirtualMeta struct {
+	Min, Max block.Key
+	Count    int
+}
+
+// VirtualBlocks chunks the table into virtual blocks of the given capacity
+// and returns their metadata.
+func (t *Table) VirtualBlocks(capacity int) []VirtualMeta {
+	if capacity < 1 {
+		panic("memtable: capacity must be >= 1")
+	}
+	var metas []VirtualMeta
+	var cur VirtualMeta
+	for n := t.head.next[0]; n != nil; n = n.next[0] {
+		if cur.Count == 0 {
+			cur.Min = n.rec.Key
+		}
+		cur.Max = n.rec.Key
+		cur.Count++
+		if cur.Count == capacity {
+			metas = append(metas, cur)
+			cur = VirtualMeta{}
+		}
+	}
+	if cur.Count > 0 {
+		metas = append(metas, cur)
+	}
+	return metas
+}
+
+// findGE returns the first node with key >= k. When update is non-nil it
+// is filled with the rightmost node before k at every height.
+func (t *Table) findGE(k block.Key, update *[maxHeight]*node) *node {
+	x := t.head
+	for i := t.height - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].rec.Key < k {
+			x = x.next[i]
+		}
+		if update != nil {
+			update[i] = x
+		}
+	}
+	return x.next[0]
+}
+
+func (t *Table) randomHeight() int {
+	h := 1
+	for h < maxHeight && t.rng.Intn(branching) == 0 {
+		h++
+	}
+	return h
+}

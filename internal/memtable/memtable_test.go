@@ -1,0 +1,233 @@
+package memtable
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lsmssd/internal/block"
+)
+
+func rec(k block.Key) block.Record {
+	return block.Record{Key: k, Payload: []byte{byte(k)}}
+}
+
+func TestPutGetOverwrite(t *testing.T) {
+	m := New(1)
+	m.Put(rec(5))
+	m.Put(rec(3))
+	m.Put(rec(7))
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	r, ok := m.Get(5)
+	if !ok || r.Key != 5 {
+		t.Fatalf("Get(5) = %v,%v", r, ok)
+	}
+	if _, ok := m.Get(4); ok {
+		t.Fatal("Get(4) found a missing key")
+	}
+	// Overwrite does not grow the table and replaces the record.
+	m.Put(block.Record{Key: 5, Tombstone: true})
+	if m.Len() != 3 {
+		t.Fatalf("Len after overwrite = %d, want 3", m.Len())
+	}
+	r, _ = m.Get(5)
+	if !r.Tombstone {
+		t.Fatal("overwrite with tombstone not visible")
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	m := New(1)
+	m.Put(block.Record{Key: 1, Payload: make([]byte, 10)})
+	if m.Bytes() != 18 {
+		t.Fatalf("Bytes = %d, want 18", m.Bytes())
+	}
+	m.Put(block.Record{Key: 1, Payload: make([]byte, 4)})
+	if m.Bytes() != 12 {
+		t.Fatalf("Bytes after overwrite = %d, want 12", m.Bytes())
+	}
+	m.Delete(1)
+	if m.Bytes() != 0 {
+		t.Fatalf("Bytes after delete = %d, want 0", m.Bytes())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := New(1)
+	for k := block.Key(0); k < 100; k++ {
+		m.Put(rec(k))
+	}
+	for k := block.Key(0); k < 100; k += 2 {
+		if !m.Delete(k) {
+			t.Fatalf("Delete(%d) = false", k)
+		}
+	}
+	if m.Delete(2) {
+		t.Fatal("double delete succeeded")
+	}
+	if m.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", m.Len())
+	}
+	for k := block.Key(1); k < 100; k += 2 {
+		if _, ok := m.Get(k); !ok {
+			t.Fatalf("odd key %d lost", k)
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	m := New(1)
+	for _, k := range []block.Key{10, 20, 30, 40, 50} {
+		m.Put(rec(k))
+	}
+	var got []block.Key
+	m.Ascend(15, 45, func(r block.Record) bool {
+		got = append(got, r.Key)
+		return true
+	})
+	want := []block.Key{20, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("Ascend got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend got %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	m.Ascend(0, 100, func(block.Record) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d, want 2", n)
+	}
+}
+
+func TestTakeRange(t *testing.T) {
+	m := New(1)
+	for k := block.Key(1); k <= 10; k++ {
+		m.Put(rec(k))
+	}
+	out := m.TakeRange(3, 7)
+	if len(out) != 5 {
+		t.Fatalf("TakeRange returned %d records, want 5", len(out))
+	}
+	for i, r := range out {
+		if r.Key != block.Key(3+i) {
+			t.Fatalf("TakeRange out of order: %v", out)
+		}
+	}
+	if m.Len() != 5 {
+		t.Fatalf("Len after TakeRange = %d, want 5", m.Len())
+	}
+	if _, ok := m.Get(5); ok {
+		t.Fatal("taken key still present")
+	}
+}
+
+func TestVirtualBlocks(t *testing.T) {
+	m := New(1)
+	for k := block.Key(0); k < 10; k++ {
+		m.Put(rec(k * 10))
+	}
+	metas := m.VirtualBlocks(4)
+	if len(metas) != 3 {
+		t.Fatalf("got %d virtual blocks, want 3", len(metas))
+	}
+	if metas[0].Min != 0 || metas[0].Max != 30 || metas[0].Count != 4 {
+		t.Errorf("meta[0] = %+v", metas[0])
+	}
+	if metas[2].Min != 80 || metas[2].Max != 90 || metas[2].Count != 2 {
+		t.Errorf("meta[2] = %+v", metas[2])
+	}
+	if got := m.VirtualBlocks(100); len(got) != 1 || got[0].Count != 10 {
+		t.Errorf("single virtual block = %+v", got)
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	m := New(42)
+	rng := rand.New(rand.NewSource(7))
+	want := map[block.Key]bool{}
+	for i := 0; i < 1000; i++ {
+		k := block.Key(rng.Intn(500))
+		m.Put(rec(k))
+		want[k] = true
+	}
+	all := m.All()
+	if len(all) != len(want) {
+		t.Fatalf("All returned %d records, want %d", len(all), len(want))
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Key < all[j].Key }) {
+		t.Fatal("All not sorted")
+	}
+}
+
+// Property: the memtable behaves exactly like a map + sort under random
+// puts and deletes.
+func TestQuickModelCheck(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		m := New(seed)
+		model := map[block.Key][]byte{}
+		for _, op := range ops {
+			k := block.Key(op % 64)
+			if op%3 == 0 {
+				m.Delete(k)
+				delete(model, k)
+			} else {
+				p := []byte{byte(op)}
+				m.Put(block.Record{Key: k, Payload: p})
+				model[k] = p
+			}
+		}
+		if m.Len() != len(model) {
+			return false
+		}
+		for k, p := range model {
+			r, ok := m.Get(k)
+			if !ok || len(r.Payload) != 1 || r.Payload[0] != p[0] {
+				return false
+			}
+		}
+		all := m.All()
+		for i := 1; i < len(all); i++ {
+			if all[i-1].Key >= all[i].Key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: virtual blocks partition the table: counts sum to Len, ranges
+// are disjoint and ordered, every block has 1..capacity records.
+func TestQuickVirtualBlocksPartition(t *testing.T) {
+	f := func(n uint16, capSeed uint8, seed int64) bool {
+		capacity := int(capSeed)%10 + 1
+		m := New(seed)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(n)%300; i++ {
+			m.Put(rec(block.Key(rng.Intn(10000))))
+		}
+		metas := m.VirtualBlocks(capacity)
+		total := 0
+		for i, vm := range metas {
+			if vm.Count < 1 || vm.Count > capacity || vm.Min > vm.Max {
+				return false
+			}
+			if i > 0 && metas[i-1].Max >= vm.Min {
+				return false
+			}
+			total += vm.Count
+		}
+		return total == m.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,26 @@
+package merge
+
+import (
+	"lsmssd/internal/level"
+	"lsmssd/internal/storage"
+)
+
+// RemoveSourceWindow removes the merged window [xFrom, xTo) from the
+// source level after a successful Merge: the bulk-delete of X, the
+// pairwise repair across the resulting gap (case 1 of the paper's merge
+// operation), and the compaction check (case 2). Blocks whose IDs appear
+// in keep were preserved into the target and must not be freed.
+// It returns the repair and compaction write counts charged to the source
+// level.
+func RemoveSourceWindow(src *level.Level, xFrom, xTo int, keep map[storage.BlockID]bool) (repairWrites, compactionWrites int, err error) {
+	if err := src.ReplaceRange(xFrom, xTo, nil, keep); err != nil {
+		return 0, 0, err
+	}
+	// The blocks formerly at xFrom-1 and xTo are now adjacent.
+	repairWrites, err = src.RepairRange(xFrom, xFrom)
+	if err != nil {
+		return repairWrites, 0, err
+	}
+	compactionWrites, err = src.MaybeCompact()
+	return repairWrites, compactionWrites, err
+}

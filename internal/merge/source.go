@@ -1,0 +1,97 @@
+// Package merge implements the paper's flexible merge operation
+// (Section II-B): it takes a subsequence X of a level's data blocks (or a
+// window of L0's virtual blocks), merges the records therein into the
+// overlapping blocks Y of the next level, and replaces Y with the output
+// blocks Z — optionally reusing input blocks unmodified (block-preserving
+// merge) subject to the waste checks.
+package merge
+
+import (
+	"lsmssd/internal/block"
+	"lsmssd/internal/btree"
+	"lsmssd/internal/level"
+)
+
+// Source yields the X side of a merge: a sequence of key-ordered blocks
+// with pairwise-disjoint ranges. Two implementations exist: LevelSource
+// (a storage-resident level; reads count, blocks may be preserved) and
+// RecordSource (records drained from the memory-resident L0, chunked into
+// virtual blocks; no I/O, nothing to preserve).
+type Source interface {
+	// NumBlocks returns the number of X blocks.
+	NumBlocks() int
+	// Meta returns the i-th block's metadata. A zero ID marks a virtual
+	// block that cannot be preserved.
+	Meta(i int) btree.BlockMeta
+	// Records loads the i-th block's records, counting a device read for
+	// storage-backed sources.
+	Records(i int) ([]block.Record, error)
+}
+
+// LevelSource adapts a level as the X side of a merge, exposing the block
+// window [From, To).
+type LevelSource struct {
+	Level *level.Level
+}
+
+// NumBlocks returns the number of blocks in the level.
+func (s LevelSource) NumBlocks() int { return s.Level.Blocks() }
+
+// Meta returns the i-th block's metadata.
+func (s LevelSource) Meta(i int) btree.BlockMeta { return s.Level.Index().Meta(i) }
+
+// Records reads the i-th block (counted).
+func (s LevelSource) Records(i int) ([]block.Record, error) {
+	blk, err := s.Level.ReadAt(i)
+	if err != nil {
+		return nil, err
+	}
+	return blk.Records(), nil
+}
+
+// RecordSource chunks a flat key-ordered record slice (drained from L0)
+// into virtual blocks of the given capacity.
+type RecordSource struct {
+	recs     []block.Record
+	capacity int
+	metas    []btree.BlockMeta
+}
+
+// NewRecordSource builds a RecordSource over recs, which must be sorted by
+// key and free of duplicates.
+func NewRecordSource(recs []block.Record, capacity int) *RecordSource {
+	if capacity < 1 {
+		panic("merge: record source capacity must be >= 1")
+	}
+	s := &RecordSource{recs: recs, capacity: capacity}
+	for off := 0; off < len(recs); off += capacity {
+		end := off + capacity
+		if end > len(recs) {
+			end = len(recs)
+		}
+		m := btree.BlockMeta{Min: recs[off].Key, Max: recs[end-1].Key, Count: end - off}
+		for _, r := range recs[off:end] {
+			if r.Tombstone {
+				m.Tombstones++
+			}
+		}
+		s.metas = append(s.metas, m)
+	}
+	return s
+}
+
+// NumBlocks returns the number of virtual blocks.
+func (s *RecordSource) NumBlocks() int { return len(s.metas) }
+
+// Meta returns the i-th virtual block's metadata (ID 0: not preservable).
+func (s *RecordSource) Meta(i int) btree.BlockMeta { return s.metas[i] }
+
+// Records returns the i-th virtual block's records without any I/O.
+func (s *RecordSource) Records(i int) ([]block.Record, error) {
+	off := i * s.capacity
+	end := off + s.capacity
+	if end > len(s.recs) {
+		end = len(s.recs)
+	}
+	return s.recs[off:end], nil
+}

@@ -1,0 +1,63 @@
+// Package storage provides the block-device abstraction under the LSM-tree
+// and its write-cost instrumentation.
+//
+// The paper's primary metric is the number of data-block writes issued to
+// the SSD, counted in code "independent of the platform running
+// experiments" (Section V). Device implementations therefore keep exact
+// counters of block reads, writes, allocations and frees. Two devices are
+// provided: MemDevice, an in-memory simulated SSD used by tests and the
+// benchmark harness, and FileDevice, a file-backed store that exercises a
+// real I/O path with the same accounting.
+package storage
+
+import (
+	"errors"
+
+	"lsmssd/internal/block"
+)
+
+// BlockID identifies a block on a device. The zero value is never a valid
+// ID, so it can be used as a sentinel.
+type BlockID uint64
+
+// ErrNotFound is returned when reading a block that was never written or
+// has been freed.
+var ErrNotFound = errors.New("storage: block not found")
+
+// Counters is a snapshot of a device's accounting state. Writes is the
+// paper's cost metric.
+type Counters struct {
+	Reads  int64 // counted block reads
+	Writes int64 // counted block writes (the cost metric)
+	Allocs int64 // blocks allocated over the device lifetime
+	Frees  int64 // blocks freed over the device lifetime
+	Live   int64 // blocks currently allocated
+}
+
+// Device is a block store. Blocks are immutable once written: the tree
+// never updates a block in place (the defining property of LSM on SSDs),
+// so Write is called exactly once per allocated ID.
+type Device interface {
+	// Alloc reserves a fresh block ID. The block is not readable until
+	// written.
+	Alloc() BlockID
+	// Write stores b under id and counts one block write. The device owns
+	// b afterwards; callers must not modify the block.
+	Write(id BlockID, b *block.Block) error
+	// Read returns the block stored under id and counts one block read.
+	Read(id BlockID) (*block.Block, error)
+	// Peek returns the block stored under id without counting a read. It
+	// exists for diagnostics (key-distribution histograms, invariant
+	// checks) that must not perturb the experiment's accounting.
+	Peek(id BlockID) (*block.Block, error)
+	// Free releases id; reading it afterwards fails.
+	Free(id BlockID) error
+	// Counters returns a snapshot of the accounting state.
+	Counters() Counters
+	// ResetCounters zeroes Reads and Writes (Allocs/Frees/Live persist,
+	// as they describe space, not traffic). Harnesses call this when a
+	// measurement window begins.
+	ResetCounters()
+	// Close releases any resources held by the device.
+	Close() error
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"fmt"
+
+	"lsmssd/internal/block"
+)
+
+// Store is the modification interface a workload drives — implemented by
+// the LSM-tree and by test models.
+type Store interface {
+	Put(k block.Key, payload []byte) error
+	Delete(k block.Key) error
+}
+
+// Drive applies requests from g to s until at least byteBudget request
+// bytes have been issued, returning the bytes actually issued. The paper
+// measures workloads in "MB worth of requests"; this is that unit.
+func Drive(g Generator, s Store, byteBudget int64) (int64, error) {
+	var issued int64
+	stalls := 0
+	for issued < byteBudget {
+		req, ok := g.Next()
+		if !ok {
+			stalls++
+			if stalls > 1000 {
+				return issued, fmt.Errorf("workload: generator stalled after %d bytes", issued)
+			}
+			continue
+		}
+		stalls = 0
+		var err error
+		if req.Op == Insert {
+			err = s.Put(req.Key, req.Payload)
+		} else {
+			err = s.Delete(req.Key)
+		}
+		if err != nil {
+			return issued, err
+		}
+		issued += int64(req.Size())
+	}
+	return issued, nil
+}
+
+// DriveN applies exactly n requests (skipping generator stalls), returning
+// the bytes issued.
+func DriveN(g Generator, s Store, n int) (int64, error) {
+	var issued int64
+	for i := 0; i < n; i++ {
+		req, ok := g.Next()
+		if !ok {
+			continue
+		}
+		var err error
+		if req.Op == Insert {
+			err = s.Put(req.Key, req.Payload)
+		} else {
+			err = s.Delete(req.Key)
+		}
+		if err != nil {
+			return issued, err
+		}
+		issued += int64(req.Size())
+	}
+	return issued, nil
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"math/rand"
+
+	"lsmssd/internal/block"
+)
+
+// NormalConfig parameterizes the Normal(σ, ω) workload.
+type NormalConfig struct {
+	KeySpace    uint64  // keys live in [0, KeySpace)
+	PayloadSize int     // payload bytes per insert
+	InsertRatio float64 // fraction of requests that are inserts
+	Sigma       float64 // σ: std dev as a fraction of the key space (e.g. 0.005)
+	Omega       int     // ω: inserts between moves of the distribution mean
+	// TargetKeys, when positive, self-balances the insert ratio to pin
+	// the indexed count at this value (the paper's steady state).
+	TargetKeys int
+	Seed       int64
+}
+
+// Normal draws insert keys from a normal distribution truncated to the key
+// space; every ω inserts the mean jumps to a uniformly random location.
+// Deletes are uniform over indexed keys, as in Uniform (Section V).
+type Normal struct {
+	cfg       NormalConfig
+	rng       *rand.Rand
+	set       *keySet
+	mean      float64
+	remaining int // inserts left before the mean moves
+}
+
+// NewNormal returns a Normal generator.
+func NewNormal(cfg NormalConfig) *Normal {
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 1_000_000_000
+	}
+	if cfg.Omega <= 0 {
+		cfg.Omega = 10_000
+	}
+	n := &Normal{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), set: newKeySet()}
+	n.moveMean()
+	return n
+}
+
+func (n *Normal) moveMean() {
+	n.mean = n.rng.Float64() * float64(n.cfg.KeySpace)
+	n.remaining = n.cfg.Omega
+}
+
+// Next implements Generator.
+func (n *Normal) Next() (Request, bool) {
+	p := balancedRatio(n.cfg.InsertRatio, n.set.len(), n.cfg.TargetKeys)
+	if n.rng.Float64() < p || n.set.len() == 0 {
+		return n.insert()
+	}
+	k := n.set.sample(n.rng)
+	n.set.remove(k)
+	return Request{Op: Delete, Key: k}, true
+}
+
+func (n *Normal) insert() (Request, bool) {
+	if n.remaining == 0 {
+		n.moveMean()
+	}
+	sd := n.cfg.Sigma * float64(n.cfg.KeySpace)
+	// If the region around the current mean is saturated (or mostly
+	// outside the key space), relocate the mean and keep trying before
+	// giving up.
+	for moves := 0; moves < 8; moves++ {
+		for tries := 0; tries < 256; tries++ {
+			x := n.rng.NormFloat64()*sd + n.mean
+			if x < 0 || x >= float64(n.cfg.KeySpace) {
+				continue // truncate to the key space
+			}
+			k := block.Key(x)
+			if n.set.has(k) {
+				continue
+			}
+			n.set.add(k)
+			n.remaining--
+			return Request{Op: Insert, Key: k, Payload: payload(n.cfg.PayloadSize, k)}, true
+		}
+		n.moveMean()
+	}
+	return Request{}, false
+}
+
+// Indexed implements Generator.
+func (n *Normal) Indexed() int { return n.set.len() }

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"math/rand"
+
+	"lsmssd/internal/block"
+)
+
+// TPCConfig parameterizes the TPC workload.
+type TPCConfig struct {
+	Warehouses  int     // number of warehouses (each with 10 districts)
+	PayloadSize int     // extra payload bytes per NEW_ORDER record
+	InsertRatio float64 // fraction of transactions that are order entry
+	// TargetOrders, when positive, self-balances the transaction mix to
+	// pin the live order count at this value (the paper's steady state).
+	TargetOrders int
+	Seed         int64
+}
+
+// TPC is loosely based on TPC-C's NEW_ORDER table, as in the paper: an
+// insert transaction picks a warehouse and district at random and enters a
+// new order (10 order lines, matching TPC-C's average order size); a
+// delete transaction picks a warehouse and district at random and removes
+// the 10 oldest orders (the delivery transaction). Keys code
+// (warehouse, district, order-line) as a bit string; order ids grow
+// sequentially per district, so inserts are sequential within a district
+// and uniform across districts.
+//
+// With equal insert and delete transaction rates the indexed record count
+// is stationary, matching the paper's steady-state setup.
+type TPC struct {
+	cfg       TPCConfig
+	rng       *rand.Rand
+	districts []*district
+	indexed   int
+	pending   []Request // queued requests of the current transaction
+}
+
+type district struct {
+	w, d   int
+	lo, hi uint64 // live order-line ids: [lo, hi)
+}
+
+const ordersPerTxn = 10
+
+// NewTPC returns a TPC generator.
+func NewTPC(cfg TPCConfig) *TPC {
+	if cfg.Warehouses <= 0 {
+		cfg.Warehouses = 16
+	}
+	t := &TPC{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for w := 0; w < cfg.Warehouses; w++ {
+		for d := 0; d < 10; d++ {
+			t.districts = append(t.districts, &district{w: w, d: d})
+		}
+	}
+	return t
+}
+
+// key codes (warehouse, district, order-line id) as a bit string:
+// 16 bits warehouse, 8 bits district, 40 bits order line.
+func (t *TPC) key(dst *district, line uint64) block.Key {
+	return block.Key(uint64(dst.w)<<48 | uint64(dst.d)<<40 | line)
+}
+
+// Next implements Generator, emitting the queued transaction's requests
+// one at a time.
+func (t *TPC) Next() (Request, bool) {
+	for len(t.pending) == 0 {
+		if !t.queueTxn() {
+			return Request{}, false
+		}
+	}
+	r := t.pending[0]
+	t.pending = t.pending[1:]
+	return r, true
+}
+
+func (t *TPC) queueTxn() bool {
+	p := balancedRatio(t.cfg.InsertRatio, t.indexed, t.cfg.TargetOrders)
+	if t.rng.Float64() >= p && t.indexed > 0 {
+		// Delivery: remove the 10 oldest orders of a random district
+		// that has any.
+		for {
+			dst := t.districts[t.rng.Intn(len(t.districts))]
+			if dst.hi == dst.lo {
+				continue
+			}
+			n := ordersPerTxn
+			if live := int(dst.hi - dst.lo); n > live {
+				n = live
+			}
+			for i := 0; i < n; i++ {
+				t.pending = append(t.pending, Request{Op: Delete, Key: t.key(dst, dst.lo)})
+				dst.lo++
+			}
+			t.indexed -= n
+			return true
+		}
+	}
+	if t.cfg.InsertRatio == 0 && t.indexed == 0 {
+		return false // nothing to deliver and order entry disabled
+	}
+	// Order entry: a new order with 10 lines in a random district.
+	dst := t.districts[t.rng.Intn(len(t.districts))]
+	for i := 0; i < ordersPerTxn; i++ {
+		k := t.key(dst, dst.hi)
+		dst.hi++
+		t.pending = append(t.pending, Request{
+			Op: Insert, Key: k, Payload: payload(t.cfg.PayloadSize, k),
+		})
+	}
+	t.indexed += ordersPerTxn
+	return true
+}
+
+// Indexed implements Generator.
+func (t *TPC) Indexed() int { return t.indexed }

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"math/rand"
+
+	"lsmssd/internal/block"
+)
+
+// UniformConfig parameterizes the Uniform workload.
+type UniformConfig struct {
+	KeySpace    uint64  // keys are drawn from [0, KeySpace)
+	PayloadSize int     // payload bytes per insert
+	InsertRatio float64 // fraction of requests that are inserts (e.g. 0.5)
+	// TargetKeys, when positive, self-balances the insert ratio to pin
+	// the indexed count at this value (the paper's steady state).
+	TargetKeys int
+	Seed       int64
+}
+
+// Uniform draws insert keys uniformly at random from the keys not
+// currently indexed, and delete keys uniformly from those that are
+// (Section V, "Workloads").
+type Uniform struct {
+	cfg UniformConfig
+	rng *rand.Rand
+	set *keySet
+}
+
+// NewUniform returns a Uniform generator.
+func NewUniform(cfg UniformConfig) *Uniform {
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 1_000_000_000
+	}
+	return &Uniform{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		set: newKeySet(),
+	}
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() (Request, bool) {
+	p := balancedRatio(u.cfg.InsertRatio, u.set.len(), u.cfg.TargetKeys)
+	if u.rng.Float64() < p || u.set.len() == 0 {
+		return u.insert()
+	}
+	k := u.set.sample(u.rng)
+	u.set.remove(k)
+	return Request{Op: Delete, Key: k}, true
+}
+
+func (u *Uniform) insert() (Request, bool) {
+	for tries := 0; tries < 64; tries++ {
+		k := block.Key(u.rng.Uint64() % u.cfg.KeySpace)
+		if u.set.has(k) {
+			continue
+		}
+		u.set.add(k)
+		return Request{Op: Insert, Key: k, Payload: payload(u.cfg.PayloadSize, k)}, true
+	}
+	return Request{}, false // key space saturated
+}
+
+// Indexed implements Generator.
+func (u *Uniform) Indexed() int { return u.set.len() }

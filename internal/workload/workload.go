@@ -1,0 +1,122 @@
+// Package workload generates the synthetic request streams of the paper's
+// evaluation (Section V): Uniform, Normal(σ, ω), and TPC, each emitting
+// insert and delete requests at a configurable ratio.
+//
+// The generators are deterministic given a seed and track the set of
+// currently indexed keys themselves, so deletes always target existing
+// records and inserts always target fresh keys, exactly as the paper
+// specifies.
+package workload
+
+import (
+	"math/rand"
+
+	"lsmssd/internal/block"
+)
+
+// Op is a request type.
+type Op int
+
+// Request operations.
+const (
+	Insert Op = iota
+	Delete
+)
+
+// Request is one modification request.
+type Request struct {
+	Op      Op
+	Key     block.Key
+	Payload []byte
+}
+
+// Size returns the request's byte footprint: key plus payload for inserts,
+// key only for deletes (matching the tree's request accounting).
+func (r Request) Size() int {
+	if r.Op == Delete {
+		return 8
+	}
+	return 8 + len(r.Payload)
+}
+
+// Generator produces a request stream.
+type Generator interface {
+	// Next returns the next request. ok is false when the generator can
+	// make no progress (e.g. a delete is scheduled but nothing is
+	// indexed); callers typically treat that as "skip".
+	Next() (Request, bool)
+	// Indexed returns the number of keys the generator believes are
+	// currently indexed.
+	Indexed() int
+}
+
+// keySet tracks indexed keys with O(1) insert, delete and uniform sample.
+type keySet struct {
+	keys  []block.Key
+	index map[block.Key]int
+}
+
+func newKeySet() *keySet {
+	return &keySet{index: make(map[block.Key]int)}
+}
+
+func (s *keySet) len() int { return len(s.keys) }
+
+func (s *keySet) has(k block.Key) bool {
+	_, ok := s.index[k]
+	return ok
+}
+
+func (s *keySet) add(k block.Key) {
+	if s.has(k) {
+		return
+	}
+	s.index[k] = len(s.keys)
+	s.keys = append(s.keys, k)
+}
+
+func (s *keySet) remove(k block.Key) {
+	i, ok := s.index[k]
+	if !ok {
+		return
+	}
+	last := len(s.keys) - 1
+	s.keys[i] = s.keys[last]
+	s.index[s.keys[i]] = i
+	s.keys = s.keys[:last]
+	delete(s.index, k)
+}
+
+func (s *keySet) sample(rng *rand.Rand) block.Key {
+	return s.keys[rng.Intn(len(s.keys))]
+}
+
+// balancedRatio returns the effective insert probability. With target <= 0
+// it is the configured base ratio (the paper's fixed-ratio workloads). With
+// a positive target, the ratio self-adjusts to pin the indexed count at the
+// target — the controller that realizes the paper's steady-state assumption
+// ("the number of records stays constant over time") without the √n drift
+// a fixed 50/50 coin accumulates.
+func balancedRatio(base float64, indexed, target int) float64 {
+	if target <= 0 {
+		return base
+	}
+	p := base + 0.5*float64(target-indexed)/float64(target)
+	if p < 0.02 {
+		p = 0.02
+	}
+	if p > 0.98 {
+		p = 0.98
+	}
+	return p
+}
+
+// payloadFunc builds deterministic payloads: the same bytes for the same
+// key, so verification against a model store is possible.
+func payload(size int, k block.Key) []byte {
+	p := make([]byte, size)
+	for i := range p {
+		p[i] = byte(uint64(k) >> (8 * (i % 8)))
+	}
+	return p
+}

@@ -1,0 +1,361 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lsmssd/internal/block"
+)
+
+func TestUniformInsertDeleteConsistency(t *testing.T) {
+	g := NewUniform(UniformConfig{KeySpace: 1000, PayloadSize: 8, InsertRatio: 0.5, Seed: 1})
+	live := map[block.Key]bool{}
+	for i := 0; i < 5000; i++ {
+		req, ok := g.Next()
+		if !ok {
+			t.Fatal("generator stalled")
+		}
+		if req.Op == Insert {
+			if live[req.Key] {
+				t.Fatalf("insert of already-indexed key %d", req.Key)
+			}
+			if len(req.Payload) != 8 {
+				t.Fatalf("payload size %d", len(req.Payload))
+			}
+			if uint64(req.Key) >= 1000 {
+				t.Fatalf("key %d outside key space", req.Key)
+			}
+			live[req.Key] = true
+		} else {
+			if !live[req.Key] {
+				t.Fatalf("delete of absent key %d", req.Key)
+			}
+			delete(live, req.Key)
+		}
+	}
+	if g.Indexed() != len(live) {
+		t.Errorf("Indexed = %d, want %d", g.Indexed(), len(live))
+	}
+}
+
+func TestUniformSteadyState(t *testing.T) {
+	g := NewUniform(UniformConfig{KeySpace: 1 << 40, PayloadSize: 4, InsertRatio: 0.5, Seed: 2})
+	for i := 0; i < 20000; i++ {
+		g.Next()
+	}
+	// With a 50/50 ratio the indexed count random-walks near zero
+	// drift; just require it stays far below the request count.
+	if g.Indexed() > 4000 {
+		t.Errorf("Indexed = %d after 20k requests at 50/50", g.Indexed())
+	}
+}
+
+func TestUniformDeterminism(t *testing.T) {
+	mk := func() []block.Key {
+		g := NewUniform(UniformConfig{KeySpace: 1 << 30, PayloadSize: 4, InsertRatio: 0.6, Seed: 7})
+		var keys []block.Key
+		for i := 0; i < 100; i++ {
+			r, _ := g.Next()
+			keys = append(keys, r.Key)
+		}
+		return keys
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestNormalSkewAndMeanMoves(t *testing.T) {
+	g := NewNormal(NormalConfig{
+		KeySpace: 1 << 30, PayloadSize: 4, InsertRatio: 1.0,
+		Sigma: 0.005, Omega: 1000, Seed: 3,
+	})
+	var keys []float64
+	for i := 0; i < 900; i++ { // within one ω window
+		r, ok := g.Next()
+		if !ok {
+			t.Fatal("stalled")
+		}
+		keys = append(keys, float64(r.Key))
+	}
+	mean, sd := moments(keys)
+	wantSD := 0.005 * float64(uint64(1)<<30)
+	if sd > 2*wantSD {
+		t.Errorf("sd = %g, want ~%g: not skewed", sd, wantSD)
+	}
+	// After ω inserts the mean should (almost surely) be elsewhere.
+	for i := 0; i < 200; i++ {
+		g.Next()
+	}
+	var keys2 []float64
+	for i := 0; i < 500; i++ {
+		r, _ := g.Next()
+		keys2 = append(keys2, float64(r.Key))
+	}
+	mean2, _ := moments(keys2)
+	if math.Abs(mean2-mean) < wantSD {
+		t.Logf("means %g vs %g close; possible but unlikely", mean, mean2)
+	}
+}
+
+func moments(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		sd += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(sd / float64(len(xs)))
+}
+
+func TestTPCTransactions(t *testing.T) {
+	g := NewTPC(TPCConfig{Warehouses: 4, PayloadSize: 16, InsertRatio: 0.5, Seed: 4})
+	live := map[block.Key]bool{}
+	for i := 0; i < 10000; i++ {
+		req, ok := g.Next()
+		if !ok {
+			t.Fatal("stalled")
+		}
+		if req.Op == Insert {
+			if live[req.Key] {
+				t.Fatalf("duplicate order key %d", req.Key)
+			}
+			live[req.Key] = true
+		} else {
+			if !live[req.Key] {
+				t.Fatalf("delivery of absent order %d", req.Key)
+			}
+			delete(live, req.Key)
+		}
+	}
+	if g.Indexed() != len(live) {
+		t.Errorf("Indexed = %d, want %d", g.Indexed(), len(live))
+	}
+	// Sequential-within-district: keys of one district increase.
+	g2 := NewTPC(TPCConfig{Warehouses: 1, InsertRatio: 1.0, Seed: 5})
+	last := map[uint64]block.Key{}
+	for i := 0; i < 1000; i++ {
+		r, _ := g2.Next()
+		d := uint64(r.Key) >> 40
+		if prev, ok := last[d]; ok && r.Key <= prev {
+			t.Fatalf("district %d keys not sequential: %d after %d", d, r.Key, prev)
+		}
+		last[d] = r.Key
+	}
+}
+
+func TestTPCDeliveryRemovesOldest(t *testing.T) {
+	g := NewTPC(TPCConfig{Warehouses: 1, InsertRatio: 1.0, Seed: 6})
+	// Fill, then force deliveries.
+	for i := 0; i < 400; i++ {
+		g.Next()
+	}
+	g.cfg.InsertRatio = 0
+	seenPerDistrict := map[uint64]block.Key{}
+	for i := 0; i < 200; i++ {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		if r.Op != Delete {
+			t.Fatal("expected delete")
+		}
+		d := uint64(r.Key) >> 40
+		if prev, ok := seenPerDistrict[d]; ok && r.Key <= prev {
+			t.Fatalf("district %d deletes not oldest-first", d)
+		}
+		seenPerDistrict[d] = r.Key
+	}
+}
+
+type modelStore map[block.Key]string
+
+func (m modelStore) Put(k block.Key, p []byte) error { m[k] = string(p); return nil }
+func (m modelStore) Delete(k block.Key) error        { delete(m, k); return nil }
+
+func TestDriveByteBudget(t *testing.T) {
+	g := NewUniform(UniformConfig{KeySpace: 1 << 30, PayloadSize: 100, InsertRatio: 0.5, Seed: 8})
+	s := modelStore{}
+	issued, err := Drive(g, s, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issued < 50_000 || issued > 50_000+108 {
+		t.Errorf("issued = %d, want just past 50000", issued)
+	}
+	if len(s) != g.Indexed() {
+		t.Errorf("store has %d keys, generator believes %d", len(s), g.Indexed())
+	}
+}
+
+func TestDriveN(t *testing.T) {
+	g := NewUniform(UniformConfig{KeySpace: 1 << 30, PayloadSize: 10, InsertRatio: 1.0, Seed: 9})
+	s := modelStore{}
+	issued, err := DriveN(g, s, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 250 {
+		t.Errorf("store has %d keys, want 250", len(s))
+	}
+	if issued != 250*18 {
+		t.Errorf("issued = %d, want %d", issued, 250*18)
+	}
+}
+
+// Property: all generators maintain the "inserts fresh, deletes indexed"
+// contract under arbitrary ratios and seeds.
+func TestQuickGeneratorContract(t *testing.T) {
+	f := func(seed int64, pick uint8, ratioRaw uint8) bool {
+		ratio := float64(ratioRaw%101) / 100
+		var g Generator
+		switch pick % 3 {
+		case 0:
+			g = NewUniform(UniformConfig{KeySpace: 4000, PayloadSize: 4, InsertRatio: ratio, Seed: seed})
+		case 1:
+			g = NewNormal(NormalConfig{KeySpace: 1 << 30, PayloadSize: 4, InsertRatio: ratio, Sigma: 0.01, Omega: 200, Seed: seed})
+		default:
+			g = NewTPC(TPCConfig{Warehouses: 2, PayloadSize: 4, InsertRatio: ratio, Seed: seed})
+		}
+		live := map[block.Key]bool{}
+		for i := 0; i < 2000; i++ {
+			req, ok := g.Next()
+			if !ok {
+				continue
+			}
+			if req.Op == Insert {
+				if live[req.Key] {
+					return false
+				}
+				live[req.Key] = true
+			} else {
+				if !live[req.Key] {
+					return false
+				}
+				delete(live, req.Key)
+			}
+		}
+		return g.Indexed() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformSaturatedKeySpace(t *testing.T) {
+	// Key space of 8: after 8 inserts the generator cannot produce a
+	// fresh key and must report !ok rather than spinning.
+	g := NewUniform(UniformConfig{KeySpace: 8, PayloadSize: 1, InsertRatio: 1.0, Seed: 1})
+	okCount := 0
+	for i := 0; i < 64; i++ {
+		if _, ok := g.Next(); ok {
+			okCount++
+		}
+	}
+	if okCount != 8 {
+		t.Errorf("generated %d inserts from a key space of 8", okCount)
+	}
+}
+
+func TestNormalTruncatesToKeySpace(t *testing.T) {
+	// Mean jumps land anywhere; with a huge σ most raw draws fall
+	// outside and must be rejected, never emitted.
+	g := NewNormal(NormalConfig{
+		KeySpace: 1000, PayloadSize: 1, InsertRatio: 1.0,
+		Sigma: 5.0, Omega: 10, Seed: 2,
+	})
+	for i := 0; i < 500; i++ {
+		r, ok := g.Next()
+		if !ok {
+			continue
+		}
+		if uint64(r.Key) >= 1000 {
+			t.Fatalf("key %d outside key space", r.Key)
+		}
+	}
+}
+
+func TestNormalSaturatedRegionMovesOn(t *testing.T) {
+	// A tiny key space saturates quickly; the generator must relocate
+	// its mean and keep going until the space is genuinely full.
+	g := NewNormal(NormalConfig{
+		KeySpace: 64, PayloadSize: 1, InsertRatio: 1.0,
+		Sigma: 0.01, Omega: 1000, Seed: 3,
+	})
+	seen := map[block.Key]bool{}
+	for i := 0; i < 2000; i++ {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		if seen[r.Key] {
+			t.Fatalf("duplicate insert %d", r.Key)
+		}
+		seen[r.Key] = true
+	}
+	if len(seen) < 32 {
+		t.Errorf("only %d/64 keys generated before stalling", len(seen))
+	}
+	if g.Indexed() != len(seen) {
+		t.Errorf("Indexed = %d, want %d", g.Indexed(), len(seen))
+	}
+}
+
+func TestTPCDeliveryClampsShortDistricts(t *testing.T) {
+	// A district with fewer than 10 live orders delivers what it has.
+	g := NewTPC(TPCConfig{Warehouses: 1, InsertRatio: 1.0, Seed: 4})
+	for i := 0; i < 10; i++ { // exactly one order entry (10 lines)
+		g.Next()
+	}
+	g.cfg.InsertRatio = 0
+	deletes := 0
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		if r.Op != Delete {
+			t.Fatal("expected delete")
+		}
+		deletes++
+		if deletes > 100 {
+			t.Fatal("runaway deletes")
+		}
+	}
+	if deletes != 10 || g.Indexed() != 0 {
+		t.Errorf("deletes = %d, indexed = %d", deletes, g.Indexed())
+	}
+}
+
+func TestBalancedRatioPinsTarget(t *testing.T) {
+	g := NewUniform(UniformConfig{
+		KeySpace: 1 << 40, PayloadSize: 4, InsertRatio: 0.5,
+		TargetKeys: 500, Seed: 5,
+	})
+	for i := 0; i < 5000; i++ {
+		g.Next()
+	}
+	if got := g.Indexed(); got < 400 || got > 600 {
+		t.Errorf("Indexed = %d, want pinned near 500", got)
+	}
+	// And it stays pinned.
+	for i := 0; i < 20000; i++ {
+		g.Next()
+	}
+	if got := g.Indexed(); got < 400 || got > 600 {
+		t.Errorf("Indexed drifted to %d", got)
+	}
+}
+
+func TestDriveStallError(t *testing.T) {
+	g := NewUniform(UniformConfig{KeySpace: 4, PayloadSize: 1, InsertRatio: 1.0, Seed: 6})
+	s := modelStore{}
+	if _, err := Drive(g, s, 1<<20); err == nil {
+		t.Error("Drive did not report generator stall")
+	}
+}

@@ -1,0 +1,172 @@
+// Package lsmssd is a log-structured merge (LSM) tree storage engine
+// optimized for solid-state drives, implementing the merge policies,
+// relaxed level storage, and block-preserving merges of Thonangi & Yang,
+// "On Log-Structured Merge for Solid-State Drives" (ICDE 2017).
+//
+// The engine organizes records in levels of geometrically increasing
+// capacity. New data enters a memory-resident top level; storage levels
+// change only through merges, so blocks are never updated in place. What
+// distinguishes this engine is the pluggable merge policy — Full, RR
+// (LevelDB-style round-robin), ChooseBest (least-overlap window), or the
+// self-tuning Mixed policy — and the block-preserving merge, which reuses
+// input blocks in the merge output whenever key ranges allow, subject to
+// provable waste bounds.
+//
+// A quick start:
+//
+//	db, err := lsmssd.Open(lsmssd.Options{})
+//	if err != nil { ... }
+//	defer db.Close()
+//	db.Put(42, []byte("answer"))
+//	v, ok, err := db.Get(42)
+package lsmssd
+
+import (
+	"lsmssd/internal/block"
+	"lsmssd/internal/policy"
+)
+
+// Policy selects the merge policy (Section III–IV of the paper).
+type Policy int
+
+// Merge policies.
+const (
+	// ChooseBest merges the window of δK consecutive source blocks
+	// overlapping the fewest next-level blocks: bounded cost for every
+	// single merge, and the best practical default before tuning.
+	ChooseBest Policy = iota
+	// Full merges the entire overflowing level, as in the original
+	// LSM-tree.
+	Full
+	// RR merges δK-block windows round-robin through the key space,
+	// approximating LevelDB's compaction.
+	RR
+	// TestMixed runs ChooseBest everywhere except into the bottom level,
+	// which uses Full (the paper's diagnostic hybrid).
+	TestMixed
+	// Mixed switches between Full and ChooseBest per level based on
+	// thresholds; use DB.TuneMixed to learn them for a workload.
+	Mixed
+)
+
+// String returns the policy name as used in the paper.
+func (p Policy) String() string {
+	switch p {
+	case Full:
+		return "Full"
+	case RR:
+		return "RR"
+	case ChooseBest:
+		return "ChooseBest"
+	case TestMixed:
+		return "TestMixed"
+	case Mixed:
+		return "Mixed"
+	}
+	return "unknown"
+}
+
+// Options configures a DB. The zero value is a working in-memory engine
+// with the paper's default parameters scaled to library use.
+type Options struct {
+	// Path, when set, stores data blocks in a file at this location. The
+	// file is created or truncated: this engine is an index structure,
+	// not a durable database (there is no write-ahead log; L0 lives in
+	// memory).
+	Path string
+	// BlockSize is the storage block size in bytes (default 4096).
+	BlockSize int
+	// PayloadHint is the typical value size in bytes used to derive the
+	// per-block record capacity B (default 100, the paper's setting).
+	// Records larger than the hint still work; they simply occupy more
+	// encoded space, and the file device will reject blocks whose
+	// encoding exceeds BlockSize, so set the hint to your maximum value
+	// size when using Path.
+	PayloadHint int
+	// RecordsPerBlock overrides the derived B directly when nonzero.
+	RecordsPerBlock int
+	// MemtableBlocks is K0, the capacity of the in-memory level measured
+	// in blocks (default 256).
+	MemtableBlocks int
+	// Gamma is Γ, the capacity ratio between adjacent levels (default 10).
+	Gamma int
+	// Epsilon is ε, the maximum fraction of empty record slots allowed
+	// per level (default 0.2).
+	Epsilon float64
+	// Delta is δ, the fraction of a level a partial merge takes
+	// (default 0.07, the paper's experimental setting).
+	Delta float64
+	// MergePolicy selects the merge policy (default ChooseBest).
+	MergePolicy Policy
+	// DisablePreserve turns off block-preserving merges, yielding the
+	// paper's "-P" policy variants.
+	DisablePreserve bool
+	// CacheBlocks sizes the LRU buffer cache in blocks (default 1024;
+	// set negative to disable caching).
+	CacheBlocks int
+	// BloomBitsPerKey, when positive, maintains per-block Bloom filters
+	// to skip reads for absent keys.
+	BloomBitsPerKey float64
+	// MixedTaus and MixedBeta preset the Mixed policy's parameters
+	// (target level → τ, and the bottom-level decision). Ignored for
+	// other policies. DB.TuneMixed learns them instead.
+	MixedTaus map[int]float64
+	// MixedBeta is the bottom-level full-merge decision for Mixed.
+	MixedBeta bool
+	// Seed fixes all internal randomness; runs with equal options and
+	// inputs are reproducible (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockSize == 0 {
+		o.BlockSize = 4096
+	}
+	if o.PayloadHint == 0 {
+		o.PayloadHint = 100
+	}
+	if o.RecordsPerBlock == 0 {
+		o.RecordsPerBlock = block.CapacityFor(o.BlockSize, o.PayloadHint)
+	}
+	if o.MemtableBlocks == 0 {
+		o.MemtableBlocks = 256
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 10
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.2
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.07
+	}
+	switch o.CacheBlocks {
+	case 0:
+		o.CacheBlocks = 1024
+	default:
+		if o.CacheBlocks < 0 {
+			o.CacheBlocks = 0
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// buildPolicy constructs the internal policy for the options.
+func (o Options) buildPolicy() policy.Policy {
+	preserve := !o.DisablePreserve
+	switch o.MergePolicy {
+	case Full:
+		return policy.NewFull(preserve)
+	case RR:
+		return policy.NewRR(o.Delta, preserve)
+	case TestMixed:
+		return policy.NewTestMixed(o.Delta, preserve)
+	case Mixed:
+		return policy.NewMixed(o.Delta, preserve, o.MixedTaus, o.MixedBeta)
+	default:
+		return policy.NewChooseBest(o.Delta, preserve)
+	}
+}

@@ -1,0 +1,100 @@
+package lsmssd
+
+// Stats is a point-in-time accounting snapshot of a DB.
+//
+// BlocksWritten is the paper's primary cost metric: the number of data
+// blocks written to the device since Open (or the last ResetIOStats). On
+// SSDs writes dominate cost and wear, so merge policies are compared by
+// this number, typically normalized per megabyte of requests.
+type Stats struct {
+	// Device traffic.
+	BlocksWritten int64
+	BlocksRead    int64
+	LiveBlocks    int64
+
+	// Request accounting.
+	Requests     int64
+	Inserts      int64
+	Deletes      int64
+	Lookups      int64
+	Scans        int64
+	RequestBytes int64
+
+	// Structure.
+	Height          int
+	Records         int // records stored, including shadowed versions and tombstones
+	MemtableRecords int
+
+	// Merge accounting.
+	Merges     int64
+	FullMerges int64
+	Levels     []LevelStats
+
+	// Cache and Bloom effectiveness (zero when the feature is off).
+	CacheHits    int64
+	CacheMisses  int64
+	BloomSkipped int64
+	BloomPassed  int64
+}
+
+// LevelStats describes one storage level.
+type LevelStats struct {
+	Level          int // 1-based level number
+	Blocks         int
+	Records        int
+	CapacityBlocks int
+	WasteFactor    float64
+	BlocksWritten  int64 // cumulative writes into this level
+	Compactions    int64
+}
+
+// Stats returns the current snapshot.
+func (db *DB) Stats() Stats {
+	tree, unlock := db.lockedTree()
+	defer unlock()
+	snap := tree.Snapshot()
+	s := Stats{
+		BlocksWritten:   snap.Device.Writes,
+		BlocksRead:      snap.Device.Reads,
+		LiveBlocks:      snap.Device.Live,
+		Requests:        snap.Stats.Requests,
+		Inserts:         snap.Stats.Inserts,
+		Deletes:         snap.Stats.Deletes,
+		Lookups:         snap.Stats.Lookups,
+		Scans:           snap.Stats.Scans,
+		RequestBytes:    snap.Stats.RequestBytes,
+		Height:          snap.Height,
+		MemtableRecords: snap.MemLen,
+		Merges:          snap.Stats.Merges,
+		FullMerges:      snap.Stats.FullMerges,
+	}
+	s.Records = snap.MemLen
+	for _, ls := range snap.Levels {
+		s.Records += ls.Records
+		s.Levels = append(s.Levels, LevelStats{
+			Level:          ls.Number,
+			Blocks:         ls.Blocks,
+			Records:        ls.Records,
+			CapacityBlocks: ls.Capacity,
+			WasteFactor:    ls.WasteFactor,
+			BlocksWritten:  ls.BlocksWritten,
+			Compactions:    ls.Compactions,
+		})
+	}
+	if c := tree.Cache(); c != nil {
+		cs := c.Stats()
+		s.CacheHits, s.CacheMisses = cs.Hits, cs.Misses
+	}
+	if b := tree.Blooms(); b != nil {
+		s.BloomSkipped, s.BloomPassed = b.Skipped, b.Passed
+	}
+	return s
+}
+
+// ResetIOStats zeroes the device's read/write counters, starting a fresh
+// measurement window (live-block and request accounting persist).
+func (db *DB) ResetIOStats() {
+	tree, unlock := db.lockedTree()
+	defer unlock()
+	tree.Device().ResetCounters()
+}

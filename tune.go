@@ -1,0 +1,121 @@
+package lsmssd
+
+import (
+	"errors"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/learn"
+	"lsmssd/internal/policy"
+	"lsmssd/internal/workload"
+)
+
+// Request is one modification request fed to TuneMixed's sample workload.
+type Request struct {
+	Delete bool
+	Key    uint64
+	Value  []byte // ignored for deletes
+}
+
+// TuneOptions configures TuneMixed.
+type TuneOptions struct {
+	// TauGrid is the candidate threshold set (default multiples of 10%).
+	TauGrid []float64
+	// GoldenSection switches from the default linear early-stop scan to
+	// golden-section search over the grid (fewer measurements on tall
+	// trees; Theorem 5 guarantees unimodality).
+	GoldenSection bool
+	// MaxBytesPerCycle bounds the workload bytes spent waiting for one
+	// level cycle (default 256 MB).
+	MaxBytesPerCycle int64
+	// BetaWindowBytes is the measurement window for the bottom-level
+	// decision (default derived from the memtable size).
+	BetaWindowBytes int64
+}
+
+// TuneResult reports the learned Mixed parameters.
+type TuneResult struct {
+	Taus         map[int]float64 // target level → τ
+	Beta         bool            // bottom-level full-merge decision
+	Measurements int
+	BytesDriven  int64
+}
+
+// ErrNotMixed is returned by TuneMixed when the DB does not use the Mixed
+// policy.
+var ErrNotMixed = errors.New("lsmssd: TuneMixed requires MergePolicy == Mixed")
+
+// TuneMixed learns the Mixed policy's per-level thresholds and bottom
+// decision for the workload produced by next, applying them to the DB
+// (Section IV-C of the paper). The sample workload is driven through the
+// live index — typically a stand-in with the same key and size
+// distribution as production traffic. next returns false to signal it can
+// produce no more requests (treated as an error if learning is unfinished).
+//
+// The DB must have been opened with MergePolicy: Mixed. Learning drives
+// real merges, so it costs real writes; the paper finds the cost is small
+// compared with the steady-state savings.
+func (db *DB) TuneMixed(next func() (Request, bool), opts TuneOptions) (TuneResult, error) {
+	tree, unlock := db.lockedTree()
+	defer unlock()
+	m, ok := tree.Policy().(*policy.Mixed)
+	if !ok {
+		return TuneResult{}, ErrNotMixed
+	}
+	res, err := learn.Learn(tree, m, funcGen{next: next}, learn.Options{
+		TauGrid:          opts.TauGrid,
+		Search:           searchKind(opts.GoldenSection),
+		MaxBytesPerCycle: opts.MaxBytesPerCycle,
+		BetaWindowBytes:  opts.BetaWindowBytes,
+	})
+	if err != nil {
+		return TuneResult{}, err
+	}
+	return TuneResult{
+		Taus:         res.Taus,
+		Beta:         res.Beta,
+		Measurements: res.Measurements,
+		BytesDriven:  res.BytesDriven,
+	}, nil
+}
+
+// MixedParams returns the Mixed policy's current parameters, or ok=false
+// if the DB uses another policy.
+func (db *DB) MixedParams() (taus map[int]float64, beta bool, ok bool) {
+	tree, unlock := db.lockedTree()
+	defer unlock()
+	m, isMixed := tree.Policy().(*policy.Mixed)
+	if !isMixed {
+		return nil, false, false
+	}
+	taus = make(map[int]float64)
+	for i := 2; i < tree.Height()-1; i++ {
+		taus[i] = m.Tau(i)
+	}
+	return taus, m.Beta(), true
+}
+
+func searchKind(golden bool) learn.SearchKind {
+	if golden {
+		return learn.GoldenSection
+	}
+	return learn.LinearEarlyStop
+}
+
+// funcGen adapts a request callback to the internal workload.Generator.
+type funcGen struct {
+	next func() (Request, bool)
+	n    int
+}
+
+func (g funcGen) Next() (workload.Request, bool) {
+	r, ok := g.next()
+	if !ok {
+		return workload.Request{}, false
+	}
+	if r.Delete {
+		return workload.Request{Op: workload.Delete, Key: block.Key(r.Key)}, true
+	}
+	return workload.Request{Op: workload.Insert, Key: block.Key(r.Key), Payload: r.Value}, true
+}
+
+func (g funcGen) Indexed() int { return g.n }
