@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build fmt vet lint test race ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Fail if any file is not gofmt-clean (prints the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Repo-specific static analysis: device-io, global-rand, unchecked-err,
+# layering. See internal/lint and DESIGN.md §6.
+lint:
+	$(GO) run ./cmd/lsmlint ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector run; includes the TestRaceStress concurrency suite.
+race:
+	$(GO) test -race ./...
+
+ci: fmt vet lint test race

@@ -1,0 +1,43 @@
+// Command lsmlint is the repository's static analyzer. It enforces the
+// coding disciplines the engine's correctness and experiments depend on:
+// device I/O confined to the accounting layers, seeded randomness only,
+// no dropped errors on Close or module APIs, and package layering.
+//
+// Usage:
+//
+//	go run ./cmd/lsmlint ./...
+//
+// Exits 1 when findings exist, 2 on analysis failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lsmssd/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lsmlint [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(".", patterns, lint.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lsmlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

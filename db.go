@@ -8,6 +8,7 @@ import (
 	"lsmssd/internal/block"
 	"lsmssd/internal/core"
 	"lsmssd/internal/histogram"
+	"lsmssd/internal/invariant"
 	"lsmssd/internal/manifest"
 	"lsmssd/internal/storage"
 )
@@ -44,6 +45,13 @@ func Open(opts Options) (*DB, error) {
 		BloomBitsPerKey: opts.BloomBitsPerKey,
 		Seed:            opts.Seed,
 	}
+	if opts.Paranoid {
+		// Mid-cascade audits tolerate in-flight records: a merge may land
+		// in a level whose own overflow the cascade has not reached yet.
+		cfg.Auditor = func(t *core.Tree) error {
+			return invariant.Check(t, invariant.Options{MidCascade: true})
+		}
+	}
 
 	if opts.Path != "" {
 		st, err := manifest.Load(manifestPath(opts.Path))
@@ -70,8 +78,7 @@ func Open(opts Options) (*DB, error) {
 	cfg.Device = dev
 	tree, err := core.New(cfg)
 	if err != nil {
-		dev.Close()
-		return nil, err
+		return nil, errors.Join(err, dev.Close())
 	}
 	return &DB{opts: opts, tree: tree, raw: dev}, nil
 }
@@ -106,8 +113,12 @@ func reopen(opts Options, cfg core.Config, st manifest.State) (*DB, error) {
 	cfg.Device = fd
 	tree, err := core.Restore(cfg, core.ExportedState{Levels: st.Levels, Memtable: st.Memtable})
 	if err != nil {
-		fd.Close()
-		return nil, err
+		return nil, errors.Join(err, fd.Close())
+	}
+	if opts.Paranoid {
+		if err := invariant.CheckTree(tree); err != nil {
+			return nil, errors.Join(fmt.Errorf("lsmssd: restored state: %w", err), fd.Close())
+		}
 	}
 	return &DB{opts: opts, tree: tree, raw: fd}, nil
 }
@@ -145,7 +156,10 @@ func (db *DB) checkpointLocked() error {
 func (db *DB) Put(key uint64, value []byte) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.tree.Put(block.Key(key), value)
+	if err := db.tree.Put(block.Key(key), value); err != nil {
+		return err
+	}
+	return db.paranoidSteadyCheck()
 }
 
 // Delete removes key. Deleting an absent key is a no-op that still costs a
@@ -153,7 +167,20 @@ func (db *DB) Put(key uint64, value []byte) error {
 func (db *DB) Delete(key uint64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.tree.Delete(block.Key(key))
+	if err := db.tree.Delete(block.Key(key)); err != nil {
+		return err
+	}
+	return db.paranoidSteadyCheck()
+}
+
+// paranoidSteadyCheck asserts the strict (post-cascade) bounds after a
+// mutating request when Paranoid is set. Metadata only: the per-merge
+// auditor already verified block contents.
+func (db *DB) paranoidSteadyCheck() error {
+	if !db.opts.Paranoid {
+		return nil
+	}
+	return invariant.Check(db.tree, invariant.Options{SkipContents: true})
 }
 
 // Get returns the value stored for key.
@@ -178,11 +205,7 @@ func (db *DB) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error 
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if err := db.checkpointLocked(); err != nil {
-		db.raw.Close()
-		return err
-	}
-	return db.raw.Close()
+	return errors.Join(db.checkpointLocked(), db.raw.Close())
 }
 
 // Validate checks every internal invariant (level ordering, waste

@@ -125,6 +125,10 @@ func TestAllPoliciesAgree(t *testing.T) {
 				opts := smallOptions()
 				opts.MergePolicy = pol
 				opts.DisablePreserve = disableP
+				// Paranoid audits the paper's invariants after every
+				// merge; a policy violating a waste constraint fails the
+				// offending request, not just the final Validate.
+				opts.Paranoid = true
 				db, err := lsmssd.Open(opts)
 				if err != nil {
 					t.Fatal(err)
@@ -135,11 +139,15 @@ func TestAllPoliciesAgree(t *testing.T) {
 				for i := 0; i < 4000; i++ {
 					k := uint64(rng.Intn(400))
 					if rng.Intn(4) == 0 {
-						db.Delete(k)
+						if err := db.Delete(k); err != nil {
+							t.Fatal(err)
+						}
 						delete(model, k)
 					} else {
 						v := fmt.Sprint(i)
-						db.Put(k, []byte(v))
+						if err := db.Put(k, []byte(v)); err != nil {
+							t.Fatal(err)
+						}
 						model[k] = v
 					}
 				}

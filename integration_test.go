@@ -25,6 +25,7 @@ func TestIntegrationFileDeviceChurn(t *testing.T) {
 		CacheBlocks:     64,
 		BloomBitsPerKey: 10,
 		MergePolicy:     lsmssd.ChooseBest,
+		Paranoid:        true,
 	}
 	db, err := lsmssd.Open(opts)
 	if err != nil {

@@ -38,6 +38,10 @@ type Config struct {
 	// Seed drives the memtable's skiplist randomness; runs with equal
 	// configs and workloads are bit-for-bit reproducible.
 	Seed int64
+	// Auditor, when non-nil, runs after every merge and level growth (the
+	// paranoid hook; see internal/invariant). A non-nil return aborts the
+	// mutating operation with that error.
+	Auditor func(*Tree) error
 }
 
 func (c *Config) validate() error {

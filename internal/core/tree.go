@@ -174,6 +174,9 @@ func (t *Tree) checkOverflows() error {
 			}
 			if i == len(t.levels) {
 				t.grow()
+				if err := t.audit(); err != nil {
+					return err
+				}
 			} else if err := t.mergeFromLevel(i); err != nil {
 				return err
 			}
@@ -239,7 +242,7 @@ func (t *Tree) mergeFromMem() error {
 		return err
 	}
 	t.emitMerge(0, full, src.NumBlocks(), res, 0, 0)
-	return nil
+	return t.audit()
 }
 
 // mergeFromLevel merges a window of L_i into L_{i+1} per the policy.
@@ -268,11 +271,24 @@ func (t *Tree) mergeFromLevel(i int) error {
 		return err
 	}
 	t.emitMerge(i, full, to-from, res, repairW, compW)
-	return nil
+	return t.audit()
 }
 
 // bottom reports whether level number i is the bottom level.
 func (t *Tree) bottom(i int) bool { return i == len(t.levels) }
+
+// audit runs the configured Auditor, if any. Merges and level growths
+// call it so a paranoid tree verifies its constraints after every
+// structural change, mid-cascade included.
+func (t *Tree) audit() error {
+	if t.cfg.Auditor == nil {
+		return nil
+	}
+	if err := t.cfg.Auditor(t); err != nil {
+		return fmt.Errorf("core: post-merge audit: %w", err)
+	}
+	return nil
+}
 
 func (t *Tree) emitMerge(from int, full bool, xBlocks int, res merge.Result, srcRepairW, srcCompW int) {
 	t.stats.Merges++

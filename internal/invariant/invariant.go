@@ -1,0 +1,184 @@
+// Package invariant audits a live tree against the paper's correctness
+// constraints (Thonangi & Yang, ICDE 2017, Section II). It is the runtime
+// half of the repository's analysis layer (cmd/lsmlint is the static
+// half): where package-local Validate methods spot-check their own
+// structures, CheckTree asserts the paper-level contract across the whole
+// tree, with errors naming the violated constraint.
+//
+// Audited constraints, per storage level Li:
+//
+//   - fences: block metadata in strict key order with disjoint ranges,
+//     every block non-empty, record totals consistent (Section II-A);
+//   - pairwise: any two consecutive data blocks hold strictly more than B
+//     records (Section II-B, constraint 2);
+//   - level-wise: waste factor ≤ ε, with the two standing exemptions
+//     (single-block levels, and levels packed to within one block)
+//     (Section II-B, constraint 1);
+//   - size: S(Li) ≤ (1+ε)·Ki·B records, the level capacity under maximal
+//     allowed waste (Section II-B);
+//   - fence/content consistency: stored blocks match their cached fence
+//     metadata, records inside each block sorted and within range, and
+//     the B+tree fence search locates every block (Section III-C);
+//   - bottom level: no surviving tombstones;
+//   - device: live-block accounting agrees with the levels' references.
+//
+// Wiring: core.Config.Auditor runs a check after every merge and level
+// growth; the public Options.Paranoid flag installs this package there
+// and additionally asserts the steady-state bounds after every request.
+package invariant
+
+import (
+	"fmt"
+
+	"lsmssd/internal/core"
+)
+
+// Options selects the audit strictness.
+type Options struct {
+	// MidCascade relaxes the level-size and memtable bounds to admit
+	// in-flight records: an audit run between the merges of one overflow
+	// cascade sees levels that are legitimately over capacity until the
+	// cascade reaches them (a merge may land up to a full upstream level
+	// before the target's own overflow is handled).
+	MidCascade bool
+	// SkipContents skips reading data blocks, checking fence metadata
+	// only. Metadata checks are O(blocks); content checks are O(records)
+	// of device Peek traffic (uncounted, but real work).
+	SkipContents bool
+}
+
+// CheckTree runs the strict, full audit: steady-state bounds and block
+// contents. Use between operations (never mid-cascade).
+func CheckTree(t *core.Tree) error { return Check(t, Options{}) }
+
+// Check audits every level of the tree under the given options. The
+// returned error names the first violated constraint.
+func Check(t *core.Tree, o Options) error {
+	cfg := t.Config()
+	b := cfg.BlockCapacity
+	eps := cfg.Epsilon
+
+	if !o.MidCascade {
+		if n, cap := t.Memtable().Len(), cfg.K0*b; n > cap {
+			return fmt.Errorf("invariant: L0 holds %d records, capacity K0·B = %d", n, cap)
+		}
+	}
+
+	height := t.Height()
+	liveWant := int64(0)
+	for i := 1; i <= height-1; i++ {
+		l := t.Level(i)
+		idx := l.Index()
+		if err := idx.Validate(); err != nil {
+			return fmt.Errorf("invariant: L%d fences: %w", i, err)
+		}
+		liveWant += int64(idx.Len())
+
+		capBlocks := capacityBlocks(cfg, i)
+		if got := l.Capacity(); got != capBlocks {
+			return fmt.Errorf("invariant: L%d capacity labelled %d blocks, want K%d = K0·Γ^%d = %d",
+				i, got, i, i, capBlocks)
+		}
+
+		for j := 0; j < idx.Len(); j++ {
+			if c := idx.Meta(j).Count; c > b {
+				return fmt.Errorf("invariant: L%d block %d overfull: %d records > B = %d", i, j, c, b)
+			}
+		}
+		for j := 0; j+1 < idx.Len(); j++ {
+			a, c := idx.Meta(j).Count, idx.Meta(j+1).Count
+			if a+c <= b {
+				return fmt.Errorf("invariant: L%d pairwise waste violated at blocks %d,%d: %d+%d ≤ B = %d",
+					i, j, j+1, a, c, b)
+			}
+		}
+		if !l.WasteOK() {
+			return fmt.Errorf("invariant: L%d level-wise waste %.3f exceeds ε = %.3f (%d empty slots over %d blocks)",
+				i, l.WasteFactor(), eps, l.EmptySlots(), idx.Len())
+		}
+
+		// Size bound S(Li) ≤ (1+ε)·Ki·B. Mid-cascade, a level may
+		// additionally hold what upstream merges just pushed into it: the
+		// inflow before its own overflow is handled is below
+		// K_{i-1}·B·Γ/(Γ−1) ≤ 2·K_{i-1}·B for Γ ≥ 2.
+		bound := int(float64(capBlocks*b) * (1 + eps))
+		if o.MidCascade {
+			bound += 2 * capacityBlocks(cfg, i-1) * b
+		}
+		if n := l.Records(); n > bound {
+			return fmt.Errorf("invariant: L%d holds %d records, exceeding (1+ε)·K%d·B = %d",
+				i, n, i, bound)
+		}
+
+		if i == height-1 {
+			for j := 0; j < idx.Len(); j++ {
+				if tb := idx.Meta(j).Tombstones; tb > 0 {
+					return fmt.Errorf("invariant: bottom level L%d block %d carries %d tombstone(s)", i, j, tb)
+				}
+			}
+		}
+
+		for j := 0; j < idx.Len(); j++ {
+			m := idx.Meta(j)
+			if pos, ok := idx.Find(m.Min); !ok || pos != j {
+				return fmt.Errorf("invariant: L%d fence search for block %d min key %d landed at (%d, %v)",
+					i, j, m.Min, pos, ok)
+			}
+			if pos, ok := idx.Find(m.Max); !ok || pos != j {
+				return fmt.Errorf("invariant: L%d fence search for block %d max key %d landed at (%d, %v)",
+					i, j, m.Max, pos, ok)
+			}
+		}
+
+		if !o.SkipContents {
+			if err := checkContents(t, i); err != nil {
+				return err
+			}
+		}
+	}
+
+	if got := t.Device().Counters().Live; got != liveWant {
+		return fmt.Errorf("invariant: device reports %d live blocks, levels reference %d", got, liveWant)
+	}
+	return nil
+}
+
+// checkContents verifies that level i's stored blocks match their fence
+// metadata: record count, key range, tombstone count, and internal order.
+// It uses Peek, so the audit does not perturb the experiment counters.
+func checkContents(t *core.Tree, i int) error {
+	l := t.Level(i)
+	idx := l.Index()
+	for j := 0; j < idx.Len(); j++ {
+		m := idx.Meta(j)
+		blk, err := l.PeekAt(j)
+		if err != nil {
+			return fmt.Errorf("invariant: L%d block %d (id %d) unreadable: %w", i, j, m.ID, err)
+		}
+		tombs := 0
+		recs := blk.Records()
+		for k, r := range recs {
+			if r.Tombstone {
+				tombs++
+			}
+			if k > 0 && recs[k-1].Key >= r.Key {
+				return fmt.Errorf("invariant: L%d block %d records out of order at %d: %d ≥ %d",
+					i, j, k, recs[k-1].Key, r.Key)
+			}
+		}
+		if blk.Len() != m.Count || blk.MinKey() != m.Min || blk.MaxKey() != m.Max || tombs != m.Tombstones {
+			return fmt.Errorf("invariant: L%d block %d stale fence pointer: meta {count %d, range [%d,%d], tombstones %d} vs contents {count %d, range [%d,%d], tombstones %d}",
+				i, j, m.Count, m.Min, m.Max, m.Tombstones, blk.Len(), blk.MinKey(), blk.MaxKey(), tombs)
+		}
+	}
+	return nil
+}
+
+// capacityBlocks returns Ki = K0·Γ^i.
+func capacityBlocks(cfg core.Config, level int) int {
+	k := cfg.K0
+	for i := 0; i < level; i++ {
+		k *= cfg.Gamma
+	}
+	return k
+}

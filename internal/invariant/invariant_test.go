@@ -1,0 +1,207 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/btree"
+	"lsmssd/internal/core"
+	"lsmssd/internal/invariant"
+	"lsmssd/internal/level"
+	"lsmssd/internal/policy"
+	"lsmssd/internal/storage"
+)
+
+// testConfig: B=10, K0=1, Γ=4 → K1 = 4 blocks, strict L1 size bound
+// (1+ε)·K1·B = 48 records.
+func testConfig() core.Config {
+	return core.Config{
+		Device:        storage.NewMemDevice(),
+		Policy:        policy.NewFull(true),
+		BlockCapacity: 10,
+		K0:            1,
+		Gamma:         4,
+		Epsilon:       0.2,
+		Seed:          1,
+	}
+}
+
+func newTree(t *testing.T) *core.Tree {
+	t.Helper()
+	tr, err := core.New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// blockOf builds a data block of n records with consecutive keys starting
+// at start. tombstones marks how many of its records (from the front) are
+// tombstones.
+func blockOf(start block.Key, n, tombstones int) *block.Block {
+	recs := make([]block.Record, n)
+	for i := range recs {
+		recs[i] = block.Record{Key: start + block.Key(i)}
+		if i < tombstones {
+			recs[i].Tombstone = true
+		} else {
+			recs[i].Payload = []byte{0xab}
+		}
+	}
+	return block.New(recs)
+}
+
+// setLevel replaces l's contents with blocks of the given record counts,
+// keys ascending and disjoint across blocks.
+func setLevel(t *testing.T, l *level.Level, counts ...int) []btree.BlockMeta {
+	t.Helper()
+	metas := make([]btree.BlockMeta, 0, len(counts))
+	key := block.Key(1)
+	for _, n := range counts {
+		m, err := l.WriteNew(blockOf(key, n, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		metas = append(metas, m)
+		key += block.Key(n) + 1 // gap keeps ranges disjoint
+	}
+	if err := l.ReplaceRange(0, l.Blocks(), metas, nil); err != nil {
+		t.Fatal(err)
+	}
+	return l.Index().All()
+}
+
+// TestCorruptedTreeDetected seeds one violation per audited constraint
+// and proves CheckTree fires with a descriptive error.
+func TestCorruptedTreeDetected(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, tr *core.Tree)
+		want    string // error substring
+	}{
+		{
+			name: "waste over epsilon",
+			// 3 blocks × 6/10 records: waste 0.4 > ε=0.2, pairwise 12 > 10 fine.
+			corrupt: func(t *testing.T, tr *core.Tree) { setLevel(t, tr.Level(1), 6, 6, 6) },
+			want:    "level-wise waste",
+		},
+		{
+			name: "pairwise violation",
+			// middle pair holds 4+4 = 8 ≤ B=10.
+			corrupt: func(t *testing.T, tr *core.Tree) { setLevel(t, tr.Level(1), 10, 4, 4, 10) },
+			want:    "pairwise waste violated",
+		},
+		{
+			name: "overlapping key ranges",
+			corrupt: func(t *testing.T, tr *core.Tree) {
+				l := tr.Level(1)
+				a, err := l.WriteNew(blockOf(1, 10, 0)) // keys [1,10]
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := l.WriteNew(blockOf(5, 10, 0)) // keys [5,14]: overlaps
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := l.ReplaceRange(0, 0, []btree.BlockMeta{a, b}, nil); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "overlap",
+		},
+		{
+			name: "stale fence pointer",
+			corrupt: func(t *testing.T, tr *core.Tree) {
+				l := tr.Level(1)
+				setLevel(t, l, 10, 10)
+				stale := l.Index().Meta(0)
+				stale.Count-- // fence now disagrees with the stored block
+				keep := map[storage.BlockID]bool{stale.ID: true}
+				if err := l.ReplaceRange(0, 1, []btree.BlockMeta{stale}, keep); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "stale fence pointer",
+		},
+		{
+			name: "size bound exceeded",
+			// 5 full blocks = 50 records > (1+ε)·K1·B = 48, waste 0.
+			corrupt: func(t *testing.T, tr *core.Tree) { setLevel(t, tr.Level(1), 10, 10, 10, 10, 10) },
+			want:    "exceeding",
+		},
+		{
+			name: "capacity label drift",
+			corrupt: func(t *testing.T, tr *core.Tree) {
+				setLevel(t, tr.Level(1), 10, 10)
+				tr.Level(1).SetCapacity(5) // K1 must be K0·Γ = 4
+			},
+			want: "capacity labelled",
+		},
+		{
+			name: "tombstone in bottom level",
+			corrupt: func(t *testing.T, tr *core.Tree) {
+				l := tr.Level(1) // the only storage level is the bottom
+				m, err := l.WriteNew(blockOf(1, 10, 1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := l.ReplaceRange(0, 0, []btree.BlockMeta{m}, nil); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "tombstone",
+		},
+		{
+			name: "memtable over capacity",
+			corrupt: func(t *testing.T, tr *core.Tree) {
+				// Bypass Tree.Put so no overflow cascade runs: K0·B+1 records.
+				for i := 0; i <= 10; i++ {
+					tr.Memtable().Put(block.Record{Key: block.Key(i), Payload: []byte{1}})
+				}
+			},
+			want: "L0 holds",
+		},
+		{
+			name: "device accounting drift",
+			corrupt: func(t *testing.T, tr *core.Tree) {
+				setLevel(t, tr.Level(1), 10, 10)
+				dev := tr.Device()
+				id := dev.Alloc() // orphan allocation no level references
+				if err := dev.Write(id, blockOf(1000, 10, 0)); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "live blocks",
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tr := newTree(t)
+			tc.corrupt(t, tr)
+			err := invariant.CheckTree(tr)
+			if err == nil {
+				t.Fatalf("CheckTree passed a tree corrupted with %q", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("CheckTree error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCleanTreePasses is the positive control: a tree built through the
+// real merge machinery audits clean, strictly and with contents.
+func TestCleanTreePasses(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 500; i++ {
+		if err := tr.Put(block.Key(i%113), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := invariant.CheckTree(tr); err != nil {
+		t.Fatalf("clean tree failed audit: %v", err)
+	}
+}

@@ -1,0 +1,295 @@
+// Package lint implements lsmlint, the repository's static analyzer. It
+// enforces the coding disciplines the engine's correctness argument rests
+// on, none of which the compiler can check:
+//
+//   - device-io: storage.Device.Read/Write may be called only from the
+//     packages that own block I/O and its cost accounting (the paper's
+//     write counts are the experimental metric; a stray call elsewhere
+//     silently skews them);
+//   - global-rand: no math/rand package-level functions — all randomness
+//     must flow from a seeded *rand.Rand so runs are reproducible;
+//   - unchecked-err: no dropped error results from Close (any package) or
+//     from this module's own APIs;
+//   - layering: the leaf packages (block, btree, bloom, ...) must not
+//     depend on the engine layers above them.
+//
+// The analyzer is stdlib-only: packages are enumerated with `go list`,
+// parsed with go/parser, and typechecked with go/types against compiler
+// export data, so it needs no third-party loader.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+}
+
+// Config selects the rule parameters. DefaultConfig returns the
+// repository's production configuration; tests substitute fixture paths.
+type Config struct {
+	// ModulePrefix is the module path; packages under it are "ours" for
+	// the unchecked-err rule.
+	ModulePrefix string
+	// DevicePkg is the package whose Read/Write methods are restricted.
+	DevicePkg string
+	// DeviceMethods are the restricted method names on DevicePkg types.
+	DeviceMethods []string
+	// DeviceIOAllowed lists the packages allowed to call DeviceMethods.
+	DeviceIOAllowed []string
+	// RandAllowed lists the math/rand functions that remain legal
+	// (constructors taking an explicit seed or source).
+	RandAllowed []string
+	// Layering maps a package path to import paths it must not depend on,
+	// directly or transitively.
+	Layering map[string][]string
+}
+
+// DefaultConfig is the production rule set for this repository.
+func DefaultConfig() Config {
+	lowDeny := []string{
+		"lsmssd/internal/core",
+		"lsmssd/internal/policy",
+		"lsmssd/internal/level",
+		"lsmssd/internal/merge",
+	}
+	return Config{
+		ModulePrefix:  "lsmssd",
+		DevicePkg:     "lsmssd/internal/storage",
+		DeviceMethods: []string{"Read", "Write"},
+		DeviceIOAllowed: []string{
+			"lsmssd/internal/storage",
+			"lsmssd/internal/cache",
+			"lsmssd/internal/level",
+			"lsmssd/internal/merge",
+			"lsmssd/internal/core",
+		},
+		RandAllowed: []string{"New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8"},
+		Layering: map[string][]string{
+			"lsmssd/internal/block":    lowDeny,
+			"lsmssd/internal/btree":    lowDeny,
+			"lsmssd/internal/bloom":    lowDeny,
+			"lsmssd/internal/memtable": lowDeny,
+			"lsmssd/internal/storage":  lowDeny,
+			"lsmssd/internal/cache":    lowDeny,
+			"lsmssd/internal/policy": {
+				"lsmssd/internal/core",
+				"lsmssd/internal/level",
+				"lsmssd/internal/merge",
+			},
+			"lsmssd/internal/level": {
+				"lsmssd/internal/core",
+				"lsmssd/internal/policy",
+			},
+			"lsmssd/internal/merge": {
+				"lsmssd/internal/core",
+				"lsmssd/internal/policy",
+			},
+		},
+	}
+}
+
+// Run lints the packages matching patterns (relative to dir) and returns
+// the findings sorted by position.
+func Run(dir string, patterns []string, cfg Config) ([]Finding, error) {
+	pkgs, err := load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		out = append(out, lintPackage(p, cfg)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out, nil
+}
+
+func lintPackage(p *Package, cfg Config) []Finding {
+	var out []Finding
+	out = append(out, checkLayering(p, cfg)...)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				out = append(out, checkGlobalRand(p, cfg, n)...)
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					out = append(out, checkUncheckedErr(p, cfg, call)...)
+				}
+			case *ast.CallExpr:
+				out = append(out, checkDeviceCall(p, cfg, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func inList(s string, list []string) bool {
+	for _, x := range list {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDeviceCall flags calls to the restricted storage.Device methods
+// from packages outside the sanctioned I/O layers.
+func checkDeviceCall(p *Package, cfg Config, call *ast.CallExpr) []Finding {
+	if inList(p.Path, cfg.DeviceIOAllowed) {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil
+	}
+	if !inList(s.Obj().Name(), cfg.DeviceMethods) {
+		return nil
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != cfg.DevicePkg {
+		return nil
+	}
+	return []Finding{{
+		Pos:  p.Fset.Position(sel.Sel.Pos()),
+		Rule: "device-io",
+		Msg: fmt.Sprintf("direct %s.%s.%s call outside the block-I/O layers breaks write-cost accounting; route it through level/merge/core",
+			cfg.DevicePkg, named.Obj().Name(), s.Obj().Name()),
+	}}
+}
+
+// checkGlobalRand flags math/rand package-level functions: they draw from
+// the shared global source, defeating Options.Seed reproducibility.
+func checkGlobalRand(p *Package, cfg Config, sel *ast.SelectorExpr) []Finding {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	path := pn.Imported().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return nil
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || inList(fn.Name(), cfg.RandAllowed) {
+		return nil
+	}
+	return []Finding{{
+		Pos:  p.Fset.Position(sel.Sel.Pos()),
+		Rule: "global-rand",
+		Msg: fmt.Sprintf("%s.%s uses the global random source; derive a *rand.Rand from Options.Seed instead",
+			path, fn.Name()),
+	}}
+}
+
+// checkUncheckedErr flags expression statements that drop an error result
+// from a Close method (any package) or from a function declared in this
+// module. Deferred and go-routine calls are exempt.
+func checkUncheckedErr(p *Package, cfg Config, call *ast.CallExpr) []Finding {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return nil
+	}
+	ours := fn.Pkg() != nil && (fn.Pkg().Path() == cfg.ModulePrefix ||
+		strings.HasPrefix(fn.Pkg().Path(), cfg.ModulePrefix+"/"))
+	if fn.Name() != "Close" && !ours {
+		return nil
+	}
+	return []Finding{{
+		Pos:  p.Fset.Position(call.Pos()),
+		Rule: "unchecked-err",
+		Msg:  fmt.Sprintf("result of %s contains an error that is dropped; handle it or fold it in with errors.Join", fn.Name()),
+	}}
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLayering flags imports (direct or transitive) of packages the
+// configured layering denies to this package.
+func checkLayering(p *Package, cfg Config) []Finding {
+	deny := cfg.Layering[p.Path]
+	if len(deny) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if inList(path, deny) {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(imp.Pos()),
+					Rule: "layering",
+					Msg:  fmt.Sprintf("%s must not import %s (layering)", p.Path, path),
+				})
+				continue
+			}
+			for _, d := range p.DepsOf(path) {
+				if inList(d, deny) {
+					out = append(out, Finding{
+						Pos:  p.Fset.Position(imp.Pos()),
+						Rule: "layering",
+						Msg:  fmt.Sprintf("%s must not depend on %s (transitively via %s)", p.Path, d, path),
+					})
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureConfig adapts the production rules to the testdata packages: the
+// layering rule is keyed on the fixture path (the production map is keyed
+// on real package paths, which fixtures cannot assume).
+func fixtureConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Layering = map[string][]string{
+		"lsmssd/internal/lint/testdata/src/layering": {
+			"lsmssd/internal/policy", // direct
+			"lsmssd/internal/level",  // transitive via merge
+		},
+	}
+	return cfg
+}
+
+// wantComments scans fixture files for `// want rule...` markers and
+// returns the expected (file:line → rules) map.
+func wantComments(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	want := make(map[string][]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := sc.Text()
+			i := strings.Index(text, "// want ")
+			if i < 0 {
+				continue
+			}
+			abs, err := filepath.Abs(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := fmt.Sprintf("%s:%d", abs, line)
+			want[key] = append(want[key], strings.Fields(text[i+len("// want "):])...)
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return want
+}
+
+// TestFixturesDetected proves every seeded violation of every rule is
+// reported, and nothing else.
+func TestFixturesDetected(t *testing.T) {
+	fixtures := []string{"devcall", "globalrand", "uncheckederr", "layering"}
+	for _, fix := range fixtures {
+		fix := fix
+		t.Run(fix, func(t *testing.T) {
+			rel := "./internal/lint/testdata/src/" + fix
+			findings, err := Run("../..", []string{rel}, fixtureConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := wantComments(t, filepath.Join("testdata/src", fix))
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no want comments", fix)
+			}
+			got := make(map[string][]string)
+			for _, f := range findings {
+				key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+				got[key] = append(got[key], f.Rule)
+			}
+			for key, rules := range want {
+				if !sameSet(got[key], rules) {
+					t.Errorf("%s: want rules %v, got %v", key, rules, got[key])
+				}
+			}
+			for key, rules := range got {
+				if _, ok := want[key]; !ok {
+					t.Errorf("%s: unexpected finding(s) %v", key, rules)
+				}
+			}
+		})
+	}
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[string]int)
+	for _, x := range a {
+		seen[x]++
+	}
+	for _, x := range b {
+		seen[x]--
+		if seen[x] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRepositoryClean is the acceptance gate: the production rule set
+// reports nothing on the repository itself.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skips go list over the whole module")
+	}
+	findings, err := Run("../..", []string{"./..."}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

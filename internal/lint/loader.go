@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Deps       []string
+}
+
+// Package is one fully typechecked lint target.
+type Package struct {
+	Path    string
+	Dir     string
+	Imports []string
+	Deps    []string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	// depInfo resolves any package in the dependency graph, so rules can
+	// inspect the transitive imports of a direct import.
+	depInfo map[string]*listedPackage
+}
+
+// DepsOf returns the transitive dependencies of the import path p, or nil
+// when p is unknown.
+func (p *Package) DepsOf(path string) []string {
+	if m, ok := p.depInfo[path]; ok {
+		return m.Deps
+	}
+	return nil
+}
+
+// goList runs `go list` with the given flags in dir and decodes the JSON
+// package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// load lists the packages matching patterns under dir and typechecks each
+// from source. Dependencies are imported from compiler export data
+// obtained with `go list -deps -export`, so the loader needs no
+// third-party machinery.
+func load(dir string, patterns []string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"-json", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	withDeps, err := goList(dir, append([]string{"-deps", "-export", "-json", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	depInfo := make(map[string]*listedPackage, len(withDeps))
+	exports := make(map[string]string, len(withDeps))
+	for _, p := range withDeps {
+		depInfo[p.ImportPath] = p
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+
+	var out []*Package
+	for _, t := range targets {
+		if t.Standard || len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp, Sizes: sizes}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typecheck %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Path:    t.ImportPath,
+			Dir:     t.Dir,
+			Imports: t.Imports,
+			Deps:    t.Deps,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+			depInfo: depInfo,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,14 @@
+// Package globalrand seeds violations of the global-rand rule:
+// math/rand package-level functions bypass Options.Seed reproducibility.
+package globalrand
+
+import "math/rand"
+
+func sample() (int, float64) {
+	rng := rand.New(rand.NewSource(1)) // allowed: explicit seeded source
+	_ = rng.Intn(10)
+	n := rand.Intn(10)                 // want global-rand
+	f := rand.Float64()                // want global-rand
+	rand.Shuffle(2, func(i, j int) {}) // want global-rand
+	return n, f
+}

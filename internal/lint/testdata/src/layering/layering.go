@@ -1,0 +1,9 @@
+// Package layering seeds violations of the layering rule: a "leaf"
+// package (per the test configuration) importing engine layers directly
+// and transitively.
+package layering
+
+import (
+	_ "lsmssd/internal/merge"  // want layering
+	_ "lsmssd/internal/policy" // want layering
+)

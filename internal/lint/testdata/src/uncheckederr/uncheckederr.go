@@ -1,0 +1,22 @@
+// Package uncheckederr seeds violations of the unchecked-err rule:
+// dropped error results from Close and from module-declared functions.
+package uncheckederr
+
+import "os"
+
+type resource struct{}
+
+func (resource) Close() error { return nil }
+func (resource) Flush() error { return nil }
+func (resource) Poke()        {}
+
+func drop(f *os.File) error {
+	var r resource
+	f.Close()       // want unchecked-err
+	r.Close()       // want unchecked-err
+	r.Flush()       // want unchecked-err
+	r.Poke()        // allowed: no error result
+	defer f.Close() // allowed: deferred cleanup
+	_ = r.Flush()   // allowed: explicitly discarded
+	return r.Close()
+}

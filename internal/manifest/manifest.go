@@ -111,18 +111,15 @@ func Save(path string, st State) error {
 		w.Write(r.Payload)
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("manifest: %w", err)
+		return errors.Join(fmt.Errorf("manifest: %w", err), f.Close())
 	}
 	var c32 [4]byte
 	binary.LittleEndian.PutUint32(c32[:], crc.Sum32())
 	if _, err := f.Write(c32[:]); err != nil {
-		f.Close()
-		return fmt.Errorf("manifest: %w", err)
+		return errors.Join(fmt.Errorf("manifest: %w", err), f.Close())
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("manifest: %w", err)
+		return errors.Join(fmt.Errorf("manifest: %w", err), f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("manifest: %w", err)

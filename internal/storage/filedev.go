@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -67,12 +68,10 @@ func ReopenFileDevice(path string, blockSize int, live []BlockID) (*FileDevice, 
 	}
 	for _, id := range live {
 		if id == 0 {
-			f.Close()
-			return nil, fmt.Errorf("storage: invalid live block id 0")
+			return nil, errors.Join(fmt.Errorf("storage: invalid live block id 0"), f.Close())
 		}
 		if d.written[id] {
-			f.Close()
-			return nil, fmt.Errorf("storage: duplicate live block id %d", id)
+			return nil, errors.Join(fmt.Errorf("storage: duplicate live block id %d", id), f.Close())
 		}
 		d.written[id] = true
 		if id >= d.next {

@@ -116,6 +116,14 @@ type Options struct {
 	// Seed fixes all internal randomness; runs with equal options and
 	// inputs are reproducible (default 1).
 	Seed int64
+	// Paranoid audits the paper's structural invariants (waste bounds,
+	// pairwise block constraint, fence consistency, level-size bounds; see
+	// internal/invariant) after every merge, level growth, and request.
+	// A violation surfaces as an error from the mutating call. Intended
+	// for tests and debugging: the per-merge audit reads every data block
+	// (via Peek, so I/O statistics are unaffected), which is far too
+	// expensive for production traffic.
+	Paranoid bool
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,143 @@
+package lsmssd_test
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lsmssd"
+)
+
+// TestRaceStress hammers one file-backed DB from concurrent writers,
+// readers, scanners, and checkpointers. The DB serializes internally, so
+// the test's job is to give the race detector (go test -race ./...)
+// enough interleavings to catch any path that escapes the lock — stats
+// snapshots, checkpoint I/O, tuning views, cache and bloom bookkeeping.
+func TestRaceStress(t *testing.T) {
+	opts := lsmssd.Options{
+		Path:            filepath.Join(t.TempDir(), "race.blk"),
+		RecordsPerBlock: 16,
+		MemtableBlocks:  4,
+		Gamma:           4,
+		Delta:           0.2,
+		CacheBlocks:     64,
+		BloomBitsPerKey: 8,
+	}
+	db, err := lsmssd.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := db.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	const keySpace = 2000
+	ops := 3000
+	if testing.Short() {
+		ops = 400
+	}
+
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int64
+	)
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+
+	// Writers: mixed Put/Delete traffic driving real merges.
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < ops; i++ {
+				k := uint64(rng.Intn(keySpace))
+				if rng.Intn(5) == 0 {
+					if err := db.Delete(k); err != nil {
+						fail("writer %d: Delete(%d): %v", w, k, err)
+						return
+					}
+				} else if err := db.Put(k, []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					fail("writer %d: Put(%d): %v", w, k, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Readers: point lookups across the key space.
+	for r := 0; r < 2; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			for i := 0; i < ops; i++ {
+				if _, _, err := db.Get(uint64(rng.Intn(keySpace))); err != nil {
+					fail("reader %d: Get: %v", r, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Scanner: range reads crossing level boundaries.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(300))
+		for i := 0; i < ops/10; i++ {
+			lo := uint64(rng.Intn(keySpace))
+			n := 0
+			err := db.Scan(lo, lo+50, func(uint64, []byte) bool {
+				n++
+				return n < 200
+			})
+			if err != nil {
+				fail("scanner: Scan: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Checkpointer: persists metadata while traffic flows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ops/100; i++ {
+			if err := db.Checkpoint(); err != nil {
+				fail("checkpointer: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Auditor: stats snapshots and full validation interleaved.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ops/100; i++ {
+			_ = db.Stats()
+			if err := db.Validate(); err != nil {
+				fail("auditor: Validate: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.FailNow()
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
