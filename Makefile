@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race ci
+.PHONY: all build fmt vet lint test race bench-read ci
 
 all: build
 
@@ -25,8 +25,15 @@ lint:
 test:
 	$(GO) test ./...
 
-# Race-detector run; includes the TestRaceStress concurrency suite.
+# Race-detector run; includes the TestRaceStress and
+# TestRaceIteratorSnapshot concurrency suites.
 race:
 	$(GO) test -race ./...
+
+# Parallel point-lookup throughput across 1/2/4/8 goroutines. Gets are
+# snapshot-isolated and lock-free, so on a multi-core machine ns/op should
+# drop substantially from goroutines=1 to goroutines=8.
+bench-read:
+	$(GO) test -run xxx -bench 'BenchmarkConcurrentReads' -benchtime 2s .
 
 ci: fmt vet lint test race

@@ -1,0 +1,56 @@
+package lsmssd
+
+import (
+	"lsmssd/internal/block"
+	"lsmssd/internal/core"
+)
+
+// WriteBatch collects Put and Delete operations to be applied in one call.
+// Batching amortizes the per-request overhead — one writer-lock
+// acquisition, one merge-cascade check, and one snapshot publication for
+// the whole batch instead of one per record — and gives readers atomicity:
+// no snapshot observes a prefix of an applied batch.
+//
+// A WriteBatch is not safe for concurrent use. It may be reused after
+// Apply via Reset.
+type WriteBatch struct {
+	ops []core.BatchOp
+}
+
+// NewBatch returns an empty write batch for use with Apply.
+func (db *DB) NewBatch() *WriteBatch { return &WriteBatch{} }
+
+// Put queues an insert or update of the value stored for key. The value
+// slice is retained until Apply; the caller must not modify it before
+// then.
+func (b *WriteBatch) Put(key uint64, value []byte) {
+	b.ops = append(b.ops, core.BatchOp{Key: block.Key(key), Payload: value})
+}
+
+// Delete queues a removal of key.
+func (b *WriteBatch) Delete(key uint64) {
+	b.ops = append(b.ops, core.BatchOp{Key: block.Key(key), Delete: true})
+}
+
+// Len returns the number of queued operations.
+func (b *WriteBatch) Len() int { return len(b.ops) }
+
+// Reset empties the batch for reuse, retaining its capacity.
+func (b *WriteBatch) Reset() { b.ops = b.ops[:0] }
+
+// Apply executes the batch's operations in order as a single atomic writer
+// step. Later operations on the same key win, exactly as if issued
+// sequentially; request statistics count each operation individually. The
+// batch itself is not consumed — Reset it to reuse, or Apply it again to
+// re-run the same operations.
+func (db *DB) Apply(b *WriteBatch) error {
+	db.writerMu.Lock()
+	defer db.writerMu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if err := db.tree.ApplyBatch(b.ops); err != nil {
+		return err
+	}
+	return db.paranoidSteadyCheck()
+}

@@ -11,6 +11,7 @@ package lsmssd_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"lsmssd"
@@ -340,6 +341,72 @@ func BenchmarkGet(b *testing.B) {
 		if _, ok, _ := db.Get(uint64(i) % n); !ok {
 			b.Fatal("missing key")
 		}
+	}
+}
+
+// BenchmarkConcurrentReads measures point-lookup throughput scaling across
+// goroutines (run with `make bench-read`). Gets acquire a snapshot instead
+// of the writer lock, so throughput should rise substantially from 1 to 8
+// goroutines; a background writer keeps merges churning to show reads do
+// not stall behind them.
+func BenchmarkConcurrentReads(b *testing.B) {
+	db, err := lsmssd.Open(lsmssd.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const n = 200_000
+	for i := uint64(0); i < n; i++ {
+		if err := db.Put(i, []byte("value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, readers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", readers), func(b *testing.B) {
+			stop := make(chan struct{})
+			var writerWG sync.WaitGroup
+			writerWG.Add(1)
+			go func() { // background writer: steady merge pressure
+				defer writerWG.Done()
+				payload := make([]byte, 100)
+				for i := uint64(n); ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := db.Put(i%(2*n), payload); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < readers; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					k := uint64(g)*7919 + 1
+					ops := b.N / readers
+					if g < b.N%readers {
+						ops++
+					}
+					for i := 0; i < ops; i++ {
+						k = k*2654435761 + 1
+						if _, _, err := db.Get(k % n); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			close(stop)
+			writerWG.Wait()
+		})
 	}
 }
 

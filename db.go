@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"lsmssd/internal/block"
 	"lsmssd/internal/core"
@@ -13,19 +14,31 @@ import (
 	"lsmssd/internal/storage"
 )
 
+// ErrClosed is returned by every DB operation issued after Close.
+var ErrClosed = errors.New("lsmssd: database is closed")
+
 // DB is a key-value store backed by the paper's LSM-tree. All methods are
-// safe for concurrent use; operations are serialized internally (the
-// paper's concurrency-control improvements are orthogonal to its merge
-// contributions and are out of scope here).
+// safe for concurrent use.
+//
+// Concurrency model: mutations (Put, Delete, Apply, Checkpoint, TuneMixed)
+// are serialized by an internal writer lock, while reads (Get, Scan,
+// NewIterator, Stats, Histogram, Validate) run lock-free against an
+// immutable snapshot of the tree published after every mutation and every
+// merge. Readers therefore never wait for a merge cascade, and an
+// in-progress Scan or Iterator observes a frozen, consistent state no
+// matter how many merges complete meanwhile.
 type DB struct {
-	mu   sync.Mutex
-	opts Options
-	tree *core.Tree
-	raw  storage.Device // the unwrapped device, for Close
+	writerMu sync.Mutex // serializes mutations, checkpoints, tuning
+	closed   atomic.Bool
+	opts     Options
+	tree     *core.Tree
+	raw      storage.Device // the unwrapped device, for Close
 }
 
 // Open creates or reopens a DB with the given options. An empty Options
-// value yields an in-memory engine with the paper's defaults.
+// value yields an in-memory engine with the paper's defaults; invalid
+// parameter combinations are rejected with an error naming the offending
+// field (see Options.Validate).
 //
 // With Path set, Open looks for a manifest (Path + ".manifest") written by
 // a previous Close or Checkpoint and, if present, restores the store from
@@ -35,6 +48,9 @@ type DB struct {
 // package documentation).
 func Open(opts Options) (*DB, error) {
 	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	cfg := core.Config{
 		Policy:          opts.buildPolicy(),
 		BlockCapacity:   opts.RecordsPerBlock,
@@ -123,13 +139,29 @@ func reopen(opts Options, cfg core.Config, st manifest.State) (*DB, error) {
 	return &DB{opts: opts, tree: tree, raw: fd}, nil
 }
 
+// acquireView pins the current read snapshot, translating a closed engine
+// into the public sentinel. Callers must Release the returned view.
+func (db *DB) acquireView() (*core.View, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	v, err := db.tree.AcquireView()
+	if err != nil {
+		return nil, ErrClosed
+	}
+	return v, nil
+}
+
 // Checkpoint atomically persists the store's metadata (level indexes and
 // memtable contents) to the manifest, so a subsequent Open restores the
 // current state. Only meaningful for file-backed stores; a no-op without
 // Path.
 func (db *DB) Checkpoint() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.writerMu.Lock()
+	defer db.writerMu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
 	return db.checkpointLocked()
 }
 
@@ -154,8 +186,11 @@ func (db *DB) checkpointLocked() error {
 
 // Put inserts or updates the value stored for key.
 func (db *DB) Put(key uint64, value []byte) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.writerMu.Lock()
+	defer db.writerMu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
 	if err := db.tree.Put(block.Key(key), value); err != nil {
 		return err
 	}
@@ -165,8 +200,11 @@ func (db *DB) Put(key uint64, value []byte) error {
 // Delete removes key. Deleting an absent key is a no-op that still costs a
 // logged tombstone, as in any LSM store.
 func (db *DB) Delete(key uint64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.writerMu.Lock()
+	defer db.writerMu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
 	if err := db.tree.Delete(block.Key(key)); err != nil {
 		return err
 	}
@@ -183,38 +221,66 @@ func (db *DB) paranoidSteadyCheck() error {
 	return invariant.Check(db.tree, invariant.Options{SkipContents: true})
 }
 
-// Get returns the value stored for key.
+// Get returns the value stored for key. It runs against the current
+// snapshot without taking the writer lock, so concurrent Gets scale across
+// cores even while merges run.
 func (db *DB) Get(key uint64) (value []byte, found bool, err error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.tree.Get(block.Key(key))
+	v, err := db.acquireView()
+	if err != nil {
+		return nil, false, err
+	}
+	defer v.Release()
+	return v.Get(block.Key(key))
 }
 
 // Scan calls fn for each key in [lo, hi] in ascending order until fn
-// returns false.
+// returns false. The whole scan observes one snapshot: a merge or write
+// that completes mid-scan does not change what the scan sees. Scan is a
+// thin wrapper over the Iterator API.
 func (db *DB) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.tree.Scan(block.Key(lo), block.Key(hi), func(k block.Key, v []byte) bool {
-		return fn(uint64(k), v)
+	v, err := db.acquireView()
+	if err != nil {
+		return err
+	}
+	defer v.Release()
+	return v.Scan(block.Key(lo), block.Key(hi), func(k block.Key, val []byte) bool {
+		return fn(uint64(k), val)
 	})
 }
 
 // Close checkpoints a file-backed store and releases the DB's resources.
-// The DB must not be used afterwards.
+// Every operation issued after Close returns ErrClosed.
 func (db *DB) Close() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return errors.Join(db.checkpointLocked(), db.raw.Close())
+	db.writerMu.Lock()
+	defer db.writerMu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	err := db.checkpointLocked()
+	db.closed.Store(true)
+	db.tree.MarkClosed()
+	return errors.Join(err, db.raw.Close())
 }
 
 // Validate checks every internal invariant (level ordering, waste
-// constraints, storage accounting). It is cheap enough for periodic health
-// checks and does not perturb the I/O statistics.
+// constraints, storage accounting). The structural checks run lock-free
+// against the current snapshot; only the device-accounting cross-check
+// briefly takes the writer lock. It does not perturb the I/O statistics.
 func (db *DB) Validate() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.tree.Validate()
+	v, err := db.acquireView()
+	if err != nil {
+		return err
+	}
+	defer v.Release()
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	db.writerMu.Lock()
+	defer db.writerMu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return db.tree.ValidateAccounting()
 }
 
 // ForceGrow adds a storage level ahead of the bottom level's natural
@@ -223,26 +289,34 @@ func (db *DB) Validate() error {
 // open direction; this exposes the experiment. Most applications should
 // let the tree grow on its own.
 func (db *DB) ForceGrow() {
-	tree, unlock := db.lockedTree()
-	defer unlock()
-	tree.ForceGrow()
+	db.writerMu.Lock()
+	defer db.writerMu.Unlock()
+	if db.closed.Load() {
+		return
+	}
+	db.tree.ForceGrow()
 }
 
 // Histogram returns the normalized key-frequency histogram of storage
 // level (1-based) over buckets equal subdivisions of [0, keySpace) — the
-// paper's Figure 1 diagnostic.
+// paper's Figure 1 diagnostic. It reads from the current snapshot without
+// blocking writers.
 func (db *DB) Histogram(level int, keySpace uint64, buckets int) ([]float64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	counts, err := histogram.Level(db.tree, level, keySpace, buckets)
+	v, err := db.acquireView()
+	if err != nil {
+		return nil, err
+	}
+	defer v.Release()
+	counts, err := histogram.ViewLevel(v, level, keySpace, buckets)
 	if err != nil {
 		return nil, err
 	}
 	return histogram.Normalize(counts), nil
 }
 
-// tree exposes the engine to sibling files (stats, tuning).
+// lockedTree exposes the engine under the writer lock to sibling files
+// (stats reset, tuning — operations that drive or reset the live tree).
 func (db *DB) lockedTree() (*core.Tree, func()) {
-	db.mu.Lock()
-	return db.tree, db.mu.Unlock
+	db.writerMu.Lock()
+	return db.tree, db.writerMu.Unlock
 }

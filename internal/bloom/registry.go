@@ -1,6 +1,9 @@
 package bloom
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"lsmssd/internal/block"
 	"lsmssd/internal/storage"
 )
@@ -11,11 +14,16 @@ import (
 //
 // The registry also keeps skip statistics so experiments can report how
 // many block reads the filters avoided.
+//
+// Registry is safe for concurrent use: the filter map is guarded by an
+// RWMutex (mutations come only from the writer; lookups come from any
+// number of snapshot readers) and the skip statistics are atomics.
 type Registry struct {
 	bitsPerKey float64
+	mu         sync.RWMutex
 	filters    map[storage.BlockID]*Filter
-	Skipped    int64 // lookups answered "absent" without a block read
-	Passed     int64 // lookups that had to read the block
+	skipped    atomic.Int64 // lookups answered "absent" without a block read
+	passed     atomic.Int64 // lookups that had to read the block
 }
 
 // NewRegistry returns a registry building filters of bitsPerKey bits/key.
@@ -32,33 +40,55 @@ func (r *Registry) Add(id storage.BlockID, b *block.Block) {
 	for i, rec := range b.Records() {
 		keys[i] = rec.Key
 	}
-	r.filters[id] = NewFilter(keys, r.bitsPerKey)
+	f := NewFilter(keys, r.bitsPerKey)
+	r.mu.Lock()
+	r.filters[id] = f
+	r.mu.Unlock()
 }
 
 // Drop removes the filter of a freed block.
-func (r *Registry) Drop(id storage.BlockID) { delete(r.filters, id) }
+func (r *Registry) Drop(id storage.BlockID) {
+	r.mu.Lock()
+	delete(r.filters, id)
+	r.mu.Unlock()
+}
 
 // MayContain consults the block's filter; blocks without a filter
-// (registry attached mid-life) conservatively report true.
+// (registry attached mid-life, or already dropped while an old snapshot
+// still references the block) conservatively report true.
 func (r *Registry) MayContain(id storage.BlockID, k block.Key) bool {
+	r.mu.RLock()
 	f, ok := r.filters[id]
+	r.mu.RUnlock()
 	if !ok {
-		r.Passed++
+		r.passed.Add(1)
 		return true
 	}
 	if f.MayContain(k) {
-		r.Passed++
+		r.passed.Add(1)
 		return true
 	}
-	r.Skipped++
+	r.skipped.Add(1)
 	return false
 }
 
+// Counts returns the skip statistics: lookups answered "absent" without a
+// block read, and lookups that had to read the block.
+func (r *Registry) Counts() (skipped, passed int64) {
+	return r.skipped.Load(), r.passed.Load()
+}
+
 // Len returns the number of registered filters.
-func (r *Registry) Len() int { return len(r.filters) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.filters)
+}
 
 // MemoryBits returns the total filter size in bits.
 func (r *Registry) MemoryBits() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	total := 0
 	for _, f := range r.filters {
 		total += f.SizeBits()

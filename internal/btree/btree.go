@@ -69,8 +69,11 @@ func (x *Index) Records() int { return x.records }
 // Meta returns the metadata of the i-th block.
 func (x *Index) Meta(i int) BlockMeta { return x.metas[i] }
 
-// All exposes the metadata slice. Callers must treat it as read-only; it is
-// invalidated by the next mutation.
+// All exposes the metadata slice. Callers must treat it as read-only. The
+// returned slice is immutable: ReplaceRange installs a freshly allocated
+// slice instead of splicing in place, so a captured slice header remains a
+// consistent point-in-time view even as the index keeps changing — the
+// property the engine's read snapshots rely on.
 func (x *Index) All() []BlockMeta { return x.metas }
 
 // MinKey returns the smallest key in the level. Valid only when Len() > 0.
@@ -81,20 +84,32 @@ func (x *Index) MaxKey() block.Key { return x.metas[len(x.metas)-1].Max }
 
 // Find returns the position of the block whose key range contains k, if
 // any. This is the lookup descent through the cached internal nodes.
-func (x *Index) Find(k block.Key) (int, bool) {
-	i := x.lowerBound(k)
-	if i < len(x.metas) && x.metas[i].Min <= k {
+func (x *Index) Find(k block.Key) (int, bool) { return FindIn(x.metas, k) }
+
+// Overlap returns the half-open range [start, end) of block positions whose
+// key ranges intersect [lo, hi]. The merge operation uses this to locate Y,
+// the next-level blocks overlapping the merged key range.
+func (x *Index) Overlap(lo, hi block.Key) (start, end int) {
+	return OverlapIn(x.metas, lo, hi)
+}
+
+// FindIn returns the position within metas of the block whose key range
+// contains k, if any. It is the slice-level form of Index.Find, usable
+// against the frozen metadata slices captured by read snapshots.
+func FindIn(metas []BlockMeta, k block.Key) (int, bool) {
+	i := lowerBound(metas, k)
+	if i < len(metas) && metas[i].Min <= k {
 		return i, true
 	}
 	return 0, false
 }
 
 // lowerBound returns the first position whose Max >= k.
-func (x *Index) lowerBound(k block.Key) int {
-	lo, hi := 0, len(x.metas)
+func lowerBound(metas []BlockMeta, k block.Key) int {
+	lo, hi := 0, len(metas)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if x.metas[mid].Max < k {
+		if metas[mid].Max < k {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -103,13 +118,13 @@ func (x *Index) lowerBound(k block.Key) int {
 	return lo
 }
 
-// Overlap returns the half-open range [start, end) of block positions whose
-// key ranges intersect [lo, hi]. The merge operation uses this to locate Y,
-// the next-level blocks overlapping the merged key range.
-func (x *Index) Overlap(lo, hi block.Key) (start, end int) {
-	start = x.lowerBound(lo) // first block with Max >= lo
+// OverlapIn returns the half-open range [start, end) of positions within
+// metas whose key ranges intersect [lo, hi] — the slice-level form of
+// Index.Overlap for snapshot readers.
+func OverlapIn(metas []BlockMeta, lo, hi block.Key) (start, end int) {
+	start = lowerBound(metas, lo) // first block with Max >= lo
 	end = start
-	for end < len(x.metas) && x.metas[end].Min <= hi {
+	for end < len(metas) && metas[end].Min <= hi {
 		end++
 	}
 	return start, end
@@ -118,6 +133,11 @@ func (x *Index) Overlap(lo, hi block.Key) (start, end int) {
 // ReplaceRange substitutes the blocks in positions [i, j) with repl: the
 // bulk-delete of Y followed by bulk-insert of Z from the paper's merge
 // operation. repl must preserve key order relative to the neighbours.
+//
+// ReplaceRange always builds a new metadata slice rather than splicing the
+// old one, keeping every previously returned All() slice intact for
+// concurrent snapshot readers. Do not "optimize" this into an in-place
+// splice.
 func (x *Index) ReplaceRange(i, j int, repl []BlockMeta) {
 	if i < 0 || j < i || j > len(x.metas) {
 		panic(fmt.Sprintf("btree: ReplaceRange [%d,%d) of %d blocks", i, j, len(x.metas)))
@@ -139,8 +159,25 @@ func (x *Index) ReplaceRange(i, j int, repl []BlockMeta) {
 // Min <= Max, blocks in key order with disjoint ranges, and the cached
 // record total consistent.
 func (x *Index) Validate() error {
+	if err := ValidateMetas(x.metas); err != nil {
+		return err
+	}
 	total := 0
-	for i, m := range x.metas {
+	for _, m := range x.metas {
+		total += m.Count
+	}
+	if total != x.records {
+		return fmt.Errorf("btree: cached record count %d != actual %d", x.records, total)
+	}
+	return nil
+}
+
+// ValidateMetas checks the fence invariants of a metadata slice: every
+// block non-empty with a valid id and Min <= Max, blocks in key order with
+// disjoint ranges. It is the slice-level form of Index.Validate for the
+// frozen slices captured by read snapshots.
+func ValidateMetas(metas []BlockMeta) error {
+	for i, m := range metas {
 		if m.Count <= 0 {
 			return fmt.Errorf("btree: block %d (id %d) empty", i, m.ID)
 		}
@@ -150,13 +187,9 @@ func (x *Index) Validate() error {
 		if m.ID == 0 {
 			return fmt.Errorf("btree: block %d has invalid id", i)
 		}
-		if i > 0 && x.metas[i-1].Max >= m.Min {
-			return fmt.Errorf("btree: blocks %d,%d overlap: %d >= %d", i-1, i, x.metas[i-1].Max, m.Min)
+		if i > 0 && metas[i-1].Max >= m.Min {
+			return fmt.Errorf("btree: blocks %d,%d overlap: %d >= %d", i-1, i, metas[i-1].Max, m.Min)
 		}
-		total += m.Count
-	}
-	if total != x.records {
-		return fmt.Errorf("btree: cached record count %d != actual %d", x.records, total)
 	}
 	return nil
 }

@@ -5,6 +5,12 @@
 // (16MB by default, 100MB for the large experiments). Reads served from the
 // cache cost nothing; writes are write-through, so the device's write
 // counter — the paper's cost metric — is unaffected by caching.
+//
+// The cache is safe for concurrent use. Large caches are sharded by block
+// ID so parallel lookups from the snapshot-isolated read path do not
+// serialize on a single mutex; small caches (below shardThreshold blocks)
+// keep a single shard, preserving exact global LRU order where eviction
+// behaviour is observable.
 package cache
 
 import (
@@ -15,12 +21,27 @@ import (
 	"lsmssd/internal/storage"
 )
 
+const (
+	// shardCount is the number of independently locked LRU segments used
+	// once a cache is large enough for per-segment eviction to be a good
+	// approximation of global LRU.
+	shardCount = 8
+	// shardThreshold is the minimum capacity (in blocks) at which sharding
+	// engages. Smaller caches use one shard and behave as a strict LRU.
+	shardThreshold = 512
+)
+
 // Cache is an LRU block cache implementing storage.Device by decorating an
 // underlying device. A capacity of zero disables caching (all calls pass
 // through).
 type Cache struct {
-	mu       sync.Mutex
 	dev      storage.Device
+	capacity int
+	shards   []*shard
+}
+
+type shard struct {
+	mu       sync.Mutex
 	capacity int
 	lru      *list.List // front = most recent; values are *entry
 	index    map[storage.BlockID]*list.Element
@@ -41,12 +62,27 @@ type Stats struct {
 
 // New returns an LRU cache of the given capacity (in blocks) over dev.
 func New(dev storage.Device, capacity int) *Cache {
-	return &Cache{
-		dev:      dev,
-		capacity: capacity,
-		lru:      list.New(),
-		index:    make(map[storage.BlockID]*list.Element),
+	n := 1
+	if capacity >= shardThreshold {
+		n = shardCount
 	}
+	c := &Cache{dev: dev, capacity: capacity, shards: make([]*shard, n)}
+	for i := range c.shards {
+		per := capacity / n
+		if i < capacity%n {
+			per++
+		}
+		c.shards[i] = &shard{
+			capacity: per,
+			lru:      list.New(),
+			index:    make(map[storage.BlockID]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(id storage.BlockID) *shard {
+	return c.shards[uint64(id)%uint64(len(c.shards))]
 }
 
 // Alloc passes through to the underlying device.
@@ -61,9 +97,10 @@ func (c *Cache) Write(id storage.BlockID, b *block.Block) error {
 		return err
 	}
 	if c.capacity > 0 {
-		c.mu.Lock()
-		c.insert(id, b)
-		c.mu.Unlock()
+		s := c.shardFor(id)
+		s.mu.Lock()
+		s.insert(id, b)
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -72,25 +109,27 @@ func (c *Cache) Write(id storage.BlockID, b *block.Block) error {
 // caches the result. Only cache misses reach the device's read counter.
 func (c *Cache) Read(id storage.BlockID) (*block.Block, error) {
 	if c.capacity > 0 {
-		c.mu.Lock()
-		if el, ok := c.index[id]; ok {
-			c.lru.MoveToFront(el)
+		s := c.shardFor(id)
+		s.mu.Lock()
+		if el, ok := s.index[id]; ok {
+			s.lru.MoveToFront(el)
 			b := el.Value.(*entry).blk
-			c.hits++
-			c.mu.Unlock()
+			s.hits++
+			s.mu.Unlock()
 			return b, nil
 		}
-		c.misses++
-		c.mu.Unlock()
+		s.misses++
+		s.mu.Unlock()
 	}
 	b, err := c.dev.Read(id)
 	if err != nil {
 		return nil, err
 	}
 	if c.capacity > 0 {
-		c.mu.Lock()
-		c.insert(id, b)
-		c.mu.Unlock()
+		s := c.shardFor(id)
+		s.mu.Lock()
+		s.insert(id, b)
+		s.mu.Unlock()
 	}
 	return b, nil
 }
@@ -99,25 +138,27 @@ func (c *Cache) Read(id storage.BlockID) (*block.Block, error) {
 // never counting device reads and never rearranging the LRU list.
 func (c *Cache) Peek(id storage.BlockID) (*block.Block, error) {
 	if c.capacity > 0 {
-		c.mu.Lock()
-		if el, ok := c.index[id]; ok {
+		s := c.shardFor(id)
+		s.mu.Lock()
+		if el, ok := s.index[id]; ok {
 			b := el.Value.(*entry).blk
-			c.mu.Unlock()
+			s.mu.Unlock()
 			return b, nil
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 	}
 	return c.dev.Peek(id)
 }
 
 // Free evicts the block from the cache and frees it on the device.
 func (c *Cache) Free(id storage.BlockID) error {
-	c.mu.Lock()
-	if el, ok := c.index[id]; ok {
-		c.lru.Remove(el)
-		delete(c.index, id)
+	s := c.shardFor(id)
+	s.mu.Lock()
+	if el, ok := s.index[id]; ok {
+		s.lru.Remove(el)
+		delete(s.index, id)
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	return c.dev.Free(id)
 }
 
@@ -129,39 +170,50 @@ func (c *Cache) ResetCounters() { c.dev.ResetCounters() }
 
 // Close drops the cache and closes the underlying device.
 func (c *Cache) Close() error {
-	c.mu.Lock()
-	c.lru.Init()
-	c.index = make(map[storage.BlockID]*list.Element)
-	c.mu.Unlock()
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.lru.Init()
+		s.index = make(map[storage.BlockID]*list.Element)
+		s.mu.Unlock()
+	}
 	return c.dev.Close()
 }
 
 // Stats returns hit/miss counts.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses}
+	var st Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // Len returns the number of cached blocks.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// insert adds or refreshes id, evicting the LRU entry when full.
-// Callers hold c.mu.
-func (c *Cache) insert(id storage.BlockID, b *block.Block) {
-	if el, ok := c.index[id]; ok {
+// insert adds or refreshes id, evicting the shard's LRU entry when full.
+// Callers hold s.mu.
+func (s *shard) insert(id storage.BlockID, b *block.Block) {
+	if el, ok := s.index[id]; ok {
 		el.Value.(*entry).blk = b
-		c.lru.MoveToFront(el)
+		s.lru.MoveToFront(el)
 		return
 	}
-	if c.lru.Len() >= c.capacity {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.index, oldest.Value.(*entry).id)
+	if s.lru.Len() >= s.capacity {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.index, oldest.Value.(*entry).id)
 	}
-	c.index[id] = c.lru.PushFront(&entry{id: id, blk: b})
+	s.index[id] = s.lru.PushFront(&entry{id: id, blk: b})
 }

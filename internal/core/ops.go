@@ -5,162 +5,88 @@ import (
 )
 
 // Put inserts or updates the record for k. The write lands in L0; storage
-// levels change only through merges.
+// levels change only through merges. Writer-side: callers serialize.
 func (t *Tree) Put(k block.Key, payload []byte) error {
-	r := block.Record{Key: k, Payload: payload}
-	t.mem.Put(r)
-	t.stats.Requests++
-	t.stats.Inserts++
-	t.stats.RequestBytes += int64(r.Size())
-	return t.checkOverflows()
+	t.applyOne(BatchOp{Key: k, Payload: payload})
+	err := t.checkOverflows()
+	t.publish()
+	return err
 }
 
 // Delete removes k. If k lives in L0 the request executes there (the
 // record is replaced by a tombstone); otherwise the delete is logged as a
 // tombstone record that cancels matching records during merges.
 func (t *Tree) Delete(k block.Key) error {
-	t.stats.Requests++
-	t.stats.Deletes++
-	t.stats.RequestBytes += 8 // a delete request carries only the key
-	if r, ok := t.mem.Get(k); ok && r.Tombstone {
-		return nil // already logged
-	}
-	t.mem.Put(block.Record{Key: k, Tombstone: true})
-	return t.checkOverflows()
+	t.applyOne(BatchOp{Key: k, Delete: true})
+	err := t.checkOverflows()
+	t.publish()
+	return err
 }
 
-// Get returns the payload stored for k. The lookup starts at L0 and
-// descends level by level until a match — normal or tombstone — decides
-// the answer (Section II-A).
+// BatchOp is one modification inside an ApplyBatch call: an upsert of
+// Payload under Key, or a delete of Key when Delete is set.
+type BatchOp struct {
+	Key     block.Key
+	Payload []byte
+	Delete  bool
+}
+
+// ApplyBatch applies ops in order as a single writer step: the merge
+// cascade is checked once, after all records are in L0, and a single new
+// snapshot is published covering the whole batch — so no reader observes a
+// prefix of the batch, and the per-request overhead (overflow check,
+// snapshot capture) is paid once rather than len(ops) times.
+//
+// Request statistics count each op individually, keeping a batched
+// workload's Stats comparable to the same workload issued record by
+// record.
+func (t *Tree) ApplyBatch(ops []BatchOp) error {
+	for _, op := range ops {
+		t.applyOne(op)
+	}
+	err := t.checkOverflows()
+	t.publish()
+	return err
+}
+
+// applyOne lands one modification in L0 and accounts for it.
+func (t *Tree) applyOne(op BatchOp) {
+	t.cnt.requests.Add(1)
+	if op.Delete {
+		t.cnt.deletes.Add(1)
+		t.cnt.requestBytes.Add(8) // a delete request carries only the key
+		if r, ok := t.mem.Get(op.Key); ok && r.Tombstone {
+			return // already logged
+		}
+		t.mem.Put(block.Record{Key: op.Key, Tombstone: true})
+		return
+	}
+	r := block.Record{Key: op.Key, Payload: op.Payload}
+	t.mem.Put(r)
+	t.cnt.inserts.Add(1)
+	t.cnt.requestBytes.Add(int64(r.Size()))
+}
+
+// Get returns the payload stored for k. It acquires the current snapshot,
+// so it is safe to call concurrently with the writer and with other
+// readers.
 func (t *Tree) Get(k block.Key) ([]byte, bool, error) {
-	t.stats.Lookups++
-	if r, ok := t.mem.Get(k); ok {
-		if r.Tombstone {
-			return nil, false, nil
-		}
-		return r.Payload, true, nil
+	v, err := t.AcquireView()
+	if err != nil {
+		return nil, false, err
 	}
-	for _, l := range t.levels {
-		r, ok, err := l.Get(k)
-		if err != nil {
-			return nil, false, err
-		}
-		if ok {
-			if r.Tombstone {
-				return nil, false, nil
-			}
-			return r.Payload, true, nil
-		}
-	}
-	return nil, false, nil
+	defer v.Release()
+	return v.Get(k)
 }
 
 // Scan calls fn for every live record with key in [lo, hi], in key order,
-// stopping early when fn returns false. Records in upper levels shadow
-// same-key records below; tombstones hide matches without being reported.
+// stopping early when fn returns false. The whole scan runs against one
+// snapshot: merges that complete mid-scan do not change what it sees.
 func (t *Tree) Scan(lo, hi block.Key, fn func(k block.Key, payload []byte) bool) error {
-	t.stats.Scans++
-	// One stream per level (plus L0); each is a key-ordered record
-	// sequence. At every step the smallest key wins, the uppermost
-	// stream's record is authoritative, and all streams advance past it.
-	streams := make([]*scanStream, 0, len(t.levels)+1)
-
-	var memRecs []block.Record
-	t.mem.Ascend(lo, hi, func(r block.Record) bool {
-		memRecs = append(memRecs, r)
-		return true
-	})
-	streams = append(streams, &scanStream{recs: memRecs})
-	for _, l := range t.levels {
-		start, end := l.Index().Overlap(lo, hi)
-		streams = append(streams, &scanStream{lvl: l, blk: start, blkEnd: end, lo: lo, hi: hi})
+	v, err := t.AcquireView()
+	if err != nil {
+		return err
 	}
-
-	for {
-		best := -1
-		var bestKey block.Key
-		for i, s := range streams {
-			r, ok, err := s.peek()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				continue
-			}
-			if best == -1 || r.Key < bestKey {
-				best, bestKey = i, r.Key
-			}
-		}
-		if best == -1 {
-			return nil
-		}
-		r, _, _ := streams[best].peek()
-		for _, s := range streams {
-			s.skipKey(bestKey)
-		}
-		if !r.Tombstone {
-			if !fn(r.Key, r.Payload) {
-				return nil
-			}
-		}
-	}
-}
-
-// scanStream streams records of one level (or L0 when lvl is nil) within
-// the scan bounds.
-type scanStream struct {
-	// L0 mode: pre-collected records.
-	recs []block.Record
-	pos  int
-	// Level mode: walk blocks [blk, blkEnd), loading lazily.
-	lvl interface {
-		ReadAt(int) (*block.Block, error)
-	}
-	blk, blkEnd int
-	cur         []block.Record
-	curPos      int
-	lo, hi      block.Key
-}
-
-func (s *scanStream) peek() (block.Record, bool, error) {
-	if s.lvl == nil {
-		if s.pos < len(s.recs) {
-			return s.recs[s.pos], true, nil
-		}
-		return block.Record{}, false, nil
-	}
-	for {
-		if s.cur != nil && s.curPos < len(s.cur) {
-			r := s.cur[s.curPos]
-			if r.Key > s.hi {
-				return block.Record{}, false, nil
-			}
-			if r.Key < s.lo {
-				s.curPos++
-				continue
-			}
-			return r, true, nil
-		}
-		if s.blk >= s.blkEnd {
-			return block.Record{}, false, nil
-		}
-		b, err := s.lvl.ReadAt(s.blk)
-		if err != nil {
-			return block.Record{}, false, err
-		}
-		s.blk++
-		s.cur, s.curPos = b.Records(), 0
-	}
-}
-
-func (s *scanStream) skipKey(k block.Key) {
-	if s.lvl == nil {
-		if s.pos < len(s.recs) && s.recs[s.pos].Key == k {
-			s.pos++
-		}
-		return
-	}
-	if s.cur != nil && s.curPos < len(s.cur) && s.cur[s.curPos].Key == k {
-		s.curPos++
-	}
+	defer v.Release()
+	return v.Scan(lo, hi, fn)
 }

@@ -57,5 +57,6 @@ func Restore(cfg Config, st ExportedState) (*Tree, error) {
 	if err := t.checkOverflows(); err != nil {
 		return nil, err
 	}
+	t.publish() // expose the restored levels and memtable to readers
 	return t, nil
 }

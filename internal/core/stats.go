@@ -1,6 +1,10 @@
 package core
 
-import "lsmssd/internal/storage"
+import (
+	"sync/atomic"
+
+	"lsmssd/internal/storage"
+)
 
 // Stats aggregates tree-level accounting. Device traffic (the paper's
 // write-cost metric) lives in the device counters; per-level write series
@@ -16,6 +20,21 @@ type Stats struct {
 	Merges       int64
 	FullMerges   int64
 	Grows        int64 // times the tree gained a level
+}
+
+// counters is the live form of Stats. Mutation counters are bumped by the
+// single writer; lookup/scan counters by any number of snapshot readers —
+// hence atomics throughout, so Stats can be materialized without a lock.
+type counters struct {
+	requests     atomic.Int64
+	inserts      atomic.Int64
+	deletes      atomic.Int64
+	lookups      atomic.Int64
+	scans        atomic.Int64
+	requestBytes atomic.Int64
+	merges       atomic.Int64
+	fullMerges   atomic.Int64
+	grows        atomic.Int64
 }
 
 // LevelStats is a read-only snapshot of one storage level.
@@ -39,13 +58,27 @@ type Snapshot struct {
 	Levels   []LevelStats
 }
 
-// Stats returns the tree's request/merge counters.
-func (t *Tree) Stats() Stats { return t.stats }
+// Stats materializes the tree's request/merge counters.
+func (t *Tree) Stats() Stats {
+	return Stats{
+		Requests:     t.cnt.requests.Load(),
+		Inserts:      t.cnt.inserts.Load(),
+		Deletes:      t.cnt.deletes.Load(),
+		Lookups:      t.cnt.lookups.Load(),
+		Scans:        t.cnt.scans.Load(),
+		RequestBytes: t.cnt.requestBytes.Load(),
+		Merges:       t.cnt.merges.Load(),
+		FullMerges:   t.cnt.fullMerges.Load(),
+		Grows:        t.cnt.grows.Load(),
+	}
+}
 
-// Snapshot captures the full accounting state.
+// Snapshot captures the full accounting state. It reads level structure
+// directly and so belongs to the writer's context (experiments, tests);
+// concurrent readers should combine Stats with an acquired View instead.
 func (t *Tree) Snapshot() Snapshot {
 	s := Snapshot{
-		Stats:    t.stats,
+		Stats:    t.Stats(),
 		Device:   t.dev.Counters(),
 		MemLen:   t.mem.Len(),
 		MemBytes: t.mem.Bytes(),

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"sync"
+
 	"lsmssd/internal/block"
 	"lsmssd/internal/bloom"
 	"lsmssd/internal/btree"
@@ -14,8 +16,11 @@ import (
 	"lsmssd/internal/storage"
 )
 
-// Tree is the LSM-tree engine. It is not safe for concurrent use; callers
-// requiring concurrency wrap it (see the public lsmssd package).
+// Tree is the LSM-tree engine. Mutations (Put, Delete, ApplyBatch,
+// ForceGrow, Restore) must be serialized by the caller — they belong to a
+// single writer. Reads are snapshot-isolated: Get, Scan, and Iter run
+// against an acquired View and may proceed concurrently with the writer
+// and with each other (see view.go and the public lsmssd package).
 type Tree struct {
 	cfg    Config
 	dev    storage.Device // Config.Device, possibly behind a cache
@@ -24,7 +29,7 @@ type Tree struct {
 	mem    *memtable.Table
 	levels []*level.Level // levels[i] is L_{i+1}
 
-	stats   Stats
+	cnt     counters
 	onMerge func(MergeEvent)
 
 	// Memoized L0 virtual-block metadata: policies consult it several
@@ -32,6 +37,19 @@ type Tree struct {
 	// memtable.
 	memMetas    []btree.BlockMeta
 	memMetasVer uint64
+
+	// Snapshot state (view.go). viewMu guards only the pointer swap and
+	// reference counts — a few instructions per acquire/release — never
+	// any I/O, so readers cannot stall behind a merge.
+	viewMu     sync.Mutex
+	cur        *View
+	liveViews  []*View // acquired views, ascending seq
+	seq        uint64
+	pending    []storage.BlockID // frees deferred during the current mutation
+	zombies    []zombieBatch
+	zombieN    int64
+	closed     bool
+	reclaimErr error
 }
 
 // MergeEvent describes one executed merge, delivered to the OnMerge hook.
@@ -64,12 +82,13 @@ func New(cfg Config) (*Tree, error) {
 	}
 	t.mem = memtable.New(cfg.Seed)
 	t.levels = append(t.levels, t.newLevel(1))
+	t.publish()
 	return t, nil
 }
 
 func (t *Tree) newLevel(number int) *level.Level {
 	return level.New(level.Config{
-		Device:        t.dev,
+		Device:        treeDevice{t},
 		BlockCapacity: t.cfg.BlockCapacity,
 		Epsilon:       t.cfg.Epsilon,
 		Capacity:      t.cfg.capacityBlocks(number),
@@ -158,12 +177,16 @@ type levelsGrewNotifier interface{ LevelsGrew(oldBottom int) }
 
 // checkOverflows runs the overflow cascade: while any level is at
 // capacity, merge from it (or grow the tree when the bottom fills up).
+// Each completed (and audited) step publishes a fresh read snapshot, so
+// concurrent readers observe every intermediate state of a cascade but
+// never a half-applied merge.
 func (t *Tree) checkOverflows() error {
 	for {
 		if t.mem.Len() >= t.memCapacityRecords() {
 			if err := t.mergeFromMem(); err != nil {
 				return err
 			}
+			t.publish()
 			continue
 		}
 		acted := false
@@ -180,6 +203,7 @@ func (t *Tree) checkOverflows() error {
 			} else if err := t.mergeFromLevel(i); err != nil {
 				return err
 			}
+			t.publish()
 			acted = true
 			break
 		}
@@ -195,7 +219,10 @@ func (t *Tree) checkOverflows() error {
 // the number of levels strategically to gain performance in certain
 // situations"; this hook makes that experiment possible (see
 // BenchmarkExtensionForcedGrowth).
-func (t *Tree) ForceGrow() { t.grow() }
+func (t *Tree) ForceGrow() {
+	t.grow()
+	t.publish()
+}
 
 // grow relabels the overflowing bottom level L_{h−1} as L_h and inserts a
 // fresh empty L_{h−1}, increasing the tree's height by one (Section II-A).
@@ -208,7 +235,7 @@ func (t *Tree) grow() {
 	if g, ok := t.cfg.Policy.(levelsGrewNotifier); ok {
 		g.LevelsGrew(n)
 	}
-	t.stats.Grows++
+	t.cnt.grows.Add(1)
 }
 
 // mergeFromMem merges records out of L0 into L1 per the policy's decision.
@@ -291,9 +318,9 @@ func (t *Tree) audit() error {
 }
 
 func (t *Tree) emitMerge(from int, full bool, xBlocks int, res merge.Result, srcRepairW, srcCompW int) {
-	t.stats.Merges++
+	t.cnt.merges.Add(1)
 	if full {
-		t.stats.FullMerges++
+		t.cnt.fullMerges.Add(1)
 	}
 	ev := MergeEvent{
 		From:             from,
@@ -315,7 +342,9 @@ func (t *Tree) emitMerge(from int, full bool, xBlocks int, res merge.Result, src
 
 // Validate checks every invariant of every level plus cross-level block
 // accounting; tests and the harness call it between phases. It uses Peek
-// throughout, leaving the experiment counters untouched.
+// throughout, leaving the experiment counters untouched. It runs in the
+// writer's context (it reads live level state); concurrent readers use
+// View.Validate plus ValidateAccounting instead.
 func (t *Tree) Validate() error {
 	liveWant := int64(0)
 	for i, l := range t.levels {
@@ -327,8 +356,8 @@ func (t *Tree) Validate() error {
 			return fmt.Errorf("core: L%d capacity %d, want %d", i+1, l.Capacity(), want)
 		}
 	}
-	if got := t.dev.Counters().Live; got != liveWant {
-		return fmt.Errorf("core: device has %d live blocks, levels reference %d", got, liveWant)
+	if err := t.validateLive(liveWant); err != nil {
+		return err
 	}
 	// Tombstones must not survive in the bottom level.
 	if n := len(t.levels); n > 0 {
@@ -340,4 +369,29 @@ func (t *Tree) Validate() error {
 		}
 	}
 	return nil
+}
+
+// validateLive checks the device's live-block count against the levels'
+// references: every live block is referenced by exactly one level, except
+// blocks whose free is deferred until snapshot readers release them.
+func (t *Tree) validateLive(liveWant int64) error {
+	if err := t.reclaimError(); err != nil {
+		return err
+	}
+	deferred := t.DeferredFrees()
+	if got := t.dev.Counters().Live; got != liveWant+deferred {
+		return fmt.Errorf("core: device has %d live blocks, levels reference %d (+%d deferred frees)",
+			got, liveWant, deferred)
+	}
+	return nil
+}
+
+// ValidateAccounting runs only the live-block accounting check. The public
+// DB pairs it (under the writer lock) with a lock-free View.Validate.
+func (t *Tree) ValidateAccounting() error {
+	liveWant := int64(0)
+	for _, l := range t.levels {
+		liveWant += int64(l.Blocks())
+	}
+	return t.validateLive(liveWant)
 }

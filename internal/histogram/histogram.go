@@ -31,6 +31,28 @@ func Level(t *core.Tree, level int, keySpace uint64, n int) ([]int, error) {
 	return counts, nil
 }
 
+// ViewLevel counts the keys of storage level `level` (1-based) into n
+// equal buckets over [0, keySpace), reading from an acquired snapshot
+// instead of the live tree — the form the public DB uses so histograms
+// never block or race with the writer.
+func ViewLevel(v *core.View, level int, keySpace uint64, n int) ([]int, error) {
+	if level < 1 || level >= v.Height() {
+		return nil, fmt.Errorf("histogram: level %d out of range [1,%d)", level, v.Height())
+	}
+	counts := make([]int, n)
+	lv := v.Levels()[level-1]
+	for _, m := range lv.Metas {
+		blk, err := v.PeekBlock(m.ID)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range blk.Records() {
+			counts[bucket(r.Key, keySpace, n)]++
+		}
+	}
+	return counts, nil
+}
+
 // Memtable counts L0's keys into n equal buckets over [0, keySpace).
 func Memtable(t *core.Tree, keySpace uint64, n int) []int {
 	counts := make([]int, n)

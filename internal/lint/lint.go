@@ -11,7 +11,11 @@
 //   - unchecked-err: no dropped error results from Close (any package) or
 //     from this module's own APIs;
 //   - layering: the leaf packages (block, btree, bloom, ...) must not
-//     depend on the engine layers above them.
+//     depend on the engine layers above them;
+//   - tree-state: core.Tree's live level-state accessors (Level, Memtable)
+//     may be read only by the writer-side packages — everyone else must go
+//     through an acquired snapshot (Tree.AcquireView), because live state
+//     mutates under concurrent merges.
 //
 // The analyzer is stdlib-only: packages are enumerated with `go list`,
 // parsed with go/parser, and typechecked with go/types against compiler
@@ -53,6 +57,14 @@ type Config struct {
 	// RandAllowed lists the math/rand functions that remain legal
 	// (constructors taking an explicit seed or source).
 	RandAllowed []string
+	// TreePkg is the package defining the engine Tree whose live-state
+	// accessors are restricted to writer-side packages.
+	TreePkg string
+	// TreeStateMethods are the restricted accessor names on TreePkg's Tree.
+	TreeStateMethods []string
+	// TreeStateAllowed lists the packages allowed to read live tree state
+	// (they run in the writer's context by construction).
+	TreeStateAllowed []string
 	// Layering maps a package path to import paths it must not depend on,
 	// directly or transitively.
 	Layering map[string][]string
@@ -77,7 +89,16 @@ func DefaultConfig() Config {
 			"lsmssd/internal/merge",
 			"lsmssd/internal/core",
 		},
-		RandAllowed: []string{"New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8"},
+		RandAllowed:      []string{"New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8"},
+		TreePkg:          "lsmssd/internal/core",
+		TreeStateMethods: []string{"Level", "Memtable"},
+		TreeStateAllowed: []string{
+			"lsmssd/internal/core",
+			"lsmssd/internal/invariant",   // runs as the writer's auditor hook
+			"lsmssd/internal/histogram",   // tree-based variant used by experiments
+			"lsmssd/internal/learn",       // drives the tree single-threaded
+			"lsmssd/internal/experiments", // single-threaded harness
+		},
 		Layering: map[string][]string{
 			"lsmssd/internal/block":    lowDeny,
 			"lsmssd/internal/btree":    lowDeny,
@@ -140,6 +161,7 @@ func lintPackage(p *Package, cfg Config) []Finding {
 				}
 			case *ast.CallExpr:
 				out = append(out, checkDeviceCall(p, cfg, n)...)
+				out = append(out, checkTreeState(p, cfg, n)...)
 			}
 			return true
 		})
@@ -186,6 +208,42 @@ func checkDeviceCall(p *Package, cfg Config, call *ast.CallExpr) []Finding {
 		Rule: "device-io",
 		Msg: fmt.Sprintf("direct %s.%s.%s call outside the block-I/O layers breaks write-cost accounting; route it through level/merge/core",
 			cfg.DevicePkg, named.Obj().Name(), s.Obj().Name()),
+	}}
+}
+
+// checkTreeState flags reads of core.Tree's live level state from outside
+// the writer-side packages: under the snapshot-isolated read path, live
+// levels mutate during merges, so concurrent readers must acquire a View
+// instead.
+func checkTreeState(p *Package, cfg Config, call *ast.CallExpr) []Finding {
+	if cfg.TreePkg == "" || inList(p.Path, cfg.TreeStateAllowed) {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil
+	}
+	if !inList(s.Obj().Name(), cfg.TreeStateMethods) {
+		return nil
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Tree" ||
+		named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != cfg.TreePkg {
+		return nil
+	}
+	return []Finding{{
+		Pos:  p.Fset.Position(sel.Sel.Pos()),
+		Rule: "tree-state",
+		Msg: fmt.Sprintf("core.Tree.%s reads live level state that mutates under concurrent merges; acquire a snapshot with Tree.AcquireView instead",
+			s.Obj().Name()),
 	}}
 }
 

@@ -1,5 +1,5 @@
 // Package memtable implements L0, the memory-resident top level of the
-// LSM-tree, as a skiplist-backed sorted index.
+// LSM-tree, as a persistent (copy-on-write) treap.
 //
 // L0 "logs" modifications: an insert stores an index record; a delete or
 // update for a key not present in L0 stores a tombstone/update record that
@@ -8,6 +8,14 @@
 // the memtable can present its contents as a sequence of *virtual blocks*
 // of B records each, with the same metadata (min key, max key, count) that
 // on-storage levels expose.
+//
+// The treap is persistent: every mutation path-copies the O(log n) nodes
+// between the root and the touched key, leaving all previously captured
+// roots intact. Snapshot therefore costs O(1) and returns an immutable
+// view that can be read without synchronization while the table keeps
+// changing — the property the engine's snapshot-isolated read path is
+// built on. A Table itself is single-writer (the tree serializes
+// mutations); Snapshots are safe for any number of concurrent readers.
 package memtable
 
 import (
@@ -16,39 +24,146 @@ import (
 	"lsmssd/internal/block"
 )
 
-const (
-	maxHeight = 16
-	branching = 4
-)
-
+// node is one immutable treap node. Nodes are never modified once linked
+// into a published root; mutations clone the search path.
 type node struct {
-	rec  block.Record
-	next [maxHeight]*node
+	rec   block.Record
+	prio  uint64
+	size  int // subtree record count (including this node)
+	left  *node
+	right *node
 }
 
-// Table is the L0 index. It is not safe for concurrent use; the tree
-// serializes access.
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+// clone returns a private copy of n for path-copying mutations.
+func clone(n *node) *node {
+	c := *n
+	return &c
+}
+
+// update recomputes n's subtree size and returns n.
+func (n *node) update() *node {
+	n.size = size(n.left) + 1 + size(n.right)
+	return n
+}
+
+// split partitions n into keys < k, the node with key == k (if any), and
+// keys > k. The path to k is copied; mid is returned as-is and its child
+// pointers must be ignored by the caller.
+func split(n *node, k block.Key) (l, mid, r *node) {
+	if n == nil {
+		return nil, nil, nil
+	}
+	switch {
+	case n.rec.Key < k:
+		c := clone(n)
+		l2, mid, r := split(n.right, k)
+		c.right = l2
+		return c.update(), mid, r
+	case n.rec.Key > k:
+		c := clone(n)
+		l, mid, r2 := split(n.left, k)
+		c.left = r2
+		return l, mid, c.update()
+	default:
+		return n.left, n, n.right
+	}
+}
+
+// splitLE partitions n into keys <= k and keys > k, path-copying.
+func splitLE(n *node, k block.Key) (l, r *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.rec.Key <= k {
+		c := clone(n)
+		l2, r2 := splitLE(n.right, k)
+		c.right = l2
+		return c.update(), r2
+	}
+	c := clone(n)
+	l2, r2 := splitLE(n.left, k)
+	c.left = r2
+	return l2, c.update()
+}
+
+// join concatenates two treaps whose key ranges satisfy l < r, preserving
+// the heap order on priorities. Both inputs are left intact.
+func join(l, r *node) *node {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	if l.prio >= r.prio {
+		c := clone(l)
+		c.right = join(l.right, r)
+		return c.update()
+	}
+	c := clone(r)
+	c.left = join(l, c.left)
+	return c.update()
+}
+
+// get returns the record for k in the subtree rooted at n.
+func get(n *node, k block.Key) (block.Record, bool) {
+	for n != nil {
+		switch {
+		case k < n.rec.Key:
+			n = n.left
+		case k > n.rec.Key:
+			n = n.right
+		default:
+			return n.rec, true
+		}
+	}
+	return block.Record{}, false
+}
+
+// ascend visits records with key in [lo, hi] in key order, returning false
+// if fn stopped the walk.
+func ascend(n *node, lo, hi block.Key, fn func(block.Record) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.rec.Key >= lo {
+		if !ascend(n.left, lo, hi, fn) {
+			return false
+		}
+		if n.rec.Key <= hi && !fn(n.rec) {
+			return false
+		}
+	}
+	if n.rec.Key <= hi {
+		return ascend(n.right, lo, hi, fn)
+	}
+	return true
+}
+
+// Table is the L0 index. Mutations are single-writer (the tree serializes
+// them); captured Snapshots remain readable concurrently.
 type Table struct {
-	head    *node
-	height  int
-	count   int
+	root    *node
 	bytes   int
 	version uint64 // bumped by every mutation; lets callers memoize views
 	rng     *rand.Rand
 }
 
-// New returns an empty memtable. The seed makes skiplist tower heights —
-// and therefore all downstream experiment traces — deterministic.
+// New returns an empty memtable. The seed makes treap priorities — and
+// therefore all downstream experiment traces — deterministic.
 func New(seed int64) *Table {
-	return &Table{
-		head:   &node{},
-		height: 1,
-		rng:    rand.New(rand.NewSource(seed)),
-	}
+	return &Table{rng: rand.New(rand.NewSource(seed))}
 }
 
 // Len returns the number of records (including tombstones) in the table.
-func (t *Table) Len() int { return t.count }
+func (t *Table) Len() int { return size(t.root) }
 
 // Version returns a counter that changes with every mutation, so derived
 // views (e.g. virtual-block metadata) can be cached until the table
@@ -61,37 +176,36 @@ func (t *Table) Bytes() int { return t.bytes }
 // Put inserts or overwrites the record for r.Key.
 func (t *Table) Put(r block.Record) {
 	t.version++
-	var update [maxHeight]*node
-	n := t.findGE(r.Key, &update)
-	if n != nil && n.rec.Key == r.Key {
-		t.bytes += r.Size() - n.rec.Size()
-		n.rec = r
+	if old, ok := get(t.root, r.Key); ok {
+		t.bytes += r.Size() - old.Size()
+		t.root = replace(t.root, r)
 		return
 	}
-	h := t.randomHeight()
-	if h > t.height {
-		for i := t.height; i < h; i++ {
-			update[i] = t.head
-		}
-		t.height = h
-	}
-	nn := &node{rec: r}
-	for i := 0; i < h; i++ {
-		nn.next[i] = update[i].next[i]
-		update[i].next[i] = nn
-	}
-	t.count++
+	l, _, rt := split(t.root, r.Key)
+	n := &node{rec: r, prio: t.rng.Uint64(), size: 1}
+	t.root = join(join(l, n), rt)
 	t.bytes += r.Size()
+}
+
+// replace path-copies down to the node holding r.Key (which must exist)
+// and swaps in the new record, keeping the tree shape.
+func replace(n *node, r block.Record) *node {
+	c := clone(n)
+	switch {
+	case r.Key < n.rec.Key:
+		c.left = replace(n.left, r)
+	case r.Key > n.rec.Key:
+		c.right = replace(n.right, r)
+	default:
+		c.rec = r
+	}
+	return c
 }
 
 // Get returns the record stored for k, if any. The caller must check
 // Tombstone to interpret the result.
 func (t *Table) Get(k block.Key) (block.Record, bool) {
-	n := t.findGE(k, nil)
-	if n != nil && n.rec.Key == k {
-		return n.rec, true
-	}
-	return block.Record{}, false
+	return get(t.root, k)
 }
 
 // Delete removes the record for k, reporting whether it was present.
@@ -99,43 +213,29 @@ func (t *Table) Get(k block.Key) (block.Record, bool) {
 // logical delete request is a Put of a tombstone record.
 func (t *Table) Delete(k block.Key) bool {
 	t.version++
-	var update [maxHeight]*node
-	n := t.findGE(k, &update)
-	if n == nil || n.rec.Key != k {
-		return false
+	l, mid, r := split(t.root, k)
+	if mid == nil {
+		return false // split copied nothing the table keeps: root unchanged
 	}
-	for i := 0; i < t.height; i++ {
-		if update[i].next[i] == n {
-			update[i].next[i] = n.next[i]
-		}
-	}
-	for t.height > 1 && t.head.next[t.height-1] == nil {
-		t.height--
-	}
-	t.count--
-	t.bytes -= n.rec.Size()
+	t.bytes -= mid.rec.Size()
+	t.root = join(l, r)
 	return true
 }
 
 // Ascend calls fn for each record with key in [lo, hi] in key order,
 // stopping early if fn returns false.
 func (t *Table) Ascend(lo, hi block.Key, fn func(block.Record) bool) {
-	n := t.findGE(lo, nil)
-	for n != nil && n.rec.Key <= hi {
-		if !fn(n.rec) {
-			return
-		}
-		n = n.next[0]
-	}
+	ascend(t.root, lo, hi, fn)
 }
 
 // All returns every record in key order. It allocates; use Ascend for
 // streaming access.
 func (t *Table) All() []block.Record {
-	out := make([]block.Record, 0, t.count)
-	for n := t.head.next[0]; n != nil; n = n.next[0] {
-		out = append(out, n.rec)
-	}
+	out := make([]block.Record, 0, t.Len())
+	ascend(t.root, 0, ^block.Key(0), func(r block.Record) bool {
+		out = append(out, r)
+		return true
+	})
 	return out
 }
 
@@ -147,8 +247,15 @@ func (t *Table) TakeRange(lo, hi block.Key) []block.Record {
 		out = append(out, r)
 		return true
 	})
+	if len(out) == 0 {
+		return out
+	}
+	t.version++
+	left, _, rest := split(t.root, lo) // a node with key == lo is dropped here
+	_, right := splitLE(rest, hi)
+	t.root = join(left, right)
 	for _, r := range out {
-		t.Delete(r.Key)
+		t.bytes -= r.Size()
 	}
 	return out
 }
@@ -170,42 +277,49 @@ func (t *Table) VirtualBlocks(capacity int) []VirtualMeta {
 	}
 	var metas []VirtualMeta
 	var cur VirtualMeta
-	for n := t.head.next[0]; n != nil; n = n.next[0] {
+	ascend(t.root, 0, ^block.Key(0), func(r block.Record) bool {
 		if cur.Count == 0 {
-			cur.Min = n.rec.Key
+			cur.Min = r.Key
 		}
-		cur.Max = n.rec.Key
+		cur.Max = r.Key
 		cur.Count++
 		if cur.Count == capacity {
 			metas = append(metas, cur)
 			cur = VirtualMeta{}
 		}
-	}
+		return true
+	})
 	if cur.Count > 0 {
 		metas = append(metas, cur)
 	}
 	return metas
 }
 
-// findGE returns the first node with key >= k. When update is non-nil it
-// is filled with the rightmost node before k at every height.
-func (t *Table) findGE(k block.Key, update *[maxHeight]*node) *node {
-	x := t.head
-	for i := t.height - 1; i >= 0; i-- {
-		for x.next[i] != nil && x.next[i].rec.Key < k {
-			x = x.next[i]
-		}
-		if update != nil {
-			update[i] = x
-		}
-	}
-	return x.next[0]
+// Snapshot is an immutable point-in-time view of the table, safe for
+// concurrent readers while the table keeps mutating.
+type Snapshot struct {
+	root  *node
+	bytes int
 }
 
-func (t *Table) randomHeight() int {
-	h := 1
-	for h < maxHeight && t.rng.Intn(branching) == 0 {
-		h++
-	}
-	return h
+// Snapshot captures the current contents in O(1).
+func (t *Table) Snapshot() *Snapshot {
+	return &Snapshot{root: t.root, bytes: t.bytes}
+}
+
+// Len returns the number of records (including tombstones) in the snapshot.
+func (s *Snapshot) Len() int { return size(s.root) }
+
+// Bytes returns the request-byte footprint at capture time.
+func (s *Snapshot) Bytes() int { return s.bytes }
+
+// Get returns the record stored for k at capture time, if any.
+func (s *Snapshot) Get(k block.Key) (block.Record, bool) {
+	return get(s.root, k)
+}
+
+// Ascend calls fn for each captured record with key in [lo, hi] in key
+// order, stopping early if fn returns false.
+func (s *Snapshot) Ascend(lo, hi block.Key, fn func(block.Record) bool) {
+	ascend(s.root, lo, hi, fn)
 }

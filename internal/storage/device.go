@@ -12,6 +12,7 @@ package storage
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"lsmssd/internal/block"
 )
@@ -32,6 +33,29 @@ type Counters struct {
 	Allocs int64 // blocks allocated over the device lifetime
 	Frees  int64 // blocks freed over the device lifetime
 	Live   int64 // blocks currently allocated
+}
+
+// atomicCounters is the devices' shared counter implementation. Counters
+// are atomics so the concurrent read path (snapshot-isolated Get/Scan)
+// never serializes on accounting, and so snapshots taken while traffic
+// flows are race-free.
+type atomicCounters struct {
+	reads, writes, allocs, frees, live atomic.Int64
+}
+
+func (c *atomicCounters) snapshot() Counters {
+	return Counters{
+		Reads:  c.reads.Load(),
+		Writes: c.writes.Load(),
+		Allocs: c.allocs.Load(),
+		Frees:  c.frees.Load(),
+		Live:   c.live.Load(),
+	}
+}
+
+func (c *atomicCounters) resetTraffic() {
+	c.reads.Store(0)
+	c.writes.Store(0)
 }
 
 // Device is a block store. Blocks are immutable once written: the tree

@@ -17,15 +17,35 @@ import (
 // crash-safe (there is no journal — the LSM-tree above it is the log). The
 // counters have the same meaning as on MemDevice, so experiments can run on
 // either device interchangeably.
+//
+// The device is safe for concurrent use. Reads take only a brief RLock to
+// consult the allocator map, then issue an independent pread (os.File.ReadAt
+// is safe for concurrent callers) into a pooled per-call buffer, so parallel
+// lookups from the snapshot-isolated read path scale with the file
+// descriptor rather than serializing on one device mutex.
 type FileDevice struct {
-	mu        sync.Mutex
+	mu        sync.RWMutex // guards next, free, written
 	f         *os.File
 	blockSize int
 	next      BlockID
 	free      []BlockID
 	written   map[BlockID]bool
-	counters  Counters
-	buf       []byte // encode/decode scratch, guarded by mu
+	cnt       atomicCounters
+	bufs      sync.Pool // *[]byte of blockSize, for encode/decode scratch
+}
+
+func newFileDevice(f *os.File, blockSize int) *FileDevice {
+	d := &FileDevice{
+		f:         f,
+		blockSize: blockSize,
+		next:      1,
+		written:   make(map[BlockID]bool),
+	}
+	d.bufs.New = func() any {
+		b := make([]byte, blockSize)
+		return &b
+	}
+	return d
 }
 
 // OpenFileDevice creates (truncating) a file-backed device at path with the
@@ -38,13 +58,7 @@ func OpenFileDevice(path string, blockSize int) (*FileDevice, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: open device file: %w", err)
 	}
-	return &FileDevice{
-		f:         f,
-		blockSize: blockSize,
-		next:      1,
-		written:   make(map[BlockID]bool),
-		buf:       make([]byte, blockSize),
-	}, nil
+	return newFileDevice(f, blockSize), nil
 }
 
 // ReopenFileDevice opens an existing device file without truncating it,
@@ -59,13 +73,7 @@ func ReopenFileDevice(path string, blockSize int, live []BlockID) (*FileDevice, 
 	if err != nil {
 		return nil, fmt.Errorf("storage: reopen device file: %w", err)
 	}
-	d := &FileDevice{
-		f:         f,
-		blockSize: blockSize,
-		next:      1,
-		written:   make(map[BlockID]bool, len(live)),
-		buf:       make([]byte, blockSize),
-	}
+	d := newFileDevice(f, blockSize)
 	for _, id := range live {
 		if id == 0 {
 			return nil, errors.Join(fmt.Errorf("storage: invalid live block id 0"), f.Close())
@@ -83,8 +91,8 @@ func ReopenFileDevice(path string, blockSize int, live []BlockID) (*FileDevice, 
 			d.free = append(d.free, id)
 		}
 	}
-	d.counters.Allocs = int64(len(live))
-	d.counters.Live = int64(len(live))
+	d.cnt.allocs.Store(int64(len(live)))
+	d.cnt.live.Store(int64(len(live)))
 	return d, nil
 }
 
@@ -94,7 +102,6 @@ func (d *FileDevice) BlockSize() int { return d.blockSize }
 // Alloc reserves a block slot, recycling freed slots first.
 func (d *FileDevice) Alloc() BlockID {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	var id BlockID
 	if n := len(d.free); n > 0 {
 		id = d.free[n-1]
@@ -103,8 +110,9 @@ func (d *FileDevice) Alloc() BlockID {
 		id = d.next
 		d.next++
 	}
-	d.counters.Allocs++
-	d.counters.Live++
+	d.mu.Unlock()
+	d.cnt.allocs.Add(1)
+	d.cnt.live.Add(1)
 	return id
 }
 
@@ -116,19 +124,23 @@ func (d *FileDevice) Write(id BlockID, b *block.Block) error {
 	if b == nil || b.Len() == 0 {
 		return fmt.Errorf("storage: write of empty block %d", id)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.written[id] {
-		return fmt.Errorf("storage: block %d rewritten in place", id)
-	}
-	if err := b.Encode(d.buf, d.blockSize); err != nil {
+	buf := d.bufs.Get().(*[]byte)
+	defer d.bufs.Put(buf)
+	if err := b.Encode(*buf, d.blockSize); err != nil {
 		return err
 	}
-	if _, err := d.f.WriteAt(d.buf, d.offset(id)); err != nil {
+	d.mu.Lock()
+	if d.written[id] {
+		d.mu.Unlock()
+		return fmt.Errorf("storage: block %d rewritten in place", id)
+	}
+	if _, err := d.f.WriteAt(*buf, d.offset(id)); err != nil {
+		d.mu.Unlock()
 		return fmt.Errorf("storage: write block %d: %w", id, err)
 	}
 	d.written[id] = true
-	d.counters.Writes++
+	d.mu.Unlock()
+	d.cnt.writes.Add(1)
 	return nil
 }
 
@@ -138,9 +150,7 @@ func (d *FileDevice) Read(id BlockID) (*block.Block, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.mu.Lock()
-	d.counters.Reads++
-	d.mu.Unlock()
+	d.cnt.reads.Add(1)
 	return b, nil
 }
 
@@ -150,45 +160,43 @@ func (d *FileDevice) Peek(id BlockID) (*block.Block, error) {
 }
 
 func (d *FileDevice) load(id BlockID) (*block.Block, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if !d.written[id] {
+	d.mu.RLock()
+	ok := d.written[id]
+	d.mu.RUnlock()
+	if !ok {
 		return nil, fmt.Errorf("storage: read block %d: %w", id, ErrNotFound)
 	}
-	if _, err := d.f.ReadAt(d.buf, d.offset(id)); err != nil {
+	// The slot cannot be recycled mid-read: the engine defers frees until
+	// no snapshot references the block, so a readable id stays stable for
+	// the duration of this pread.
+	buf := d.bufs.Get().(*[]byte)
+	defer d.bufs.Put(buf)
+	if _, err := d.f.ReadAt(*buf, d.offset(id)); err != nil {
 		return nil, fmt.Errorf("storage: read block %d: %w", id, err)
 	}
-	return block.Decode(d.buf)
+	return block.Decode(*buf)
 }
 
 // Free recycles id's slot.
 func (d *FileDevice) Free(id BlockID) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if !d.written[id] {
+		d.mu.Unlock()
 		return fmt.Errorf("storage: free block %d: %w", id, ErrNotFound)
 	}
 	delete(d.written, id)
 	d.free = append(d.free, id)
-	d.counters.Frees++
-	d.counters.Live--
+	d.mu.Unlock()
+	d.cnt.frees.Add(1)
+	d.cnt.live.Add(-1)
 	return nil
 }
 
 // Counters returns a snapshot of the accounting state.
-func (d *FileDevice) Counters() Counters {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.counters
-}
+func (d *FileDevice) Counters() Counters { return d.cnt.snapshot() }
 
 // ResetCounters zeroes the traffic counters.
-func (d *FileDevice) ResetCounters() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.counters.Reads = 0
-	d.counters.Writes = 0
-}
+func (d *FileDevice) ResetCounters() { d.cnt.resetTraffic() }
 
 // Close closes the backing file.
 func (d *FileDevice) Close() error {

@@ -8,17 +8,20 @@ import (
 )
 
 // MemDevice is an in-memory simulated SSD. It stores blocks in a map and
-// keeps exact traffic counters. It is safe for concurrent use.
+// keeps exact traffic counters. It is safe for concurrent use: the block
+// map is guarded by an RWMutex so readers proceed in parallel, and the
+// traffic counters are atomics so the read path never serializes on the
+// allocator state.
 //
 // MemDevice substitutes for the paper's physical SSD: since the evaluation
 // metric is the count of block writes (instrumented in code, not measured
 // by the drive), an in-memory store reproduces the experiments exactly
 // while keeping runs fast and deterministic.
 type MemDevice struct {
-	mu       sync.Mutex
-	blocks   map[BlockID]*block.Block
-	next     BlockID
-	counters Counters
+	mu     sync.RWMutex
+	blocks map[BlockID]*block.Block
+	next   BlockID
+	cnt    atomicCounters
 }
 
 // NewMemDevice returns an empty in-memory device.
@@ -29,11 +32,11 @@ func NewMemDevice() *MemDevice {
 // Alloc reserves a fresh block ID.
 func (d *MemDevice) Alloc() BlockID {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	id := d.next
 	d.next++
-	d.counters.Allocs++
-	d.counters.Live++
+	d.mu.Unlock()
+	d.cnt.allocs.Add(1)
+	d.cnt.live.Add(1)
 	return id
 }
 
@@ -46,32 +49,33 @@ func (d *MemDevice) Write(id BlockID, b *block.Block) error {
 		return fmt.Errorf("storage: write of empty block %d", id)
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, ok := d.blocks[id]; ok {
+		d.mu.Unlock()
 		return fmt.Errorf("storage: block %d rewritten in place", id)
 	}
 	d.blocks[id] = b
-	d.counters.Writes++
+	d.mu.Unlock()
+	d.cnt.writes.Add(1)
 	return nil
 }
 
 // Read returns the block under id and counts one block read.
 func (d *MemDevice) Read(id BlockID) (*block.Block, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
 	b, ok := d.blocks[id]
+	d.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: read block %d: %w", id, ErrNotFound)
 	}
-	d.counters.Reads++
+	d.cnt.reads.Add(1)
 	return b, nil
 }
 
 // Peek returns the block under id without touching the counters.
 func (d *MemDevice) Peek(id BlockID) (*block.Block, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
 	b, ok := d.blocks[id]
+	d.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: peek block %d: %w", id, ErrNotFound)
 	}
@@ -81,30 +85,22 @@ func (d *MemDevice) Peek(id BlockID) (*block.Block, error) {
 // Free releases id.
 func (d *MemDevice) Free(id BlockID) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, ok := d.blocks[id]; !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("storage: free block %d: %w", id, ErrNotFound)
 	}
 	delete(d.blocks, id)
-	d.counters.Frees++
-	d.counters.Live--
+	d.mu.Unlock()
+	d.cnt.frees.Add(1)
+	d.cnt.live.Add(-1)
 	return nil
 }
 
 // Counters returns a snapshot of the accounting state.
-func (d *MemDevice) Counters() Counters {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.counters
-}
+func (d *MemDevice) Counters() Counters { return d.cnt.snapshot() }
 
 // ResetCounters zeroes the traffic counters.
-func (d *MemDevice) ResetCounters() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.counters.Reads = 0
-	d.counters.Writes = 0
-}
+func (d *MemDevice) ResetCounters() { d.cnt.resetTraffic() }
 
 // Close releases the block map.
 func (d *MemDevice) Close() error {

@@ -1,0 +1,84 @@
+package lsmssd
+
+import (
+	"lsmssd/internal/block"
+	"lsmssd/internal/core"
+)
+
+// Iterator streams the keys in [lo, hi] in ascending order, pinned to the
+// snapshot that was current when NewIterator was called: writes and merges
+// that complete during the iteration do not change what it returns.
+//
+// The usage pattern is the standard one:
+//
+//	it, err := db.NewIterator(lo, hi)
+//	if err != nil { ... }
+//	defer it.Close()
+//	for it.Next() {
+//	    use(it.Key(), it.Value())
+//	}
+//	if err := it.Err(); err != nil { ... }
+//
+// An Iterator must be used from one goroutine at a time, and Close must be
+// called to release its snapshot — a forgotten iterator pins device blocks
+// the engine would otherwise recycle. Iterators from different goroutines
+// are independent.
+type Iterator struct {
+	db     *DB
+	view   *core.View
+	it     *core.Iter
+	err    error
+	closed bool
+}
+
+// NewIterator returns an iterator over the keys in [lo, hi] as of the
+// current snapshot. The full key space is [0, ^uint64(0)].
+func (db *DB) NewIterator(lo, hi uint64) (*Iterator, error) {
+	v, err := db.acquireView()
+	if err != nil {
+		return nil, err
+	}
+	return &Iterator{db: db, view: v, it: v.Iter(block.Key(lo), block.Key(hi))}, nil
+}
+
+// Next advances to the next key, reporting whether one exists. It returns
+// false after the range is exhausted, after an error (check Err), after
+// Close, and after the DB is closed.
+func (it *Iterator) Next() bool {
+	if it.closed || it.err != nil {
+		return false
+	}
+	if it.db.closed.Load() {
+		// The snapshot itself is still pinned, but its device may be
+		// gone; fail deterministically rather than surface an I/O error.
+		it.err = ErrClosed
+		return false
+	}
+	return it.it.Next()
+}
+
+// Key returns the current key. Valid only after Next returned true.
+func (it *Iterator) Key() uint64 { return uint64(it.it.Key()) }
+
+// Value returns the current value. Valid only after Next returned true;
+// the slice must not be modified.
+func (it *Iterator) Value() []byte { return it.it.Value() }
+
+// Err returns the first error the iteration hit, if any. Exhausting the
+// range is not an error.
+func (it *Iterator) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	return it.it.Err()
+}
+
+// Close releases the iterator's snapshot and returns Err. Closing an
+// already-closed iterator is a no-op returning the same error.
+func (it *Iterator) Close() error {
+	if !it.closed {
+		it.closed = true
+		it.view.Release()
+	}
+	return it.Err()
+}

@@ -19,9 +19,35 @@
 //	defer db.Close()
 //	db.Put(42, []byte("answer"))
 //	v, ok, err := db.Get(42)
+//
+// Batched writes pay one writer-lock acquisition and one merge-cascade
+// check for the whole batch:
+//
+//	b := db.NewBatch()
+//	b.Put(1, []byte("one"))
+//	b.Put(2, []byte("two"))
+//	b.Delete(3)
+//	err = db.Apply(b)
+//
+// An Iterator streams a key range in order from a snapshot frozen at
+// creation; concurrent writes and merges never change what it yields:
+//
+//	it, err := db.NewIterator(0, 99)
+//	if err != nil { ... }
+//	for it.Next() {
+//		use(it.Key(), it.Value())
+//	}
+//	err = it.Close() // also reports any iteration error
+//
+// Reads (Get, Scan, NewIterator, Stats, Histogram) are lock-free and
+// safe from any number of goroutines concurrently with writers, which
+// serialize on an internal lock. After Close, every operation fails
+// with ErrClosed.
 package lsmssd
 
 import (
+	"fmt"
+
 	"lsmssd/internal/block"
 	"lsmssd/internal/policy"
 )
@@ -160,6 +186,29 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// Validate checks the options for parameter values the engine cannot run
+// with, returning an error that names the offending field. Zero values are
+// interpreted as "use the default" (as in Open) and are therefore valid;
+// explicitly out-of-range values are not. Open validates automatically;
+// call Validate directly to vet configuration before paying Open's device
+// setup.
+func (o Options) Validate() error {
+	o = o.withDefaults()
+	if o.BlockSize < 0 {
+		return fmt.Errorf("lsmssd: Options.BlockSize %d is negative", o.BlockSize)
+	}
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		return fmt.Errorf("lsmssd: Options.Epsilon %g outside (0, 1): ε is the allowed fraction of empty record slots per level", o.Epsilon)
+	}
+	if o.Delta <= 0 || o.Delta > 1 {
+		return fmt.Errorf("lsmssd: Options.Delta %g outside (0, 1]: δ is the fraction of a level one partial merge takes", o.Delta)
+	}
+	if o.Gamma < 2 {
+		return fmt.Errorf("lsmssd: Options.Gamma %d below 2: levels must grow geometrically", o.Gamma)
+	}
+	return nil
 }
 
 // buildPolicy constructs the internal policy for the options.

@@ -48,45 +48,51 @@ type LevelStats struct {
 	Compactions    int64
 }
 
-// Stats returns the current snapshot.
+// Stats returns the current snapshot. It is lock-free: counters are read
+// from atomics and the structural fields from the current read snapshot,
+// so Stats can be polled while writers and merges run. On a closed DB it
+// returns the zero Stats.
 func (db *DB) Stats() Stats {
-	tree, unlock := db.lockedTree()
-	defer unlock()
-	snap := tree.Snapshot()
-	s := Stats{
-		BlocksWritten:   snap.Device.Writes,
-		BlocksRead:      snap.Device.Reads,
-		LiveBlocks:      snap.Device.Live,
-		Requests:        snap.Stats.Requests,
-		Inserts:         snap.Stats.Inserts,
-		Deletes:         snap.Stats.Deletes,
-		Lookups:         snap.Stats.Lookups,
-		Scans:           snap.Stats.Scans,
-		RequestBytes:    snap.Stats.RequestBytes,
-		Height:          snap.Height,
-		MemtableRecords: snap.MemLen,
-		Merges:          snap.Stats.Merges,
-		FullMerges:      snap.Stats.FullMerges,
+	v, err := db.acquireView()
+	if err != nil {
+		return Stats{}
 	}
-	s.Records = snap.MemLen
-	for _, ls := range snap.Levels {
-		s.Records += ls.Records
+	defer v.Release()
+	ts := db.tree.Stats()
+	dc := db.tree.Device().Counters()
+	s := Stats{
+		BlocksWritten:   dc.Writes,
+		BlocksRead:      dc.Reads,
+		LiveBlocks:      dc.Live,
+		Requests:        ts.Requests,
+		Inserts:         ts.Inserts,
+		Deletes:         ts.Deletes,
+		Lookups:         ts.Lookups,
+		Scans:           ts.Scans,
+		RequestBytes:    ts.RequestBytes,
+		Height:          v.Height(),
+		Records:         v.Records(),
+		MemtableRecords: v.MemLen(),
+		Merges:          ts.Merges,
+		FullMerges:      ts.FullMerges,
+	}
+	for _, lv := range v.Levels() {
 		s.Levels = append(s.Levels, LevelStats{
-			Level:          ls.Number,
-			Blocks:         ls.Blocks,
-			Records:        ls.Records,
-			CapacityBlocks: ls.Capacity,
-			WasteFactor:    ls.WasteFactor,
-			BlocksWritten:  ls.BlocksWritten,
-			Compactions:    ls.Compactions,
+			Level:          lv.Number,
+			Blocks:         lv.Blocks(),
+			Records:        lv.Records,
+			CapacityBlocks: lv.Capacity,
+			WasteFactor:    lv.WasteFactor,
+			BlocksWritten:  lv.BlocksWritten,
+			Compactions:    lv.Compactions,
 		})
 	}
-	if c := tree.Cache(); c != nil {
+	if c := db.tree.Cache(); c != nil {
 		cs := c.Stats()
 		s.CacheHits, s.CacheMisses = cs.Hits, cs.Misses
 	}
-	if b := tree.Blooms(); b != nil {
-		s.BloomSkipped, s.BloomPassed = b.Skipped, b.Passed
+	if b := db.tree.Blooms(); b != nil {
+		s.BloomSkipped, s.BloomPassed = b.Counts()
 	}
 	return s
 }
