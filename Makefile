@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench-read ci
+.PHONY: all build fmt vet lint test race bench-read obs-smoke ci
 
 all: build
 
@@ -36,4 +36,10 @@ race:
 bench-read:
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentReads' -benchtime 2s .
 
-ci: fmt vet lint test race
+# End-to-end observability smoke: open a store with the /metrics endpoint
+# on an ephemeral port, drive writes, scrape it, and require the core
+# metric families plus a parseable /debug/lsm dump.
+obs-smoke:
+	$(GO) run ./cmd/obssmoke
+
+ci: fmt vet lint test race obs-smoke

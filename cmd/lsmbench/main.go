@@ -11,9 +11,17 @@
 //
 //	lsmbench -fig 6            # regenerate Figure 6 (a, b and c)
 //	lsmbench -fig all -csv out # everything, as CSV files under out/
+//	lsmbench -fig 6 -trace t.jsonl # also record the per-merge event trace
+//
+// With -trace, every merge, flush, growth, and warning event of every run
+// is appended to the file as one JSON line ({"type":"merge","event":{...}}),
+// and measurement windows are bracketed by "run" marker lines carrying the
+// device write counter — summing the merge events' write fields between a
+// window's markers reproduces that counter exactly.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +31,7 @@ import (
 	"time"
 
 	"lsmssd/internal/experiments"
+	"lsmssd/internal/obs"
 )
 
 func main() {
@@ -32,6 +41,7 @@ func main() {
 		seed  = flag.Int64("seed", 1, "random seed")
 		csv   = flag.String("csv", "", "write CSV files into this directory instead of text to stdout")
 		quick = flag.Bool("quick", false, "fewer sizes per figure (smoke pass)")
+		trace = flag.String("trace", "", "append the per-merge JSONL event trace to this file")
 	)
 	flag.Parse()
 
@@ -40,6 +50,36 @@ func main() {
 	debug.SetGCPercent(400)
 
 	p := experiments.Params{Scale: *scale, Seed: *seed}.WithDefaults()
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lsmbench: %v\n", err)
+			os.Exit(1)
+		}
+		// Buffer the file and give the ring real depth: the sink must keep
+		// up with merge bursts or events drop and the trace's write sums no
+		// longer reproduce the device counters.
+		bw := bufio.NewWriterSize(f, 1<<20)
+		sink := obs.NewJSONLSink(bw)
+		bus := obs.NewBus(1 << 16)
+		bus.Subscribe(sink)
+		p.Bus = bus
+		defer func() {
+			bus.Close() // drains pending events into the sink
+			if n := bus.Drops(); n > 0 {
+				fmt.Fprintf(os.Stderr, "lsmbench: trace: %d events dropped (sink too slow); write sums will not reproduce device counters\n", n)
+			}
+			if err := sink.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "lsmbench: trace: %v\n", err)
+			}
+			if err := bw.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "lsmbench: trace: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "lsmbench: trace: %v\n", err)
+			}
+		}()
+	}
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
 		figs = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "queries"}

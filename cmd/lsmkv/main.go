@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lsmkv [-path file.blk] [-policy ChooseBest] [-preserve=true]
+//	lsmkv [-path file.blk] [-policy ChooseBest] [-preserve=true] [-metrics 127.0.0.1:8080]
 //
 // Commands (one per line on stdin):
 //
@@ -41,6 +41,7 @@ func main() {
 		preserve = flag.Bool("preserve", true, "enable block-preserving merges")
 		k0       = flag.Int("k0", 64, "memtable capacity in blocks")
 		delta    = flag.Float64("delta", 0.07, "partial merge rate")
+		metrics  = flag.String("metrics", "", "serve /metrics and /debug on this address (e.g. 127.0.0.1:8080)")
 	)
 	flag.Parse()
 
@@ -58,12 +59,23 @@ func main() {
 		DisablePreserve: !*preserve,
 		MemtableBlocks:  *k0,
 		Delta:           *delta,
+		MetricsAddr:     *metrics,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lsmkv: %v\n", err)
 		os.Exit(1)
 	}
 	defer db.Close()
+	if *metrics != "" {
+		fmt.Fprintf(os.Stderr, "lsmkv: metrics on http://%s/metrics (also /debug/lsm, /debug/pprof)\n", db.MetricsAddr())
+	}
+	// Waste warnings (a level's waste factor nearing its ε bound) land on
+	// stderr as they happen, so the prompt stays usable.
+	db.Subscribe(func(ev lsmssd.Event) {
+		if w, ok := ev.(lsmssd.WarnEvent); ok {
+			fmt.Fprintf(os.Stderr, "lsmkv: warning: %s\n", w.Message)
+		}
+	})
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

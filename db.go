@@ -11,6 +11,7 @@ import (
 	"lsmssd/internal/histogram"
 	"lsmssd/internal/invariant"
 	"lsmssd/internal/manifest"
+	"lsmssd/internal/obs"
 	"lsmssd/internal/storage"
 )
 
@@ -33,6 +34,14 @@ type DB struct {
 	opts     Options
 	tree     *core.Tree
 	raw      storage.Device // the unwrapped device, for Close
+
+	// Observability (see metrics.go). bus and lat always exist; lat records
+	// only when MetricsAddr enabled it, and the bus constructs no events
+	// until a sink subscribes. metrics is the HTTP endpoint, nil unless
+	// Options.MetricsAddr is set.
+	bus     *obs.Bus
+	lat     *obs.LatencySet
+	metrics *obs.Server
 }
 
 // Open creates or reopens a DB with the given options. An empty Options
@@ -51,6 +60,9 @@ func Open(opts Options) (*DB, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	bus := obs.NewBus(0)
+	lat := &obs.LatencySet{}
+	lat.Enable(opts.MetricsAddr != "")
 	cfg := core.Config{
 		Policy:          opts.buildPolicy(),
 		BlockCapacity:   opts.RecordsPerBlock,
@@ -60,6 +72,8 @@ func Open(opts Options) (*DB, error) {
 		CacheBlocks:     opts.CacheBlocks,
 		BloomBitsPerKey: opts.BloomBitsPerKey,
 		Seed:            opts.Seed,
+		Bus:             bus,
+		Lat:             lat,
 	}
 	if opts.Paranoid {
 		// Mid-cascade audits tolerate in-flight records: a merge may land
@@ -73,7 +87,11 @@ func Open(opts Options) (*DB, error) {
 		st, err := manifest.Load(manifestPath(opts.Path))
 		switch {
 		case err == nil:
-			return reopen(opts, cfg, st)
+			db, err := reopen(opts, cfg, st)
+			if err != nil {
+				return nil, err
+			}
+			return db.startObs()
 		case errors.Is(err, manifest.ErrNoManifest):
 			// fresh store below
 		default:
@@ -96,7 +114,8 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, errors.Join(err, dev.Close())
 	}
-	return &DB{opts: opts, tree: tree, raw: dev}, nil
+	db := &DB{opts: opts, tree: tree, raw: dev, bus: cfg.Bus, lat: cfg.Lat}
+	return db.startObs()
 }
 
 func manifestPath(path string) string { return path + ".manifest" }
@@ -136,7 +155,7 @@ func reopen(opts Options, cfg core.Config, st manifest.State) (*DB, error) {
 			return nil, errors.Join(fmt.Errorf("lsmssd: restored state: %w", err), fd.Close())
 		}
 	}
-	return &DB{opts: opts, tree: tree, raw: fd}, nil
+	return &DB{opts: opts, tree: tree, raw: fd, bus: cfg.Bus, lat: cfg.Lat}, nil
 }
 
 // acquireView pins the current read snapshot, translating a closed engine
@@ -186,6 +205,8 @@ func (db *DB) checkpointLocked() error {
 
 // Put inserts or updates the value stored for key.
 func (db *DB) Put(key uint64, value []byte) error {
+	start := db.lat.Start()
+	defer db.lat.Done(obs.OpPut, start)
 	db.writerMu.Lock()
 	defer db.writerMu.Unlock()
 	if db.closed.Load() {
@@ -200,6 +221,8 @@ func (db *DB) Put(key uint64, value []byte) error {
 // Delete removes key. Deleting an absent key is a no-op that still costs a
 // logged tombstone, as in any LSM store.
 func (db *DB) Delete(key uint64) error {
+	start := db.lat.Start()
+	defer db.lat.Done(obs.OpDelete, start)
 	db.writerMu.Lock()
 	defer db.writerMu.Unlock()
 	if db.closed.Load() {
@@ -225,6 +248,8 @@ func (db *DB) paranoidSteadyCheck() error {
 // snapshot without taking the writer lock, so concurrent Gets scale across
 // cores even while merges run.
 func (db *DB) Get(key uint64) (value []byte, found bool, err error) {
+	start := db.lat.Start()
+	defer db.lat.Done(obs.OpGet, start)
 	v, err := db.acquireView()
 	if err != nil {
 		return nil, false, err
@@ -238,6 +263,8 @@ func (db *DB) Get(key uint64) (value []byte, found bool, err error) {
 // that completes mid-scan does not change what the scan sees. Scan is a
 // thin wrapper over the Iterator API.
 func (db *DB) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error {
+	start := db.lat.Start()
+	defer db.lat.Done(obs.OpScan, start)
 	v, err := db.acquireView()
 	if err != nil {
 		return err
@@ -248,18 +275,26 @@ func (db *DB) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error 
 	})
 }
 
-// Close checkpoints a file-backed store and releases the DB's resources.
-// Every operation issued after Close returns ErrClosed.
+// Close checkpoints a file-backed store and releases the DB's resources,
+// including the metrics endpoint and the event bus (pending events are
+// delivered to subscribed sinks before Close returns). Every operation
+// issued after Close returns ErrClosed.
 func (db *DB) Close() error {
 	db.writerMu.Lock()
 	defer db.writerMu.Unlock()
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	var merr error
+	if db.metrics != nil {
+		merr = db.metrics.Close()
+		db.metrics = nil
+	}
+	db.bus.Close()
 	err := db.checkpointLocked()
 	db.closed.Store(true)
 	db.tree.MarkClosed()
-	return errors.Join(err, db.raw.Close())
+	return errors.Join(merr, err, db.raw.Close())
 }
 
 // Validate checks every internal invariant (level ordering, waste

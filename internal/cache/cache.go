@@ -191,6 +191,16 @@ func (c *Cache) Stats() Stats {
 	return st
 }
 
+// ResetStats zeroes the hit/miss counts, starting a fresh measurement
+// window. Cached contents are unaffected.
+func (c *Cache) ResetStats() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.hits, s.misses = 0, 0
+		s.mu.Unlock()
+	}
+}
+
 // Len returns the number of cached blocks.
 func (c *Cache) Len() int {
 	n := 0

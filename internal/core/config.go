@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 
+	"lsmssd/internal/obs"
 	"lsmssd/internal/policy"
 	"lsmssd/internal/storage"
 )
@@ -42,6 +43,14 @@ type Config struct {
 	// paranoid hook; see internal/invariant). A non-nil return aborts the
 	// mutating operation with that error.
 	Auditor func(*Tree) error
+	// Bus, when non-nil, receives typed observability events (merges,
+	// flushes, growths, waste warnings; see internal/obs). The tree never
+	// constructs an event unless a sink is subscribed, so an unobserved bus
+	// costs one atomic load per merge.
+	Bus *obs.Bus
+	// Lat, when non-nil, records merge-step latencies (obs.OpMerge) once
+	// enabled. Request-level latencies are recorded by the public layer.
+	Lat *obs.LatencySet
 }
 
 func (c *Config) validate() error {

@@ -37,6 +37,45 @@ type counters struct {
 	grows        atomic.Int64
 }
 
+// reset zeroes every counter. Writer-side: the caller quiesces mutations;
+// concurrent snapshot readers may lose a handful of in-flight lookup/scan
+// increments at the window boundary, which is inherent to any reset.
+func (c *counters) reset() {
+	c.requests.Store(0)
+	c.inserts.Store(0)
+	c.deletes.Store(0)
+	c.lookups.Store(0)
+	c.scans.Store(0)
+	c.requestBytes.Store(0)
+	c.merges.Store(0)
+	c.fullMerges.Store(0)
+	c.grows.Store(0)
+}
+
+// ResetStats starts a fresh measurement window: it zeroes the request and
+// merge counters, the device traffic counters, every level's cumulative
+// write series, cache hit/miss counts, Bloom skip statistics, and the
+// latency histograms. Structural state (levels, blocks, snapshots,
+// deferred frees) is untouched. A new snapshot is published so per-level
+// numbers served from the current view reset along with the live ones.
+// Writer-side: callers serialize with mutations.
+func (t *Tree) ResetStats() {
+	t.cnt.reset()
+	t.dev.ResetCounters()
+	for _, l := range t.levels {
+		l.ResetWriteStats()
+	}
+	if t.cache != nil {
+		t.cache.ResetStats()
+		t.lastCacheHits, t.lastCacheMisses = 0, 0
+	}
+	if t.blooms != nil {
+		t.blooms.ResetCounts()
+	}
+	t.lat.Reset()
+	t.publish()
+}
+
 // LevelStats is a read-only snapshot of one storage level.
 type LevelStats struct {
 	Number        int

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"sync"
 
@@ -12,6 +13,7 @@ import (
 	"lsmssd/internal/level"
 	"lsmssd/internal/memtable"
 	"lsmssd/internal/merge"
+	"lsmssd/internal/obs"
 	"lsmssd/internal/policy"
 	"lsmssd/internal/storage"
 )
@@ -31,6 +33,16 @@ type Tree struct {
 
 	cnt     counters
 	onMerge func(MergeEvent)
+
+	// Observability (internal/obs). bus and lat come from Config and may be
+	// nil; both are nil-safe. warned latches the per-level waste warning
+	// (keyed by level identity, which survives relabelling on growth);
+	// lastCacheHits/lastCacheMisses anchor the CacheEvent deltas.
+	bus             *obs.Bus
+	lat             *obs.LatencySet
+	warned          map[*level.Level]bool
+	lastCacheHits   int64
+	lastCacheMisses int64
 
 	// Memoized L0 virtual-block metadata: policies consult it several
 	// times per merge decision and rebuilding it walks the whole
@@ -72,7 +84,8 @@ func New(cfg Config) (*Tree, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	t := &Tree{cfg: cfg, dev: cfg.Device}
+	t := &Tree{cfg: cfg, dev: cfg.Device, bus: cfg.Bus, lat: cfg.Lat,
+		warned: make(map[*level.Level]bool)}
 	if cfg.CacheBlocks > 0 {
 		t.cache = cache.New(cfg.Device, cfg.CacheBlocks)
 		t.dev = t.cache
@@ -236,14 +249,25 @@ func (t *Tree) grow() {
 		g.LevelsGrew(n)
 	}
 	t.cnt.grows.Add(1)
+	if t.bus.Enabled() {
+		t.bus.Publish(obs.GrowEvent{
+			Height:         t.Height(),
+			BottomLevel:    n + 1,
+			BottomCapacity: t.cfg.capacityBlocks(n + 1),
+		})
+	}
 }
 
 // mergeFromMem merges records out of L0 into L1 per the policy's decision.
 func (t *Tree) mergeFromMem() error {
+	tr := t.beginMergeTrace()
 	d := t.cfg.Policy.Decide(t, 0)
 	var recs []block.Record
 	full := d.Full
 	if d.Full {
+		if tr.traced {
+			tr.xFrom, tr.xTo = 0, len(t.SourceMetas(0))
+		}
 		recs = t.mem.TakeRange(0, ^block.Key(0))
 	} else {
 		metas := t.SourceMetas(0)
@@ -254,6 +278,7 @@ func (t *Tree) mergeFromMem() error {
 		if d.From == 0 && d.To == len(metas) {
 			full = true
 		}
+		tr.xFrom, tr.xTo = d.From, d.To
 		recs = t.mem.TakeRange(metas[d.From].Min, metas[d.To-1].Max)
 	}
 	if len(recs) == 0 {
@@ -268,12 +293,21 @@ func (t *Tree) mergeFromMem() error {
 	if err != nil {
 		return err
 	}
-	t.emitMerge(0, full, src.NumBlocks(), res, 0, 0)
+	t.emitMerge(0, full, src.NumBlocks(), res, 0, 0, tr)
+	if tr.traced && t.bus.Enabled() {
+		t.bus.Publish(obs.FlushEvent{
+			Records:      len(recs),
+			RecordsAfter: t.mem.Len(),
+			Full:         full,
+			Duration:     time.Since(tr.start),
+		})
+	}
 	return t.audit()
 }
 
 // mergeFromLevel merges a window of L_i into L_{i+1} per the policy.
 func (t *Tree) mergeFromLevel(i int) error {
+	tr := t.beginMergeTrace()
 	src := t.levels[i-1]
 	tgt := t.levels[i]
 	d := t.cfg.Policy.Decide(t, i)
@@ -286,6 +320,7 @@ func (t *Tree) mergeFromLevel(i int) error {
 			t.cfg.Policy.Name(), from, to, src.Blocks(), i)
 	}
 	full := d.Full || (from == 0 && to == src.Blocks())
+	tr.xFrom, tr.xTo = from, to
 	res, err := merge.Merge(merge.LevelSource{Level: src}, from, to, tgt, merge.Options{
 		Preserve:       t.cfg.Policy.Preserve(),
 		DropTombstones: t.bottom(i + 1),
@@ -297,7 +332,7 @@ func (t *Tree) mergeFromLevel(i int) error {
 	if err != nil {
 		return err
 	}
-	t.emitMerge(i, full, to-from, res, repairW, compW)
+	t.emitMerge(i, full, to-from, res, repairW, compW, tr)
 	return t.audit()
 }
 
@@ -317,7 +352,25 @@ func (t *Tree) audit() error {
 	return nil
 }
 
-func (t *Tree) emitMerge(from int, full bool, xBlocks int, res merge.Result, srcRepairW, srcCompW int) {
+// mergeTrace carries the observability context captured before a merge
+// step executes. traced is false — and no field is populated — unless a
+// bus sink is subscribed or latency recording is on, so the untraced merge
+// path calls neither time.Now nor Counters.
+type mergeTrace struct {
+	traced      bool
+	start       time.Time
+	readsBefore int64
+	xFrom, xTo  int
+}
+
+func (t *Tree) beginMergeTrace() mergeTrace {
+	if !t.bus.Enabled() && !t.lat.Enabled() {
+		return mergeTrace{}
+	}
+	return mergeTrace{traced: true, start: time.Now(), readsBefore: t.dev.Counters().Reads}
+}
+
+func (t *Tree) emitMerge(from int, full bool, xBlocks int, res merge.Result, srcRepairW, srcCompW int, tr mergeTrace) {
 	t.cnt.merges.Add(1)
 	if full {
 		t.cnt.fullMerges.Add(1)
@@ -337,6 +390,97 @@ func (t *Tree) emitMerge(from int, full bool, xBlocks int, res merge.Result, src
 	}
 	if t.onMerge != nil {
 		t.onMerge(ev)
+	}
+	if !tr.traced {
+		return
+	}
+	d := time.Since(tr.start)
+	t.lat.Observe(obs.OpMerge, d)
+	if !t.bus.Enabled() {
+		return
+	}
+	var cases obs.RepairCases
+	if srcRepairW > 0 {
+		cases |= obs.Case(1)
+	}
+	if srcCompW > 0 {
+		cases |= obs.Case(2)
+	}
+	if res.RepairWrites > 0 {
+		cases |= obs.Case(3)
+	}
+	if res.CompactionWrites > 0 {
+		cases |= obs.Case(4)
+	}
+	t.bus.Publish(obs.MergeEvent{
+		From:                from,
+		To:                  from + 1,
+		Policy:              t.cfg.Policy.Name(),
+		Full:                full,
+		XFrom:               tr.xFrom,
+		XTo:                 tr.xTo,
+		XBlocks:             xBlocks,
+		YBlocks:             res.YBlocks,
+		BlocksRead:          t.dev.Counters().Reads - tr.readsBefore,
+		BlocksWritten:       res.BlocksWritten,
+		PreservedX:          res.PreservedX,
+		PreservedY:          res.PreservedY,
+		SrcRepairWrites:     srcRepairW,
+		SrcCompactionWrites: srcCompW,
+		TgtRepairWrites:     res.RepairWrites,
+		TgtCompactionWrites: res.CompactionWrites,
+		Cases:               cases,
+		Compaction:          srcCompW > 0 || res.CompactionWrites > 0,
+		RecordsIn:           res.RecordsIn,
+		Duration:            d,
+	})
+	t.emitCacheDelta()
+	t.checkWasteWarnings()
+}
+
+// emitCacheDelta publishes buffer-cache traffic accumulated since the last
+// emission, aligning the cache series with the merge trace. Only called
+// with the bus enabled.
+func (t *Tree) emitCacheDelta() {
+	if t.cache == nil {
+		return
+	}
+	st := t.cache.Stats()
+	dh, dm := st.Hits-t.lastCacheHits, st.Misses-t.lastCacheMisses
+	t.lastCacheHits, t.lastCacheMisses = st.Hits, st.Misses
+	if dh == 0 && dm == 0 {
+		return
+	}
+	t.bus.Publish(obs.CacheEvent{Hits: dh, Misses: dm})
+}
+
+// wasteWarnFraction of ε is the early-warning threshold: a level whose
+// waste factor crosses it is one or two preserving merges away from
+// tripping the hard constraint and forcing repairs.
+const wasteWarnFraction = 0.9
+
+// checkWasteWarnings publishes a WarnEvent the first time a level's waste
+// factor exceeds 0.9·ε; the warning re-arms once the level drops back
+// under the threshold. Only called with the bus enabled.
+func (t *Tree) checkWasteWarnings() {
+	thresh := wasteWarnFraction * t.cfg.Epsilon
+	for i, l := range t.levels {
+		wf := l.WasteFactor()
+		if wf <= thresh {
+			delete(t.warned, l)
+			continue
+		}
+		if t.warned[l] {
+			continue
+		}
+		t.warned[l] = true
+		t.bus.Publish(obs.WarnEvent{
+			Level:       i + 1,
+			WasteFactor: wf,
+			Epsilon:     t.cfg.Epsilon,
+			Message: fmt.Sprintf("L%d waste factor %.3f above %.0f%% of ε=%.3f: repair pressure building",
+				i+1, wf, wasteWarnFraction*100, t.cfg.Epsilon),
+		})
 	}
 }
 

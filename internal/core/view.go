@@ -172,6 +172,14 @@ func (t *Tree) MarkClosed() {
 	t.viewMu.Unlock()
 }
 
+// LiveViews returns the number of currently acquired snapshots (including
+// the tree's own reference to the current view). Diagnostics only.
+func (t *Tree) LiveViews() int {
+	t.viewMu.Lock()
+	defer t.viewMu.Unlock()
+	return len(t.liveViews)
+}
+
 // DeferredFrees returns the number of device blocks logically removed from
 // the tree but not yet physically freed because a snapshot may still read
 // them (plus any accumulated in the current mutation). The paper's

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lsmssd/internal/obs"
+	"lsmssd/internal/policy"
+)
+
+// TestWasteWarningEmitted: a preservation-heavy sparse workload pushes
+// level waste factors past 0.9·ε, and the engine must announce the
+// pressure on the bus before the hard constraint forces repairs. The
+// workload is seeded, so the warning is deterministic.
+func TestWasteWarningEmitted(t *testing.T) {
+	bus := obs.NewBus(1 << 16)
+	var warns []obs.WarnEvent
+	bus.Subscribe(obs.SinkFunc(func(ev obs.Event) {
+		if w, ok := ev.(obs.WarnEvent); ok {
+			warns = append(warns, w)
+		}
+	}))
+	defer bus.Close()
+
+	cfg := testConfig(policy.NewChooseBest(0.25, true))
+	cfg.Bus = bus
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveUniform(t, tr, 20000, 5)
+	bus.Flush()
+
+	if len(warns) == 0 {
+		t.Fatal("no waste warnings over a workload known to build repair pressure")
+	}
+	thresh := 0.9 * cfg.Epsilon
+	for _, w := range warns {
+		if w.WasteFactor <= thresh {
+			t.Errorf("warning below threshold: factor %.3f ≤ %.3f", w.WasteFactor, thresh)
+		}
+		if w.Epsilon != cfg.Epsilon || w.Level < 1 {
+			t.Errorf("warning fields implausible: %+v", w)
+		}
+		if !strings.Contains(w.Message, "waste factor") {
+			t.Errorf("message not operator-readable: %q", w.Message)
+		}
+	}
+	// The warning latches: far fewer warnings than merges, not one per
+	// merge while a level sits above the threshold.
+	if merges := tr.Stats().Merges; int64(len(warns)) > merges/10 {
+		t.Errorf("%d warnings over %d merges — latch not working", len(warns), merges)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"lsmssd/internal/block"
 	"lsmssd/internal/core"
+	"lsmssd/internal/obs"
 	"lsmssd/internal/policy"
 	"lsmssd/internal/storage"
 	"lsmssd/internal/workload"
@@ -39,6 +40,11 @@ type Params struct {
 	Epsilon float64
 	// Seed drives all randomness.
 	Seed int64
+	// Bus, when non-nil, is attached to every tree the harness builds, so
+	// subscribed sinks receive the per-merge trace; measurement windows are
+	// bracketed with RunEvent markers (see cmd/lsmbench -trace). Leave nil
+	// for untraced runs — the engine then constructs no events at all.
+	Bus *obs.Bus
 }
 
 // WithDefaults fills unset fields.
@@ -222,6 +228,7 @@ func (p Params) newTree(pol policy.Policy, payload int, k0Blocks, cacheBlocks in
 		Epsilon:       p.Epsilon,
 		CacheBlocks:   cacheBlocks,
 		Seed:          p.Seed,
+		Bus:           p.Bus,
 	})
 	if err != nil {
 		return nil, nil, err

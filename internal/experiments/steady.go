@@ -6,6 +6,7 @@ import (
 
 	"lsmssd/internal/core"
 	"lsmssd/internal/learn"
+	"lsmssd/internal/obs"
 	"lsmssd/internal/policy"
 	"lsmssd/internal/storage"
 	"lsmssd/internal/workload"
@@ -118,6 +119,12 @@ func (p Params) measureSteady(spec SteadySpec, run *steadyRun) (SteadyResult, er
 	h := tree.Height()
 	winBytes := int64(spec.WindowCycles * float64(tree.CapacityBlocks(h-2)*p.BlockSize))
 	dev.ResetCounters()
+	runName := spec.PolicyName + "/" + spec.Workload.Kind.String()
+	if p.Bus.Enabled() {
+		// The marker is published from the writer's goroutine, so in a
+		// recorded trace it precedes every merge of the window exactly.
+		p.Bus.Publish(obs.RunEvent{Name: runName, Phase: "measure-start"})
+	}
 	start := time.Now()
 	issued, err := workload.Drive(run.gen, tree, winBytes)
 	if err != nil {
@@ -130,6 +137,14 @@ func (p Params) measureSteady(spec SteadySpec, run *steadyRun) (SteadyResult, er
 	// preserves), so writes per MB of actual requests is directly
 	// comparable with the paper's absolute y-axis.
 	realMB := float64(issued) / mib
+	if p.Bus.Enabled() {
+		p.Bus.Publish(obs.RunEvent{
+			Name:      runName,
+			Phase:     "measure-end",
+			Writes:    dev.Counters().Writes,
+			RequestMB: realMB,
+		})
+	}
 	return SteadyResult{
 		WritesPerMB:  float64(dev.Counters().Writes) / realMB,
 		SecondsPerMB: elapsed.Seconds() / realMB,

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"lsmssd/internal/obs"
+)
+
+// TestTraceWindowSumsToDeviceWrites pins the property lsmbench's -trace
+// output advertises: between a window's measure-start and measure-end
+// markers, the per-merge TotalWrites sum reproduces the device write
+// counter the end marker carries.
+func TestTraceWindowSumsToDeviceWrites(t *testing.T) {
+	p := tiny()
+	bus := obs.NewBus(1 << 16)
+	var events []obs.Event
+	bus.Subscribe(obs.SinkFunc(func(ev obs.Event) { events = append(events, ev) }))
+	p.Bus = bus
+
+	_, err := p.RunSteady(SteadySpec{
+		PolicyName: "ChooseBest", Delta: 0.05,
+		Workload:  p.uniformWL(100),
+		DatasetMB: 20, K0MB: 1, CacheMB: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Flush()
+	if d := bus.Drops(); d != 0 {
+		t.Fatalf("bus dropped %d events; the trace is incomplete", d)
+	}
+	bus.Close()
+
+	var (
+		inWindow  bool
+		sum       int64
+		merges    int
+		endWrites int64 = -1
+	)
+	for _, ev := range events {
+		switch e := ev.(type) {
+		case obs.RunEvent:
+			switch e.Phase {
+			case "measure-start":
+				inWindow, sum, merges = true, 0, 0
+			case "measure-end":
+				inWindow, endWrites = false, e.Writes
+			}
+		case obs.MergeEvent:
+			if inWindow {
+				sum += int64(e.TotalWrites())
+				merges++
+			}
+		}
+	}
+	if endWrites < 0 {
+		t.Fatal("trace has no measure-end marker")
+	}
+	if merges == 0 {
+		t.Fatal("no merges inside the measurement window")
+	}
+	if sum != endWrites {
+		t.Errorf("window merge TotalWrites sum = %d, device counter = %d", sum, endWrites)
+	}
+}

@@ -104,6 +104,15 @@ func (l *Level) RequiredBlocks() int {
 // merge into the next level.
 func (l *Level) Full() bool { return l.RequiredBlocks() >= l.capacity }
 
+// ResetWriteStats zeroes the level's cumulative write accounting
+// (BlocksWritten, Compactions), starting a fresh measurement window. The
+// slack balance is deliberately untouched: it is an invariant-bearing
+// quantity, not a statistic.
+func (l *Level) ResetWriteStats() {
+	l.BlocksWritten = 0
+	l.Compactions = 0
+}
+
 // EmptySlots returns the total number of unused record slots.
 func (l *Level) EmptySlots() int { return l.idx.Len()*l.b - l.idx.Records() }
 

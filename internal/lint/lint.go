@@ -16,6 +16,10 @@
 //     may be read only by the writer-side packages — everyone else must go
 //     through an acquired snapshot (Tree.AcquireView), because live state
 //     mutates under concurrent merges.
+//   - obs-event: observability event values (obs.MergeEvent & friends) may
+//     be constructed only by the instrumented engine packages — the
+//     per-merge trace is experimental evidence, and a stray constructor
+//     elsewhere would inject events no engine emission point produced.
 //
 // The analyzer is stdlib-only: packages are enumerated with `go list`,
 // parsed with go/parser, and typechecked with go/types against compiler
@@ -65,6 +69,13 @@ type Config struct {
 	// TreeStateAllowed lists the packages allowed to read live tree state
 	// (they run in the writer's context by construction).
 	TreeStateAllowed []string
+	// ObsPkg is the package defining the observability event types whose
+	// construction is restricted to instrumented packages.
+	ObsPkg string
+	// ObsAllowed lists the packages allowed to construct ObsPkg event
+	// values (the sanctioned emission points). Test files are never
+	// linted, so sinks remain testable everywhere.
+	ObsAllowed []string
 	// Layering maps a package path to import paths it must not depend on,
 	// directly or transitively.
 	Layering map[string][]string
@@ -99,7 +110,16 @@ func DefaultConfig() Config {
 			"lsmssd/internal/learn",       // drives the tree single-threaded
 			"lsmssd/internal/experiments", // single-threaded harness
 		},
+		ObsPkg: "lsmssd/internal/obs",
+		ObsAllowed: []string{
+			"lsmssd/internal/obs",
+			"lsmssd/internal/core",
+			"lsmssd/internal/merge",
+			"lsmssd/internal/policy",
+			"lsmssd/internal/experiments", // RunEvent window markers
+		},
 		Layering: map[string][]string{
+			"lsmssd/internal/obs":      lowDeny, // obs stays a leaf: engine publishes into it, never the reverse
 			"lsmssd/internal/block":    lowDeny,
 			"lsmssd/internal/btree":    lowDeny,
 			"lsmssd/internal/bloom":    lowDeny,
@@ -162,6 +182,8 @@ func lintPackage(p *Package, cfg Config) []Finding {
 			case *ast.CallExpr:
 				out = append(out, checkDeviceCall(p, cfg, n)...)
 				out = append(out, checkTreeState(p, cfg, n)...)
+			case *ast.CompositeLit:
+				out = append(out, checkObsEvent(p, cfg, n)...)
 			}
 			return true
 		})
@@ -244,6 +266,35 @@ func checkTreeState(p *Package, cfg Config, call *ast.CallExpr) []Finding {
 		Rule: "tree-state",
 		Msg: fmt.Sprintf("core.Tree.%s reads live level state that mutates under concurrent merges; acquire a snapshot with Tree.AcquireView instead",
 			s.Obj().Name()),
+	}}
+}
+
+// checkObsEvent flags composite literals of ObsPkg's event types (named
+// types with an "Event" suffix) outside the sanctioned emission packages:
+// the merge trace is experimental evidence, so every event must originate
+// at an auditable instrumentation point. Non-event obs types (Family,
+// Sample, Histogram...) remain constructible anywhere.
+func checkObsEvent(p *Package, cfg Config, lit *ast.CompositeLit) []Finding {
+	if cfg.ObsPkg == "" || inList(p.Path, cfg.ObsAllowed) {
+		return nil
+	}
+	tv, ok := p.Info.Types[lit]
+	if !ok {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != cfg.ObsPkg || !strings.HasSuffix(obj.Name(), "Event") {
+		return nil
+	}
+	return []Finding{{
+		Pos:  p.Fset.Position(lit.Pos()),
+		Rule: "obs-event",
+		Msg: fmt.Sprintf("obs.%s constructed outside the instrumented engine packages; events must originate at the engine's emission points so traces stay trustworthy",
+			obj.Name()),
 	}}
 }
 

@@ -1,0 +1,37 @@
+// Package obsevent seeds violations of the obs-event rule: constructing
+// observability event values outside the instrumented engine packages,
+// which would inject events no engine emission point produced.
+package obsevent
+
+import (
+	"lsmssd/internal/obs"
+)
+
+func forgeMerge(bus *obs.Bus) {
+	bus.Publish(obs.MergeEvent{From: 0, To: 1, BlocksWritten: 7}) // want obs-event
+}
+
+func forgeWarnPointer() obs.Event {
+	ev := &obs.WarnEvent{Level: 2, WasteFactor: 0.19} // want obs-event
+	return *ev
+}
+
+func consumingEventsIsFine(bus *obs.Bus) func() {
+	return bus.Subscribe(obs.SinkFunc(func(ev obs.Event) {
+		switch m := ev.(type) {
+		case obs.MergeEvent:
+			_ = m.TotalWrites() // reading fields and methods is the point of sinks
+		case obs.WarnEvent:
+			_ = m.Message
+		}
+	}))
+}
+
+func nonEventObsTypesAreFine() obs.Family {
+	// Rendering types carry no telemetry authority; anyone may build them.
+	return obs.Family{
+		Name:    "example_total",
+		Type:    obs.TypeCounter,
+		Samples: []obs.Sample{{Value: 1}},
+	}
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink consumes events. Deliver runs on the bus's single dispatcher
+// goroutine — sinks see events in publication order and need no internal
+// locking against other deliveries, but must not block for long: while a
+// sink stalls, the ring fills and new events are dropped (and counted).
+type Sink interface {
+	Deliver(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Deliver implements Sink.
+func (f SinkFunc) Deliver(ev Event) { f(ev) }
+
+// DefaultRingDepth is the event ring capacity used by NewBus(0).
+const DefaultRingDepth = 1024
+
+// Bus fans typed events out to subscribed sinks through a fixed-depth
+// ring, decoupling the publisher (the engine's writer) from consumers.
+//
+// Cost model: with no sinks subscribed, Publish is one atomic load and an
+// immediate return — callers additionally guard event construction behind
+// Enabled, so an unobserved engine does no observability work at all.
+// With sinks subscribed, Publish is a non-blocking channel send; when the
+// ring is full the event is dropped and counted (Drops) rather than ever
+// stalling a merge. Delivery happens on one dispatcher goroutine, started
+// lazily on first subscription.
+//
+// A nil *Bus is valid and permanently disabled, so the engine can hold
+// one unconditionally.
+type Bus struct {
+	active atomic.Int32 // number of subscribed sinks: the fast path
+	drops  atomic.Int64
+	seq    atomic.Int64 // events accepted into the ring
+
+	mu      sync.Mutex // guards subs, started, closed
+	subs    atomic.Pointer[[]*subscription]
+	ring    chan Event
+	started bool
+	closed  bool
+	done    chan struct{}
+	exited  chan struct{}
+
+	flushMu   sync.Mutex
+	flushCond *sync.Cond
+	delivered int64 // guarded by flushMu
+}
+
+// subscription wraps a sink so cancellation can remove it by identity
+// (Sink implementations — e.g. SinkFunc — need not be comparable).
+type subscription struct{ sink Sink }
+
+// NewBus returns a bus whose ring holds depth events (DefaultRingDepth
+// when depth <= 0).
+func NewBus(depth int) *Bus {
+	if depth <= 0 {
+		depth = DefaultRingDepth
+	}
+	b := &Bus{
+		ring:   make(chan Event, depth),
+		done:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	b.flushCond = sync.NewCond(&b.flushMu)
+	return b
+}
+
+// Enabled reports whether at least one sink is subscribed. Publishers use
+// it to skip event construction entirely on the unobserved path.
+func (b *Bus) Enabled() bool { return b != nil && b.active.Load() > 0 }
+
+// Publish offers ev to the ring. It never blocks: with no subscribers it
+// returns immediately; with a full ring the event is dropped and counted.
+func (b *Bus) Publish(ev Event) {
+	if b == nil || b.active.Load() == 0 {
+		return
+	}
+	select {
+	case b.ring <- ev:
+		b.seq.Add(1)
+	default:
+		b.drops.Add(1)
+	}
+}
+
+// Drops returns the number of events discarded because the ring was full
+// (the bus's backpressure policy is drop-newest, never block the writer).
+func (b *Bus) Drops() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.drops.Load()
+}
+
+// Subscribe attaches s and returns its cancel function. The dispatcher
+// goroutine starts on the first subscription. After cancel returns, a few
+// already-ringed events may still be delivered to s.
+func (b *Bus) Subscribe(s Sink) (cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return func() {}
+	}
+	sub := &subscription{sink: s}
+	cur := b.loadSubs()
+	next := make([]*subscription, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = sub
+	b.subs.Store(&next)
+	b.active.Store(int32(len(next)))
+	if !b.started {
+		b.started = true
+		go b.dispatch()
+	}
+	var once sync.Once
+	return func() { once.Do(func() { b.unsubscribe(sub) }) }
+}
+
+func (b *Bus) unsubscribe(sub *subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur := b.loadSubs()
+	next := make([]*subscription, 0, len(cur))
+	for _, x := range cur {
+		if x != sub {
+			next = append(next, x)
+		}
+	}
+	b.subs.Store(&next)
+	b.active.Store(int32(len(next)))
+}
+
+func (b *Bus) loadSubs() []*subscription {
+	if p := b.subs.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (b *Bus) dispatch() {
+	defer close(b.exited)
+	for {
+		select {
+		case ev := <-b.ring:
+			b.deliver(ev)
+		case <-b.done:
+			for { // drain what was accepted before Close
+				select {
+				case ev := <-b.ring:
+					b.deliver(ev)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (b *Bus) deliver(ev Event) {
+	for _, sub := range b.loadSubs() {
+		sub.sink.Deliver(ev)
+	}
+	b.flushMu.Lock()
+	b.delivered++
+	b.flushCond.Broadcast()
+	b.flushMu.Unlock()
+}
+
+// Flush blocks until every event accepted before the call has been
+// delivered. Tests and trace writers use it to make the asynchronous
+// dispatch observable deterministically.
+func (b *Bus) Flush() {
+	if b == nil {
+		return
+	}
+	target := b.seq.Load()
+	b.flushMu.Lock()
+	for b.delivered < target {
+		b.flushCond.Wait()
+	}
+	b.flushMu.Unlock()
+}
+
+// Close stops accepting events, drains the ring to the subscribed sinks,
+// and stops the dispatcher. Safe to call more than once; a nil bus is a
+// no-op.
+func (b *Bus) Close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.active.Store(0)
+	started := b.started
+	close(b.done)
+	b.mu.Unlock()
+	if started {
+		<-b.exited
+	}
+}
+
+// JSONLSink serializes every event as one JSON line — the merge-trace
+// format cmd/lsmbench records. Each line is an envelope
+// {"type":"merge","event":{...}} so heterogeneous traces stay parseable.
+// The first encoding error latches (see Err) and later events are skipped.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// envelope is the JSONL wire form of one event.
+type envelope struct {
+	Type  string `json:"type"`
+	Event Event  `json:"event"`
+}
+
+// TypeName returns the JSONL envelope tag for ev ("merge", "flush", ...).
+func TypeName(ev Event) string {
+	switch ev.(type) {
+	case MergeEvent:
+		return "merge"
+	case FlushEvent:
+		return "flush"
+	case GrowEvent:
+		return "grow"
+	case CacheEvent:
+		return "cache"
+	case WarnEvent:
+		return "warn"
+	case RunEvent:
+		return "run"
+	}
+	return "unknown"
+}
+
+// Deliver implements Sink.
+func (s *JSONLSink) Deliver(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(envelope{Type: TypeName(ev), Event: ev})
+}
+
+// Err returns the first write/encode error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

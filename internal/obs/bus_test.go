@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// collector is a test sink that records delivered events. Deliver runs on
+// the bus's single dispatcher goroutine, so no locking is needed as long
+// as the test reads events only after Flush/Close.
+type collector struct {
+	events []Event
+}
+
+func (c *collector) Deliver(ev Event) { c.events = append(c.events, ev) }
+
+func TestBusDeliversInPublicationOrder(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	var c collector
+	cancel := b.Subscribe(&c)
+	defer cancel()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		b.Publish(MergeEvent{From: i, To: i + 1})
+	}
+	b.Flush()
+
+	if len(c.events) != n {
+		t.Fatalf("delivered %d events, want %d", len(c.events), n)
+	}
+	for i, ev := range c.events {
+		m, ok := ev.(MergeEvent)
+		if !ok {
+			t.Fatalf("event %d: %T, want MergeEvent", i, ev)
+		}
+		if m.From != i {
+			t.Fatalf("event %d out of order: From=%d", i, m.From)
+		}
+	}
+	if d := b.Drops(); d != 0 {
+		t.Errorf("drops = %d, want 0", d)
+	}
+}
+
+func TestBusDisabledFastPath(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	if b.Enabled() {
+		t.Fatal("fresh bus reports Enabled")
+	}
+	// Publishing without subscribers must be a no-op: nothing enters the
+	// ring, nothing is counted as dropped.
+	for i := 0; i < 10; i++ {
+		b.Publish(FlushEvent{Records: i})
+	}
+	if d := b.Drops(); d != 0 {
+		t.Errorf("drops = %d, want 0 on unsubscribed bus", d)
+	}
+
+	var c collector
+	cancel := b.Subscribe(&c)
+	if !b.Enabled() {
+		t.Fatal("bus with a sink reports disabled")
+	}
+	cancel()
+	if b.Enabled() {
+		t.Fatal("bus still enabled after cancel")
+	}
+	b.Publish(FlushEvent{})
+	b.Flush()
+	if len(c.events) != 0 {
+		t.Errorf("events published before subscribe or after cancel were delivered: %v", c.events)
+	}
+}
+
+func TestBusNilSafe(t *testing.T) {
+	var b *Bus
+	if b.Enabled() {
+		t.Error("nil bus Enabled")
+	}
+	b.Publish(MergeEvent{}) // must not panic
+	b.Flush()
+	b.Close()
+	if b.Drops() != 0 {
+		t.Error("nil bus Drops != 0")
+	}
+}
+
+func TestBusDropsWhenRingFull(t *testing.T) {
+	b := NewBus(1)
+	defer b.Close()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	b.Subscribe(SinkFunc(func(Event) {
+		if first {
+			first = false
+			entered <- struct{}{}
+			<-release
+		}
+	}))
+
+	// Stall the dispatcher inside the first delivery, then fill the
+	// one-slot ring; every further publish must drop, not block.
+	b.Publish(MergeEvent{From: 0})
+	<-entered
+	b.Publish(MergeEvent{From: 1}) // occupies the single ring slot
+	for i := 0; i < 5; i++ {
+		b.Publish(MergeEvent{From: 2 + i})
+	}
+	if d := b.Drops(); d != 5 {
+		t.Errorf("drops = %d, want 5", d)
+	}
+	close(release)
+	b.Flush() // both accepted events must still arrive
+}
+
+func TestBusCloseDrainsRing(t *testing.T) {
+	b := NewBus(64)
+	var c collector
+	b.Subscribe(&c)
+	const n = 50
+	for i := 0; i < n; i++ {
+		b.Publish(GrowEvent{Height: i})
+	}
+	b.Close() // must deliver everything accepted before returning
+	if len(c.events) != n {
+		t.Fatalf("after Close: %d events delivered, want %d", len(c.events), n)
+	}
+	// Publishing after Close is a silent no-op.
+	b.Publish(GrowEvent{})
+	b.Close() // idempotent
+	if len(c.events) != n {
+		t.Fatalf("event published after Close was delivered")
+	}
+}
+
+func TestBusSubscribeAfterCloseIsInert(t *testing.T) {
+	b := NewBus(0)
+	b.Close()
+	var c collector
+	cancel := b.Subscribe(&c)
+	cancel() // must not panic
+	if b.Enabled() {
+		t.Error("closed bus reports Enabled after Subscribe")
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var sb strings.Builder
+	s := NewJSONLSink(&sb)
+	s.Deliver(MergeEvent{From: 1, To: 2, BlocksWritten: 7, Cases: Case(3)})
+	s.Deliver(WarnEvent{Level: 3, WasteFactor: 0.19, Epsilon: 0.2, Message: "m"})
+	s.Deliver(RunEvent{Name: "x", Phase: "measure-end", Writes: 11})
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var types []string
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		var env struct {
+			Type  string          `json:"type"`
+			Event json.RawMessage `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		types = append(types, env.Type)
+	}
+	want := []string{"merge", "warn", "run"}
+	if len(types) != len(want) {
+		t.Fatalf("got %d lines, want %d", len(types), len(want))
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Errorf("line %d type = %q, want %q", i, types[i], want[i])
+		}
+	}
+
+	// The merge line round-trips its write accounting.
+	var env struct {
+		Event MergeEvent `json:"event"`
+	}
+	line := strings.SplitN(sb.String(), "\n", 2)[0]
+	if err := json.Unmarshal([]byte(line), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Event.BlocksWritten != 7 || !env.Event.Cases.Has(3) {
+		t.Errorf("merge event did not round-trip: %+v", env.Event)
+	}
+}
+
+func TestRepairCasesString(t *testing.T) {
+	cases := []struct {
+		c    RepairCases
+		want string
+	}{
+		{0, "-"},
+		{Case(1), "1"},
+		{Case(2) | Case(4), "2,4"},
+		{Case(1) | Case(2) | Case(3) | Case(4), "1,2,3,4"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("RepairCases(%b).String() = %q, want %q", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestMergeEventTotalWrites(t *testing.T) {
+	e := MergeEvent{
+		BlocksWritten:       10,
+		SrcRepairWrites:     1,
+		SrcCompactionWrites: 2,
+		TgtRepairWrites:     3,
+		TgtCompactionWrites: 4,
+	}
+	if got := e.TotalWrites(); got != 20 {
+		t.Errorf("TotalWrites = %d, want 20", got)
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServerConfig wires the debug endpoint to its data sources. Both
+// callbacks are invoked per request from HTTP handler goroutines and must
+// therefore be safe to call concurrently with the engine (the DB's
+// implementations read lock-free snapshots and atomics only).
+type ServerConfig struct {
+	// Addr is the listen address, e.g. "127.0.0.1:9090" or "127.0.0.1:0"
+	// for an ephemeral port (Server.Addr reports the bound address).
+	Addr string
+	// Metrics produces the families served at /metrics.
+	Metrics func() []Family
+	// Debug produces the value rendered as JSON at /debug/lsm.
+	Debug func() any
+}
+
+// Server is the stdlib-only observability endpoint:
+//
+//	/metrics       Prometheus text exposition
+//	/debug/lsm     engine-state JSON (per-level state, waste, views)
+//	/debug/vars    expvar
+//	/debug/pprof/  runtime profiles
+//
+// Security note: the endpoint is unauthenticated and pprof can reveal
+// heap contents — bind it to loopback (or a firewalled interface) in
+// production, never to a public address.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds cfg.Addr and serves in a background goroutine. The
+// listen error (port in use, bad address) is returned synchronously so
+// misconfiguration fails the caller's startup instead of hiding in a log.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if cfg.Metrics == nil {
+			return
+		}
+		if err := WriteProm(w, cfg.Metrics()); err != nil {
+			// Mid-body failure: the client connection is gone; nothing
+			// useful to report.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/lsm", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if cfg.Debug == nil {
+			fmt.Fprintln(w, "{}")
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cfg.Debug()); err != nil {
+			return
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve exits with ErrServerClosed on Close; any other error means
+		// the listener died and scrapes will fail visibly.
+		_ = srv.Serve(ln)
+	}()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (resolving ":0" requests).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// FamilyType is a Prometheus metric family type.
+type FamilyType string
+
+// Prometheus family types rendered by WriteProm.
+const (
+	TypeCounter   FamilyType = "counter"
+	TypeGauge     FamilyType = "gauge"
+	TypeHistogram FamilyType = "histogram"
+)
+
+// Label is one name="value" pair.
+type Label struct {
+	Name, Value string
+}
+
+// Sample is one time-series sample of a counter or gauge family.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// HistSample is one labelled histogram of a histogram family. Scale
+// converts the snapshot's nanosecond buckets to the exposition unit
+// (1e-9 renders seconds, the Prometheus convention for durations).
+type HistSample struct {
+	Labels []Label
+	Snap   HistSnapshot
+	Scale  float64
+}
+
+// Family is one metric family in Prometheus text exposition format.
+// Counter and gauge families carry Samples; histogram families carry
+// Hists.
+type Family struct {
+	Name, Help string
+	Type       FamilyType
+	Samples    []Sample
+	Hists      []HistSample
+}
+
+// WriteProm renders the families in Prometheus text exposition format
+// (version 0.0.4), the format `curl /metrics` returns.
+func WriteProm(w io.Writer, fams []Family) error {
+	for _, f := range fams {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, renderLabels(s.Labels), formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+		for _, h := range f.Hists {
+			if err := writeHist(w, f.Name, h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHist renders one histogram: cumulative _bucket series (empty
+// buckets elided — Prometheus permits sparse le sets), then _sum and
+// _count.
+func writeHist(w io.Writer, name string, h HistSample) error {
+	scale := h.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	cum := int64(0)
+	for i, c := range h.Snap.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := formatFloat(float64(BucketUpper(i)) * scale)
+		labels := append(append([]Label{}, h.Labels...), Label{"le", le})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels), cum); err != nil {
+			return err
+		}
+	}
+	inf := append(append([]Label{}, h.Labels...), Label{"le", "+Inf"})
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(inf), h.Snap.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(h.Labels), formatFloat(float64(h.Snap.Sum)*scale)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(h.Labels), h.Snap.Count)
+	return err
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,223 @@
+package lsmssd
+
+import (
+	"errors"
+	"strconv"
+
+	"lsmssd/internal/obs"
+)
+
+// Event types re-exported from the internal observability layer. A sink
+// registered with DB.Subscribe receives these; type-switch to consume:
+//
+//	cancel := db.Subscribe(func(ev lsmssd.Event) {
+//		if m, ok := ev.(lsmssd.MergeEvent); ok {
+//			log.Printf("merge L%d→L%d wrote %d blocks", m.From, m.To, m.TotalWrites())
+//		}
+//	})
+//	defer cancel()
+//
+// Events are delivered asynchronously on a single dispatcher goroutine, in
+// publication order. Construct these types only to test your own sinks;
+// the engine is the producer.
+type (
+	// Event is the interface all observability events implement.
+	Event = obs.Event
+	// MergeEvent describes one executed merge (window choice, overlap,
+	// preservation, repair cases, I/O and wall-clock cost).
+	MergeEvent = obs.MergeEvent
+	// FlushEvent describes one memtable drain.
+	FlushEvent = obs.FlushEvent
+	// GrowEvent records the tree gaining a storage level.
+	GrowEvent = obs.GrowEvent
+	// CacheEvent reports buffer-cache traffic deltas between merges.
+	CacheEvent = obs.CacheEvent
+	// WarnEvent is an operator-facing warning (e.g. waste-factor pressure).
+	WarnEvent = obs.WarnEvent
+	// RunEvent marks measurement-window boundaries in recorded traces.
+	RunEvent = obs.RunEvent
+)
+
+// Subscribe attaches sink to the DB's event bus and returns a cancel
+// function. The sink runs on the bus's dispatcher goroutine, never on the
+// engine's writer path; a slow sink causes events to be dropped (and
+// counted), never a stalled merge. With no subscribers the engine
+// constructs no events at all, so an unobserved DB's write counts are
+// unaffected by the observability layer. Close delivers pending events
+// before returning; cancel only stops future deliveries.
+func (db *DB) Subscribe(sink func(Event)) (cancel func()) {
+	return db.bus.Subscribe(obs.SinkFunc(sink))
+}
+
+// EventDrops returns the number of events discarded because sinks could
+// not keep up with the engine (the bus never blocks the writer).
+func (db *DB) EventDrops() int64 { return db.bus.Drops() }
+
+// MetricsAddr returns the bound address of the observability endpoint
+// ("host:port", with ephemeral ports resolved), or "" when
+// Options.MetricsAddr was not set.
+func (db *DB) MetricsAddr() string {
+	if db.metrics == nil {
+		return ""
+	}
+	return db.metrics.Addr()
+}
+
+// startObs finishes Open: it starts the HTTP observability endpoint when
+// Options.MetricsAddr is set. On listen failure the DB is closed and the
+// error returned, so Open never hands back a half-observable store.
+func (db *DB) startObs() (*DB, error) {
+	if db.opts.MetricsAddr == "" {
+		return db, nil
+	}
+	srv, err := obs.StartServer(obs.ServerConfig{
+		Addr:    db.opts.MetricsAddr,
+		Metrics: db.metricFamilies,
+		Debug:   func() any { return db.debugState() },
+	})
+	if err != nil {
+		return nil, errors.Join(err, db.Close())
+	}
+	db.metrics = srv
+	return db, nil
+}
+
+// metricFamilies materializes the /metrics payload from a Stats snapshot.
+// Called per scrape from HTTP handler goroutines; everything it reads is
+// lock-free or behind the few-instruction view mutex.
+func (db *DB) metricFamilies() []obs.Family {
+	s := db.Stats()
+	counter := func(name, help string, v int64) obs.Family {
+		return obs.Family{Name: name, Help: help, Type: obs.TypeCounter,
+			Samples: []obs.Sample{{Value: float64(v)}}}
+	}
+	gauge := func(name, help string, v float64) obs.Family {
+		return obs.Family{Name: name, Help: help, Type: obs.TypeGauge,
+			Samples: []obs.Sample{{Value: v}}}
+	}
+	fams := []obs.Family{
+		counter("lsmssd_blocks_written_total", "Data blocks written to the device (the paper's cost metric).", s.BlocksWritten),
+		counter("lsmssd_blocks_read_total", "Data blocks read from the device (cache misses only when caching is on).", s.BlocksRead),
+		gauge("lsmssd_live_blocks", "Device blocks currently allocated.", float64(s.LiveBlocks)),
+		counter("lsmssd_requests_total", "Modification requests processed (inserts plus deletes).", s.Requests),
+		counter("lsmssd_inserts_total", "Insert/update requests processed.", s.Inserts),
+		counter("lsmssd_deletes_total", "Delete requests processed.", s.Deletes),
+		counter("lsmssd_lookups_total", "Point lookups served.", s.Lookups),
+		counter("lsmssd_scans_total", "Range scans started.", s.Scans),
+		counter("lsmssd_request_bytes_total", "Key+payload bytes of modifications processed.", s.RequestBytes),
+		counter("lsmssd_merges_total", "Merges executed.", s.Merges),
+		counter("lsmssd_full_merges_total", "Merges that took a whole source level.", s.FullMerges),
+		gauge("lsmssd_height", "Tree height including the memtable level.", float64(s.Height)),
+		gauge("lsmssd_records", "Records stored, including shadowed versions and tombstones.", float64(s.Records)),
+		gauge("lsmssd_memtable_records", "Records currently in the memtable (L0).", float64(s.MemtableRecords)),
+		counter("lsmssd_cache_hits_total", "Buffer-cache hits.", s.CacheHits),
+		counter("lsmssd_cache_misses_total", "Buffer-cache misses.", s.CacheMisses),
+		counter("lsmssd_bloom_skipped_total", "Block reads avoided by Bloom filters.", s.BloomSkipped),
+		counter("lsmssd_bloom_passed_total", "Lookups Bloom filters could not rule out.", s.BloomPassed),
+		counter("lsmssd_event_drops_total", "Observability events dropped because sinks lagged.", db.bus.Drops()),
+	}
+
+	levelLabel := func(n int) []obs.Label {
+		return []obs.Label{{Name: "level", Value: strconv.Itoa(n)}}
+	}
+	perLevel := []struct {
+		name, help string
+		typ        obs.FamilyType
+		value      func(LevelStats) float64
+	}{
+		{"lsmssd_level_blocks", "Data blocks in the level.", obs.TypeGauge,
+			func(l LevelStats) float64 { return float64(l.Blocks) }},
+		{"lsmssd_level_records", "Records in the level.", obs.TypeGauge,
+			func(l LevelStats) float64 { return float64(l.Records) }},
+		{"lsmssd_level_capacity_blocks", "Level capacity K_i in blocks.", obs.TypeGauge,
+			func(l LevelStats) float64 { return float64(l.CapacityBlocks) }},
+		{"lsmssd_level_waste_factor", "Fraction of empty record slots in the level (bounded by epsilon).", obs.TypeGauge,
+			func(l LevelStats) float64 { return l.WasteFactor }},
+		{"lsmssd_level_blocks_written_total", "Cumulative blocks written into the level.", obs.TypeCounter,
+			func(l LevelStats) float64 { return float64(l.BlocksWritten) }},
+		{"lsmssd_level_compactions_total", "Compactions of the level.", obs.TypeCounter,
+			func(l LevelStats) float64 { return float64(l.Compactions) }},
+	}
+	for _, m := range perLevel {
+		f := obs.Family{Name: m.name, Help: m.help, Type: m.typ}
+		for _, l := range s.Levels {
+			f.Samples = append(f.Samples, obs.Sample{Labels: levelLabel(l.Level), Value: m.value(l)})
+		}
+		fams = append(fams, f)
+	}
+
+	lf := obs.Family{
+		Name: "lsmssd_op_duration_seconds",
+		Help: "Operation latency (log-spaced buckets). Recorded only when MetricsAddr is set.",
+		Type: obs.TypeHistogram,
+	}
+	if db.lat.Enabled() {
+		for op := obs.Op(0); op < obs.NumOps; op++ {
+			lf.Hists = append(lf.Hists, obs.HistSample{
+				Labels: []obs.Label{{Name: "op", Value: op.String()}},
+				Snap:   db.lat.Hist(op).Snapshot(),
+				Scale:  1e-9,
+			})
+		}
+	}
+	fams = append(fams, lf)
+	return fams
+}
+
+// debugLevelJSON is one storage level in the /debug/lsm dump.
+type debugLevelJSON struct {
+	Level          int     `json:"level"`
+	Blocks         int     `json:"blocks"`
+	Records        int     `json:"records"`
+	CapacityBlocks int     `json:"capacity_blocks"`
+	WasteFactor    float64 `json:"waste_factor"`
+	BlocksWritten  int64   `json:"blocks_written"`
+	Compactions    int64   `json:"compactions"`
+}
+
+// debugStateJSON is the /debug/lsm payload: per-level state plus the
+// snapshot-machinery internals (live views, deferred frees) that Stats
+// does not expose.
+type debugStateJSON struct {
+	Policy          string           `json:"policy"`
+	Height          int              `json:"height"`
+	Records         int              `json:"records"`
+	MemtableRecords int              `json:"memtable_records"`
+	BlocksWritten   int64            `json:"blocks_written"`
+	BlocksRead      int64            `json:"blocks_read"`
+	LiveBlocks      int64            `json:"live_blocks"`
+	LiveViews       int              `json:"live_views"`
+	DeferredFrees   int64            `json:"deferred_frees"`
+	EventDrops      int64            `json:"event_drops"`
+	Levels          []debugLevelJSON `json:"levels"`
+	Latencies       []LatencyStats   `json:"latencies,omitempty"`
+}
+
+func (db *DB) debugState() debugStateJSON {
+	s := db.Stats()
+	d := debugStateJSON{
+		Policy:          db.opts.MergePolicy.String(),
+		Height:          s.Height,
+		Records:         s.Records,
+		MemtableRecords: s.MemtableRecords,
+		BlocksWritten:   s.BlocksWritten,
+		BlocksRead:      s.BlocksRead,
+		LiveBlocks:      s.LiveBlocks,
+		LiveViews:       db.tree.LiveViews(),
+		DeferredFrees:   db.tree.DeferredFrees(),
+		EventDrops:      db.bus.Drops(),
+		Latencies:       s.Latencies,
+	}
+	for _, l := range s.Levels {
+		d.Levels = append(d.Levels, debugLevelJSON{
+			Level:          l.Level,
+			Blocks:         l.Blocks,
+			Records:        l.Records,
+			CapacityBlocks: l.CapacityBlocks,
+			WasteFactor:    l.WasteFactor,
+			BlocksWritten:  l.BlocksWritten,
+			Compactions:    l.Compactions,
+		})
+	}
+	return d
+}

@@ -142,6 +142,16 @@ type Options struct {
 	// Seed fixes all internal randomness; runs with equal options and
 	// inputs are reproducible (default 1).
 	Seed int64
+	// MetricsAddr, when set, serves the observability endpoint on this TCP
+	// address: Prometheus-text /metrics, an engine-state JSON dump at
+	// /debug/lsm, expvar at /debug/vars, and pprof under /debug/pprof/.
+	// Use "127.0.0.1:0" for an ephemeral port; DB.MetricsAddr reports the
+	// bound address. Setting it also turns on per-operation latency
+	// histograms (surfaced in Stats.Latencies and /metrics). The endpoint
+	// is unauthenticated and pprof exposes heap contents — bind it to
+	// loopback or a firewalled interface, never a public address. Empty
+	// (the default) serves nothing and records no latencies.
+	MetricsAddr string
 	// Paranoid audits the paper's structural invariants (waste bounds,
 	// pairwise block constraint, fence consistency, level-size bounds; see
 	// internal/invariant) after every merge, level growth, and request.

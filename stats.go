@@ -1,11 +1,26 @@
 package lsmssd
 
+import (
+	"time"
+
+	"lsmssd/internal/obs"
+)
+
 // Stats is a point-in-time accounting snapshot of a DB.
 //
 // BlocksWritten is the paper's primary cost metric: the number of data
 // blocks written to the device since Open (or the last ResetIOStats). On
 // SSDs writes dominate cost and wear, so merge policies are compared by
 // this number, typically normalized per megabyte of requests.
+//
+// Reset semantics: every cumulative counter in Stats — device traffic,
+// request accounting, merge counts, the per-level write series, cache and
+// Bloom statistics, and Latencies — covers the same window, from Open or
+// the last ResetIOStats to now. ResetIOStats zeroes them all together, so
+// cross-counter identities (per-level writes summing to BlocksWritten,
+// hit rates, writes per request) hold within any window. Structural
+// fields (Height, Records, MemtableRecords, LiveBlocks, per-level shapes)
+// describe the present and are never reset.
 type Stats struct {
 	// Device traffic.
 	BlocksWritten int64
@@ -35,6 +50,24 @@ type Stats struct {
 	CacheMisses  int64
 	BloomSkipped int64
 	BloomPassed  int64
+
+	// Latencies summarizes the per-operation latency histograms, one entry
+	// per operation that recorded at least one observation. Empty unless
+	// Options.MetricsAddr enabled latency recording.
+	Latencies []LatencyStats
+}
+
+// LatencyStats summarizes one operation's latency histogram over the
+// current measurement window. Quantiles are upper bounds from log-spaced
+// buckets (within a factor of two of the true value).
+type LatencyStats struct {
+	Op    string // "get", "put", "delete", "scan", "merge"
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
 }
 
 // LevelStats describes one storage level.
@@ -94,13 +127,43 @@ func (db *DB) Stats() Stats {
 	if b := db.tree.Blooms(); b != nil {
 		s.BloomSkipped, s.BloomPassed = b.Counts()
 	}
+	s.Latencies = db.latencyStats()
 	return s
 }
 
-// ResetIOStats zeroes the device's read/write counters, starting a fresh
-// measurement window (live-block and request accounting persist).
+// latencyStats materializes the non-empty latency histograms.
+func (db *DB) latencyStats() []LatencyStats {
+	if !db.lat.Enabled() {
+		return nil
+	}
+	var out []LatencyStats
+	for op := obs.Op(0); op < obs.NumOps; op++ {
+		snap := db.lat.Hist(op).Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		out = append(out, LatencyStats{
+			Op:    op.String(),
+			Count: snap.Count,
+			Mean:  snap.Mean(),
+			P50:   snap.Quantile(0.50),
+			P95:   snap.Quantile(0.95),
+			P99:   snap.Quantile(0.99),
+			Max:   snap.Max(),
+		})
+	}
+	return out
+}
+
+// ResetIOStats starts a fresh measurement window: it zeroes every
+// cumulative counter reported by Stats — device read/write traffic,
+// request accounting, merge and growth counts, the per-level
+// BlocksWritten/Compactions series, cache and Bloom statistics, and the
+// latency histograms. Structural state (Height, Records, LiveBlocks,
+// level contents) is unaffected. See the Stats documentation for the
+// uniform-window guarantee this provides.
 func (db *DB) ResetIOStats() {
 	tree, unlock := db.lockedTree()
 	defer unlock()
-	tree.Device().ResetCounters()
+	tree.ResetStats()
 }
