@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench-read obs-smoke ci
+.PHONY: all build fmt vet lint test race bench-read bench-write obs-smoke ci
 
 all: build
 
@@ -35,6 +35,12 @@ race:
 # drop substantially from goroutines=1 to goroutines=8.
 bench-read:
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentReads' -benchtime 2s .
+
+# Concurrent write throughput and put-latency tail, sync vs background
+# compaction. Background should collapse the p99/max tail (the inline
+# cascade) into scheduler backpressure.
+bench-write:
+	$(GO) test -run xxx -bench 'BenchmarkConcurrentWrites|BenchmarkPutLatencyTail' -benchtime 2s .
 
 # End-to-end observability smoke: open a store with the /metrics endpoint
 # on an ephemeral port, drive writes, scrape it, and require the core

@@ -42,14 +42,22 @@ func (b *WriteBatch) Reset() { b.ops = b.ops[:0] }
 // step. Later operations on the same key win, exactly as if issued
 // sequentially; request statistics count each operation individually. The
 // batch itself is not consumed — Reset it to reuse, or Apply it again to
-// re-run the same operations.
+// re-run the same operations. Like Put, Apply is subject to write-stall
+// backpressure under background compaction (one admission for the whole
+// batch).
 func (db *DB) Apply(b *WriteBatch) error {
+	if err := db.sched.Admit(); err != nil {
+		return err
+	}
 	db.writerMu.Lock()
 	defer db.writerMu.Unlock()
 	if db.closed.Load() {
 		return ErrClosed
 	}
 	if err := db.tree.ApplyBatch(b.ops); err != nil {
+		return err
+	}
+	if err := db.sched.Notify(); err != nil {
 		return err
 	}
 	return db.paranoidSteadyCheck()

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lsmkv [-path file.blk] [-policy ChooseBest] [-preserve=true] [-metrics 127.0.0.1:8080]
+//	lsmkv [-path file.blk] [-policy ChooseBest] [-preserve=true] [-compaction sync] [-metrics 127.0.0.1:8080]
 //
 // Commands (one per line on stdin):
 //
@@ -28,6 +28,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"flag"
 
@@ -36,12 +38,13 @@ import (
 
 func main() {
 	var (
-		path     = flag.String("path", "", "file-backed device path (default: in-memory)")
-		policy   = flag.String("policy", "ChooseBest", "merge policy: Full, RR, ChooseBest, TestMixed, Mixed")
-		preserve = flag.Bool("preserve", true, "enable block-preserving merges")
-		k0       = flag.Int("k0", 64, "memtable capacity in blocks")
-		delta    = flag.Float64("delta", 0.07, "partial merge rate")
-		metrics  = flag.String("metrics", "", "serve /metrics and /debug on this address (e.g. 127.0.0.1:8080)")
+		path       = flag.String("path", "", "file-backed device path (default: in-memory)")
+		policy     = flag.String("policy", "ChooseBest", "merge policy: Full, RR, ChooseBest, TestMixed, Mixed")
+		preserve   = flag.Bool("preserve", true, "enable block-preserving merges")
+		k0         = flag.Int("k0", 64, "memtable capacity in blocks")
+		delta      = flag.Float64("delta", 0.07, "partial merge rate")
+		metrics    = flag.String("metrics", "", "serve /metrics and /debug on this address (e.g. 127.0.0.1:8080)")
+		compaction = flag.String("compaction", "sync", "merge scheduling: sync (cascades run inline) or background (scheduler goroutine with write stalls)")
 	)
 	flag.Parse()
 
@@ -53,6 +56,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lsmkv: unknown policy %q\n", *policy)
 		os.Exit(1)
 	}
+	mode, ok := map[string]lsmssd.CompactionMode{
+		"sync": lsmssd.SyncCompaction, "background": lsmssd.BackgroundCompaction,
+	}[*compaction]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lsmkv: unknown compaction mode %q (sync or background)\n", *compaction)
+		os.Exit(1)
+	}
 	db, err := lsmssd.Open(lsmssd.Options{
 		Path:            *path,
 		MergePolicy:     pol,
@@ -60,6 +70,7 @@ func main() {
 		MemtableBlocks:  *k0,
 		Delta:           *delta,
 		MetricsAddr:     *metrics,
+		CompactionMode:  mode,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lsmkv: %v\n", err)
@@ -69,11 +80,25 @@ func main() {
 	if *metrics != "" {
 		fmt.Fprintf(os.Stderr, "lsmkv: metrics on http://%s/metrics (also /debug/lsm, /debug/pprof)\n", db.MetricsAddr())
 	}
-	// Waste warnings (a level's waste factor nearing its ε bound) land on
-	// stderr as they happen, so the prompt stays usable.
+	// Waste warnings (a level's waste factor nearing its ε bound) and
+	// background write stalls land on stderr as they happen, so the prompt
+	// stays usable. Stop stalls always print; slowdowns are rate-limited
+	// to one line a second (a churn can trip thousands).
+	var lastSlowdown atomic.Int64
 	db.Subscribe(func(ev lsmssd.Event) {
-		if w, ok := ev.(lsmssd.WarnEvent); ok {
-			fmt.Fprintf(os.Stderr, "lsmkv: warning: %s\n", w.Message)
+		switch e := ev.(type) {
+		case lsmssd.WarnEvent:
+			fmt.Fprintf(os.Stderr, "lsmkv: warning: %s\n", e.Message)
+		case lsmssd.StallEvent:
+			if e.Kind == "slowdown" {
+				now := time.Now().UnixNano()
+				last := lastSlowdown.Load()
+				if now-last < int64(time.Second) || !lastSlowdown.CompareAndSwap(last, now) {
+					return
+				}
+			}
+			fmt.Fprintf(os.Stderr, "lsmkv: write stall (%s): L0 at %d blocks (trigger %d), waited %v\n",
+				e.Kind, e.L0Blocks, e.Trigger, e.Duration)
 		}
 	})
 

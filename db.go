@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"lsmssd/internal/block"
+	"lsmssd/internal/compaction"
 	"lsmssd/internal/core"
 	"lsmssd/internal/histogram"
 	"lsmssd/internal/invariant"
@@ -28,11 +29,19 @@ var ErrClosed = errors.New("lsmssd: database is closed")
 // merge. Readers therefore never wait for a merge cascade, and an
 // in-progress Scan or Iterator observes a frozen, consistent state no
 // matter how many merges complete meanwhile.
+//
+// Merge scheduling: mutations land records in L0 and hand overflow work
+// to the compaction scheduler (internal/compaction) — inline in the
+// mutating call under SyncCompaction (the default), or on a background
+// goroutine under BackgroundCompaction, with write-stall backpressure
+// when compaction falls behind. No merge is ever initiated from this
+// layer directly.
 type DB struct {
 	writerMu sync.Mutex // serializes mutations, checkpoints, tuning
 	closed   atomic.Bool
 	opts     Options
 	tree     *core.Tree
+	sched    *compaction.Scheduler
 	raw      storage.Device // the unwrapped device, for Close
 
 	// Observability (see metrics.go). bus and lat always exist; lat records
@@ -78,8 +87,15 @@ func Open(opts Options) (*DB, error) {
 	if opts.Paranoid {
 		// Mid-cascade audits tolerate in-flight records: a merge may land
 		// in a level whose own overflow the cascade has not reached yet.
+		// Under background compaction the audit runs on the scheduler
+		// goroutine between concurrently admitted writes, so L0's bound is
+		// the stall gate's StopTrigger rather than K0.
+		audit := invariant.Options{MidCascade: true}
+		if opts.CompactionMode == BackgroundCompaction {
+			audit.L0CapacityBlocks = opts.StopTrigger
+		}
 		cfg.Auditor = func(t *core.Tree) error {
-			return invariant.Check(t, invariant.Options{MidCascade: true})
+			return invariant.Check(t, audit)
 		}
 	}
 
@@ -91,7 +107,7 @@ func Open(opts Options) (*DB, error) {
 			if err != nil {
 				return nil, err
 			}
-			return db.startObs()
+			return db.finishOpen()
 		case errors.Is(err, manifest.ErrNoManifest):
 			// fresh store below
 		default:
@@ -115,6 +131,30 @@ func Open(opts Options) (*DB, error) {
 		return nil, errors.Join(err, dev.Close())
 	}
 	db := &DB{opts: opts, tree: tree, raw: dev, bus: cfg.Bus, lat: cfg.Lat}
+	return db.finishOpen()
+}
+
+// finishOpen wires the pieces that need the assembled DB: the compaction
+// scheduler (whose per-step lock is the DB's writer lock) and the
+// observability endpoint.
+func (db *DB) finishOpen() (*DB, error) {
+	mode := compaction.Sync
+	if db.opts.CompactionMode == BackgroundCompaction {
+		mode = compaction.Background
+	}
+	sched, err := compaction.New(compaction.Config{
+		Tree:           db.tree,
+		Mu:             &db.writerMu,
+		Mode:           mode,
+		SlowdownBlocks: db.opts.SlowdownTrigger,
+		StopBlocks:     db.opts.StopTrigger,
+		Bus:            db.bus,
+		Lat:            db.lat,
+	})
+	if err != nil {
+		return nil, errors.Join(err, db.raw.Close())
+	}
+	db.sched = sched
 	return db.startObs()
 }
 
@@ -203,16 +243,25 @@ func (db *DB) checkpointLocked() error {
 	})
 }
 
-// Put inserts or updates the value stored for key.
+// Put inserts or updates the value stored for key. Under background
+// compaction Put may pace or stall when L0 reaches the configured
+// triggers, and reports any merge error the scheduler parked since the
+// previous write.
 func (db *DB) Put(key uint64, value []byte) error {
 	start := db.lat.Start()
 	defer db.lat.Done(obs.OpPut, start)
+	if err := db.sched.Admit(); err != nil {
+		return err
+	}
 	db.writerMu.Lock()
 	defer db.writerMu.Unlock()
 	if db.closed.Load() {
 		return ErrClosed
 	}
 	if err := db.tree.Put(block.Key(key), value); err != nil {
+		return err
+	}
+	if err := db.sched.Notify(); err != nil {
 		return err
 	}
 	return db.paranoidSteadyCheck()
@@ -223,6 +272,9 @@ func (db *DB) Put(key uint64, value []byte) error {
 func (db *DB) Delete(key uint64) error {
 	start := db.lat.Start()
 	defer db.lat.Done(obs.OpDelete, start)
+	if err := db.sched.Admit(); err != nil {
+		return err
+	}
 	db.writerMu.Lock()
 	defer db.writerMu.Unlock()
 	if db.closed.Load() {
@@ -231,17 +283,27 @@ func (db *DB) Delete(key uint64) error {
 	if err := db.tree.Delete(block.Key(key)); err != nil {
 		return err
 	}
+	if err := db.sched.Notify(); err != nil {
+		return err
+	}
 	return db.paranoidSteadyCheck()
 }
 
 // paranoidSteadyCheck asserts the strict (post-cascade) bounds after a
 // mutating request when Paranoid is set. Metadata only: the per-merge
-// auditor already verified block contents.
+// auditor already verified block contents. The strictness is keyed off
+// the scheduler's state, not the call position: with the background
+// cascade still draining, the relaxed mid-cascade bounds apply.
 func (db *DB) paranoidSteadyCheck() error {
 	if !db.opts.Paranoid {
 		return nil
 	}
-	return invariant.Check(db.tree, invariant.Options{SkipContents: true})
+	o := invariant.Options{SkipContents: true}
+	if db.sched.Pending() {
+		o.MidCascade = true
+		o.L0CapacityBlocks = db.opts.StopTrigger
+	}
+	return invariant.Check(db.tree, o)
 }
 
 // Get returns the value stored for key. It runs against the current
@@ -279,7 +341,16 @@ func (db *DB) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error 
 // including the metrics endpoint and the event bus (pending events are
 // delivered to subscribed sinks before Close returns). Every operation
 // issued after Close returns ErrClosed.
+//
+// Ordering: the compaction scheduler is stopped first, before the writer
+// lock is taken — its goroutine needs the lock to finish an in-flight
+// merge step, and it must be quiescent before the device and event bus go
+// away. A cascade interrupted mid-way is completed on the next Open (the
+// manifest round-trips over-capacity levels; Restore drains them). Any
+// background merge error the scheduler parked is folded into Close's
+// return.
 func (db *DB) Close() error {
+	db.sched.Stop()
 	db.writerMu.Lock()
 	defer db.writerMu.Unlock()
 	if db.closed.Load() {
@@ -294,7 +365,7 @@ func (db *DB) Close() error {
 	err := db.checkpointLocked()
 	db.closed.Store(true)
 	db.tree.MarkClosed()
-	return errors.Join(merr, err, db.raw.Close())
+	return errors.Join(db.sched.Err(), merr, err, db.raw.Close())
 }
 
 // Validate checks every internal invariant (level ordering, waste

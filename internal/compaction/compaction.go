@@ -1,0 +1,367 @@
+// Package compaction owns merge scheduling: it is the only non-test code
+// allowed to drive core.Tree's overflow cascade (CompactionStep /
+// RunCascade — the lsmlint compaction-step rule enforces the boundary).
+// Writers land records in L0, then hand the cascade to a Scheduler, which
+// runs it in one of two modes:
+//
+//   - Sync: the cascade runs to completion inline in the mutating call,
+//     step order identical to the original engine — the paper's cost
+//     model, and the mode experiments use so BlocksWritten accounting
+//     stays byte-identical;
+//   - Background: a scheduler goroutine drains the cascade one step at a
+//     time under the writer lock, so writes only pay L0 insertion and
+//     readers keep consuming published snapshots. Writers are paced by
+//     LevelDB-style backpressure on L0's size: at SlowdownBlocks each
+//     admission sleeps briefly; at StopBlocks it blocks until the
+//     scheduler catches up (the hard stall gate).
+//
+// Error contract (Background): a failed merge step parks the error; every
+// subsequent Admit/Notify returns it, and DB.Close folds it into its own
+// error, so background failures surface on the next write or at Close —
+// never silently.
+package compaction
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/core"
+	"lsmssd/internal/obs"
+)
+
+// Mode selects who drives the overflow cascade.
+type Mode int
+
+const (
+	// Sync runs the cascade inline in the mutating call.
+	Sync Mode = iota
+	// Background runs the cascade on the scheduler goroutine.
+	Background
+)
+
+// String returns the mode's display name.
+func (m Mode) String() string {
+	if m == Background {
+		return "background"
+	}
+	return "sync"
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Tree is the engine to compact. Required.
+	Tree *core.Tree
+	// Mu serializes cascade steps against the engine's other mutations —
+	// the DB's writer lock. Required in Background mode; the scheduler
+	// acquires it per step, never across steps, so writers interleave
+	// with a draining cascade.
+	Mu sync.Locker
+	// Mode selects scheduling; see the package comment.
+	Mode Mode
+	// SlowdownBlocks is the L0 size (in blocks) at which each admission
+	// pays SlowdownSleep. Zero disables pacing. Background mode only.
+	SlowdownBlocks int
+	// StopBlocks is the L0 size (in blocks) at which admissions block
+	// until the scheduler drains L0 back under the trigger. Zero disables
+	// the gate. Background mode only.
+	StopBlocks int
+	// SlowdownSleep is the pacing sleep (default 1ms, LevelDB's choice).
+	SlowdownSleep time.Duration
+	// Bus receives StallEvents; may be nil (events are gated on
+	// subscription as everywhere else).
+	Bus *obs.Bus
+	// Lat records stall durations under obs.OpStall; may be nil.
+	Lat *obs.LatencySet
+}
+
+// Scheduler drives a Tree's overflow cascade per its Config. All methods
+// are safe for concurrent use. The zero value is not usable; call New.
+type Scheduler struct {
+	cfg Config
+
+	// Background machinery. wake is buffered so Notify never blocks;
+	// stopping gates new work, stopCh interrupts the run loop, done
+	// closes when the goroutine exits.
+	wake     chan struct{}
+	stopCh   chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	stopping atomic.Bool
+
+	// Stall gate. gateMu guards l0Gate and err; the condition variable
+	// wakes writers parked at the stop trigger when the scheduler drains
+	// L0, fails, or shuts down (atomics alone would lose wakeups).
+	gateMu sync.Mutex
+	gate   *sync.Cond
+	l0Gate int
+	err    error // first failed merge step, sticky
+
+	// Gauges and counters, atomics so Stats stays lock-free.
+	queueDepth    atomic.Int64
+	l0Blocks      atomic.Int64
+	pendingWork   atomic.Bool
+	steps         atomic.Int64
+	slowdowns     atomic.Int64
+	stops         atomic.Int64
+	slowdownNanos atomic.Int64
+	stopNanos     atomic.Int64
+}
+
+// New builds a scheduler and, in Background mode, starts its goroutine.
+// Background mode requires Mu.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Tree == nil {
+		return nil, errors.New("compaction: Config.Tree is required")
+	}
+	if cfg.Mode == Background && cfg.Mu == nil {
+		return nil, errors.New("compaction: Background mode requires Config.Mu")
+	}
+	if cfg.SlowdownSleep == 0 {
+		cfg.SlowdownSleep = time.Millisecond
+	}
+	s := &Scheduler{
+		cfg:    cfg,
+		wake:   make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	s.gate = sync.NewCond(&s.gateMu)
+	if cfg.Mode == Background {
+		// Seed the gauges from the tree so a scheduler built over an
+		// existing backlog gates admissions correctly from the first
+		// write. New runs before any concurrency, so reading the tree
+		// here is safe without Mu.
+		l0 := cfg.Tree.SizeBlocks(0)
+		s.l0Blocks.Store(int64(l0))
+		s.queueDepth.Store(int64(cfg.Tree.CompactionBacklog()))
+		s.l0Gate = l0
+		go s.run()
+	} else {
+		close(s.done)
+	}
+	return s, nil
+}
+
+// Admit applies write-path backpressure; writers call it before taking
+// the writer lock (it may sleep or block, and the scheduler needs the
+// lock to make the progress being waited for). It returns any parked
+// background merge error. Sync mode admits unconditionally.
+func (s *Scheduler) Admit() error {
+	if s.cfg.Mode == Sync {
+		return nil
+	}
+	if err := s.Err(); err != nil {
+		return err
+	}
+	if s.cfg.StopBlocks > 0 && s.l0Blocks.Load() >= int64(s.cfg.StopBlocks) {
+		return s.waitBelowStop()
+	}
+	if s.cfg.SlowdownBlocks > 0 && s.l0Blocks.Load() >= int64(s.cfg.SlowdownBlocks) {
+		start := time.Now()
+		time.Sleep(s.cfg.SlowdownSleep)
+		s.recordStall("slowdown", s.cfg.SlowdownBlocks, &s.slowdowns, &s.slowdownNanos, time.Since(start))
+	}
+	return s.Err()
+}
+
+// waitBelowStop parks the writer until L0 drops back under StopBlocks,
+// a merge fails, or the scheduler stops.
+func (s *Scheduler) waitBelowStop() error {
+	start := time.Now()
+	s.gateMu.Lock()
+	for s.l0Gate >= s.cfg.StopBlocks && s.err == nil && !s.stopping.Load() {
+		s.gate.Wait()
+	}
+	err := s.err
+	s.gateMu.Unlock()
+	s.recordStall("stop", s.cfg.StopBlocks, &s.stops, &s.stopNanos, time.Since(start))
+	return err
+}
+
+func (s *Scheduler) recordStall(kind string, trigger int, n, nanos *atomic.Int64, d time.Duration) {
+	n.Add(1)
+	nanos.Add(int64(d))
+	s.cfg.Lat.Observe(obs.OpStall, d)
+	if s.cfg.Bus.Enabled() {
+		s.cfg.Bus.Publish(obs.StallEvent{
+			Kind:     kind,
+			L0Blocks: int(s.l0Blocks.Load()),
+			Trigger:  trigger,
+			Duration: d,
+		})
+	}
+}
+
+// Notify hands the scheduler the overflow work a mutation may have
+// created. The caller holds the writer lock. Sync mode runs the cascade
+// to completion inline and returns its error; Background mode refreshes
+// the backpressure gauges, wakes the goroutine, and returns any parked
+// merge error.
+func (s *Scheduler) Notify() error {
+	if s.cfg.Mode == Sync {
+		return s.cfg.Tree.RunCascade()
+	}
+	s.refreshLocked()
+	if s.pendingWork.Load() {
+		select {
+		case s.wake <- struct{}{}:
+		default: // a wakeup is already queued
+		}
+	}
+	return s.Err()
+}
+
+// refreshLocked recomputes the gauges from live tree state and pokes the
+// stall gate. The caller holds the writer lock (tree state is only
+// stable under it).
+func (s *Scheduler) refreshLocked() {
+	l0 := s.cfg.Tree.SizeBlocks(0)
+	depth := s.cfg.Tree.CompactionBacklog()
+	s.l0Blocks.Store(int64(l0))
+	s.queueDepth.Store(int64(depth))
+	s.pendingWork.Store(depth > 0)
+	s.gateMu.Lock()
+	s.l0Gate = l0
+	s.gateMu.Unlock()
+	s.gate.Broadcast()
+}
+
+// run is the background goroutine: sleep until woken, then drain the
+// cascade one step at a time, taking the writer lock per step so writers
+// and the cascade interleave.
+func (s *Scheduler) run() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-s.wake:
+		}
+		for {
+			if s.stopping.Load() {
+				return
+			}
+			s.cfg.Mu.Lock()
+			acted, err := s.cfg.Tree.CompactionStep()
+			if acted {
+				s.steps.Add(1)
+			}
+			s.refreshLocked()
+			s.cfg.Mu.Unlock()
+			if err != nil {
+				s.fail(err)
+				return
+			}
+			if !acted {
+				break
+			}
+		}
+	}
+}
+
+// fail parks the first merge error and releases any gated writers.
+func (s *Scheduler) fail(err error) {
+	s.gateMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.gateMu.Unlock()
+	s.gate.Broadcast()
+}
+
+// Err returns the parked background merge error, or nil. Sticky: once a
+// step fails the scheduler goroutine has exited and every subsequent
+// write reports the failure.
+func (s *Scheduler) Err() error {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	return s.err
+}
+
+// Pending reports whether compaction work is outstanding. Always false
+// in Sync mode (the cascade completes before Notify returns); the DB
+// keys its mid-cascade-vs-steady invariant audits off this.
+func (s *Scheduler) Pending() bool {
+	return s.cfg.Mode == Background && s.pendingWork.Load()
+}
+
+// Stop halts the scheduler: no further steps start, the in-flight step
+// (if any) completes, gated writers are released, and Stop returns once
+// the goroutine has exited. Callers must NOT hold the writer lock — the
+// goroutine may need it to finish its step. Idempotent; a no-op in Sync
+// mode. An interrupted cascade is completed by Restore on reopen.
+func (s *Scheduler) Stop() {
+	s.stopOnce.Do(func() {
+		s.stopping.Store(true)
+		s.gate.Broadcast()
+		close(s.stopCh)
+		<-s.done
+	})
+}
+
+// Stats is a point-in-time snapshot of the scheduler's accounting.
+type Stats struct {
+	Mode         Mode
+	QueueDepth   int   // overflowing merge sources awaiting work
+	L0Blocks     int   // L0 size at the last refresh, in blocks
+	Steps        int64 // cascade steps executed by the background goroutine
+	Slowdowns    int64 // admissions that paid the pacing sleep
+	Stops        int64 // admissions that blocked on the hard gate
+	SlowdownTime time.Duration
+	StopTime     time.Duration
+}
+
+// Snapshot returns the current Stats. Lock-free.
+func (s *Scheduler) Snapshot() Stats {
+	return Stats{
+		Mode:         s.cfg.Mode,
+		QueueDepth:   int(s.queueDepth.Load()),
+		L0Blocks:     int(s.l0Blocks.Load()),
+		Steps:        s.steps.Load(),
+		Slowdowns:    s.slowdowns.Load(),
+		Stops:        s.stops.Load(),
+		SlowdownTime: time.Duration(s.slowdownNanos.Load()),
+		StopTime:     time.Duration(s.stopNanos.Load()),
+	}
+}
+
+// ResetCounters zeroes the cumulative counters (steps, stalls, stall
+// time), aligning the scheduler's series with the DB's uniform
+// measurement window on ResetIOStats. Gauges are left alone.
+func (s *Scheduler) ResetCounters() {
+	s.steps.Store(0)
+	s.slowdowns.Store(0)
+	s.stops.Store(0)
+	s.slowdownNanos.Store(0)
+	s.stopNanos.Store(0)
+}
+
+// Driver adapts a Tree to the synchronous request semantics the paper's
+// cost model assumes: every mutation runs the overflow cascade to
+// completion before returning, exactly as the engine behaved when ops
+// cascaded inline. The experiment harness and the parameter learner
+// drive trees through it (it satisfies workload.Store), keeping their
+// BlocksWritten accounting byte-identical while the cascade entry points
+// stay confined to this package. Single-writer, like the Tree itself.
+type Driver struct {
+	Tree *core.Tree
+}
+
+// Put inserts k and drains the cascade.
+func (d Driver) Put(k block.Key, payload []byte) error {
+	if err := d.Tree.Put(k, payload); err != nil {
+		return err
+	}
+	return d.Tree.RunCascade()
+}
+
+// Delete removes k and drains the cascade.
+func (d Driver) Delete(k block.Key) error {
+	if err := d.Tree.Delete(k); err != nil {
+		return err
+	}
+	return d.Tree.RunCascade()
+}

@@ -1,0 +1,263 @@
+package compaction_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/compaction"
+	"lsmssd/internal/core"
+	"lsmssd/internal/policy"
+	"lsmssd/internal/storage"
+)
+
+func newTree(t *testing.T, dev storage.Device) *core.Tree {
+	t.Helper()
+	tr, err := core.New(core.Config{
+		Device:        dev,
+		Policy:        policy.NewChooseBest(0.25, true),
+		BlockCapacity: 4,
+		K0:            2,
+		Gamma:         4,
+		Epsilon:       0.2,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSyncSchedulerMatchesDriver pins the refactor's core promise: a Sync
+// scheduler's Put/Notify sequence produces a device write counter
+// byte-identical to the synchronous Driver for the same inputs.
+func TestSyncSchedulerMatchesDriver(t *testing.T) {
+	run := func(viaScheduler bool) int64 {
+		dev := storage.NewMemDevice()
+		tr := newTree(t, dev)
+		if viaScheduler {
+			s, err := compaction.New(compaction.Config{Tree: tr, Mode: compaction.Sync})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Stop()
+			for k := block.Key(0); k < 400; k++ {
+				if err := s.Admit(); err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.Put((k*7919)%997, []byte{byte(k)}); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Notify(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			drv := compaction.Driver{Tree: tr}
+			for k := block.Key(0); k < 400; k++ {
+				if err := drv.Put((k*7919)%997, []byte{byte(k)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return dev.Counters().Writes
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("Driver wrote %d blocks, Sync scheduler wrote %d; sequences diverged", a, b)
+	}
+}
+
+// TestDriverLeavesNoBacklog: the Driver's contract is synchronous
+// semantics — after any mutation returns, the cascade is fully drained.
+func TestDriverLeavesNoBacklog(t *testing.T) {
+	tr := newTree(t, storage.NewMemDevice())
+	drv := compaction.Driver{Tree: tr}
+	for k := block.Key(0); k < 300; k++ {
+		if err := drv.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+		if tr.NeedsCompaction() {
+			t.Fatalf("backlog after Driver.Put(%d): the Driver must drain inline", k)
+		}
+	}
+	if err := drv.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NeedsCompaction() {
+		t.Fatal("backlog after Driver.Delete")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackgroundDrainsAndStops drives writes through a Background
+// scheduler, waits for it to drain the backlog, and verifies the tree
+// reaches the same steady state the sync engine guarantees.
+func TestBackgroundDrainsAndStops(t *testing.T) {
+	tr := newTree(t, storage.NewMemDevice())
+	var mu sync.Mutex
+	s, err := compaction.New(compaction.Config{
+		Tree: tr, Mu: &mu, Mode: compaction.Background,
+		SlowdownBlocks: 8, StopBlocks: 16,
+		SlowdownSleep: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := block.Key(0); k < 500; k++ {
+		if err := s.Admit(); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		err := tr.Put(k, []byte{byte(k)})
+		if err == nil {
+			err = s.Notify()
+		}
+		mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		pending := tr.NeedsCompaction()
+		mu.Unlock()
+		if !pending {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background scheduler did not drain the backlog")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if st := s.Snapshot(); st.Steps == 0 {
+		t.Fatal("background scheduler reported zero cascade steps after draining 500 records")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k := block.Key(0); k < 500; k++ {
+		if _, ok, err := tr.Get(k); err != nil || !ok {
+			t.Fatalf("Get(%d) after drain: ok=%v err=%v", k, ok, err)
+		}
+	}
+}
+
+// faultDevice fails every write once armed, so a background merge step
+// fails deterministically.
+type faultDevice struct {
+	*storage.MemDevice
+	mu    sync.Mutex
+	armed bool
+}
+
+var errInjected = errors.New("injected fault")
+
+func (d *faultDevice) arm() {
+	d.mu.Lock()
+	d.armed = true
+	d.mu.Unlock()
+}
+
+func (d *faultDevice) Write(id storage.BlockID, b *block.Block) error {
+	d.mu.Lock()
+	armed := d.armed
+	d.mu.Unlock()
+	if armed {
+		return fmt.Errorf("write %v: %w", id, errInjected)
+	}
+	return d.MemDevice.Write(id, b)
+}
+
+// TestBackgroundErrorParksAndSurfaces: a failed merge step must park its
+// error and surface it on every subsequent Admit and Notify — never
+// silently vanish with the goroutine.
+func TestBackgroundErrorParksAndSurfaces(t *testing.T) {
+	dev := &faultDevice{MemDevice: storage.NewMemDevice()}
+	tr := newTree(t, dev)
+	var mu sync.Mutex
+	s, err := compaction.New(compaction.Config{
+		Tree: tr, Mu: &mu, Mode: compaction.Background,
+		SlowdownBlocks: 64, StopBlocks: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	dev.arm()
+	for k := block.Key(0); k < 200; k++ {
+		if err := s.Admit(); err != nil {
+			break // parked error surfaced on admission — the contract
+		}
+		mu.Lock()
+		err := tr.Put(k, []byte{byte(k)})
+		if err == nil {
+			s.Notify() //nolint — parked error checked below
+		}
+		mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("background merge failure never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(s.Err(), errInjected) {
+		t.Fatalf("parked error = %v, want wrapped errInjected", s.Err())
+	}
+	if err := s.Admit(); !errors.Is(err, errInjected) {
+		t.Fatalf("Admit after failure = %v, want wrapped errInjected", err)
+	}
+	mu.Lock()
+	err = s.Notify()
+	mu.Unlock()
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("Notify after failure = %v, want wrapped errInjected", err)
+	}
+}
+
+// TestStopReleasesGatedWriter: a writer parked on the hard stall gate must
+// not deadlock Stop — shutdown broadcasts and the writer returns.
+func TestStopReleasesGatedWriter(t *testing.T) {
+	tr := newTree(t, storage.NewMemDevice())
+	// Fill L0 past the trigger before building the scheduler: New seeds
+	// the gate from the tree, and with no Notify ever sent, nothing
+	// drains it — the gate stays shut until Stop.
+	for k := block.Key(0); k < 64; k++ {
+		if err := tr.Put(k, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	s, err := compaction.New(compaction.Config{
+		Tree: tr, Mu: &mu, Mode: compaction.Background,
+		SlowdownBlocks: 1, StopBlocks: 1, // gate closes as soon as L0 holds a block
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan error, 1)
+	go func() { admitted <- s.Admit() }()
+	select {
+	case err := <-admitted:
+		t.Fatalf("Admit returned %v before Stop; the gate should have parked it", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.Stop()
+	select {
+	case <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not release the gated writer")
+	}
+}

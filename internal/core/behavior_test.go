@@ -16,10 +16,10 @@ func driveUniform(t *testing.T, tr *Tree, n int, seed int64) {
 	for i := 0; i < n; i++ {
 		k := block.Key(rng.Intn(4000))
 		if rng.Intn(2) == 0 {
-			if err := tr.Put(k, []byte{1, 2, 3}); err != nil {
+			if err := putC(tr, k, []byte{1, 2, 3}); err != nil {
 				t.Fatal(err)
 			}
-		} else if err := tr.Delete(k); err != nil {
+		} else if err := delC(tr, k); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -141,7 +141,7 @@ func TestPreservationOccursAndIsSound(t *testing.T) {
 	preserved := 0
 	tr.OnMerge(func(ev MergeEvent) { preserved += ev.PreservedX + ev.PreservedY })
 	for k := block.Key(0); k < 5000; k++ {
-		if err := tr.Put(k, []byte{9}); err != nil {
+		if err := putC(tr, k, []byte{9}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -207,7 +207,7 @@ func TestGetAfterGrowthAcrossAllLevels(t *testing.T) {
 	// Enough sequential data for multiple growths.
 	const n = 8000
 	for k := block.Key(0); k < n; k++ {
-		if err := tr.Put(k, []byte{byte(k)}); err != nil {
+		if err := putC(tr, k, []byte{byte(k)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -228,7 +228,7 @@ func TestForceGrow(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := block.Key(0); k < 500; k++ {
-		tr.Put(k, []byte{1})
+		putC(tr, k, []byte{1})
 	}
 	h := tr.Height()
 	tr.ForceGrow()
@@ -240,7 +240,7 @@ func TestForceGrow(t *testing.T) {
 	}
 	// The tree keeps operating normally afterwards.
 	for k := block.Key(500); k < 1500; k++ {
-		if err := tr.Put(k, []byte{1}); err != nil {
+		if err := putC(tr, k, []byte{1}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,93 @@
+package core
+
+// Overflow-cascade stepping. Mutations (ops.go) only land records in L0;
+// the cascade that restores every level's capacity bound runs through the
+// resumable steps below, driven by internal/compaction — synchronously
+// inside the mutating call (the paper's cost model) or from the scheduler
+// goroutine. The lsmlint compaction-step rule keeps these entry points
+// out of foreground packages so merges cannot creep back into the write
+// path.
+//
+// All three methods are writer-side: callers serialize them with the
+// tree's other mutations.
+
+// NeedsCompaction reports whether any level is at or over capacity — L0
+// against K0·B records, storage levels against their block capacity. It
+// is the scheduler's wake predicate: false means a cascade run would be a
+// no-op.
+func (t *Tree) NeedsCompaction() bool {
+	if t.mem.Len() >= t.memCapacityRecords() {
+		return true
+	}
+	for _, l := range t.levels {
+		if l.Full() {
+			return true
+		}
+	}
+	return false
+}
+
+// CompactionBacklog counts the overflowing merge sources (L0 plus every
+// full storage level): the scheduler's queue depth. Zero iff
+// NeedsCompaction is false.
+func (t *Tree) CompactionBacklog() int {
+	n := 0
+	if t.mem.Len() >= t.memCapacityRecords() {
+		n++
+	}
+	for _, l := range t.levels {
+		if l.Full() {
+			n++
+		}
+	}
+	return n
+}
+
+// CompactionStep executes at most one step of the overflow cascade and
+// reports whether it acted. Step order matches the original inline
+// cascade exactly — L0 first, then the shallowest full storage level
+// (merge, or grow when the bottom overflows) — so driving steps to
+// quiescence after every mutation reproduces the synchronous engine's
+// merge sequence, and its BlocksWritten, byte for byte. Each completed
+// (and audited) step publishes a fresh read snapshot, so concurrent
+// readers observe every intermediate cascade state but never a
+// half-applied merge.
+func (t *Tree) CompactionStep() (acted bool, err error) {
+	if t.mem.Len() >= t.memCapacityRecords() {
+		if err := t.mergeFromMem(); err != nil {
+			return false, err
+		}
+		t.publish()
+		return true, nil
+	}
+	for i := 1; i <= len(t.levels); i++ {
+		l := t.levels[i-1]
+		if !l.Full() {
+			continue
+		}
+		if i == len(t.levels) {
+			t.grow()
+			if err := t.audit(); err != nil {
+				return false, err
+			}
+		} else if err := t.mergeFromLevel(i); err != nil {
+			return false, err
+		}
+		t.publish()
+		return true, nil
+	}
+	return false, nil
+}
+
+// RunCascade drives CompactionStep until the tree is quiescent
+// (NeedsCompaction false) or a step fails. Restore uses it to complete
+// any cascade a shutdown interrupted; internal/compaction uses it for
+// synchronous mode and the experiment harness's Driver.
+func (t *Tree) RunCascade() error {
+	for {
+		acted, err := t.CompactionStep()
+		if err != nil || !acted {
+			return err
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/policy"
+)
+
+// putC and delC preserve the pre-scheduler synchronous semantics the
+// package tests were written against: mutate, then drain the overflow
+// cascade — exactly what compaction.Driver does for the experiment
+// harness. Production code never calls Put without a paired cascade
+// (lsmlint's compaction-step rule pins the cascade to internal/compaction).
+func putC(tr *Tree, k block.Key, payload []byte) error {
+	if err := tr.Put(k, payload); err != nil {
+		return err
+	}
+	return tr.RunCascade()
+}
+
+func delC(tr *Tree, k block.Key) error {
+	if err := tr.Delete(k); err != nil {
+		return err
+	}
+	return tr.RunCascade()
+}
+
+func TestPutAloneDoesNotMerge(t *testing.T) {
+	tr, err := New(testConfig(policy.NewChooseBest(0.5, true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutations only land in L0 now; without a cascade the tree must
+	// report the backlog but perform no merge I/O.
+	for k := block.Key(0); k < 100; k++ {
+		if err := tr.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.dev.Counters().Writes; got != 0 {
+		t.Fatalf("Put alone wrote %d blocks; merges must be caller-driven", got)
+	}
+	if !tr.NeedsCompaction() {
+		t.Fatal("L0 over capacity but NeedsCompaction() = false")
+	}
+	if tr.CompactionBacklog() == 0 {
+		t.Fatal("L0 over capacity but CompactionBacklog() = 0")
+	}
+	// Readers still see everything meanwhile.
+	for k := block.Key(0); k < 100; k++ {
+		if _, ok, err := tr.Get(k); err != nil || !ok {
+			t.Fatalf("Get(%d) before cascade: ok=%v err=%v", k, ok, err)
+		}
+	}
+}
+
+func TestCompactionStepResumable(t *testing.T) {
+	tr, err := New(testConfig(policy.NewChooseBest(0.5, true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := block.Key(0); k < 200; k++ {
+		if err := tr.Put(k, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Single-stepping to quiescence must terminate and leave the same
+	// steady state RunCascade guarantees.
+	steps := 0
+	for {
+		acted, err := tr.CompactionStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !acted {
+			break
+		}
+		steps++
+		if steps > 10_000 {
+			t.Fatal("cascade did not converge")
+		}
+	}
+	if steps == 0 {
+		t.Fatal("no cascade steps ran for 200 records over an 8-record L0")
+	}
+	if tr.NeedsCompaction() {
+		t.Fatal("NeedsCompaction() true after stepping to quiescence")
+	}
+	if got, want := tr.CompactionBacklog(), 0; got != want {
+		t.Fatalf("backlog = %d after quiescence, want %d", got, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepSequenceMatchesRunCascade(t *testing.T) {
+	// Byte-identical write accounting between per-mutation RunCascade and
+	// explicit single-stepping: both must produce the same device write
+	// counter for the same inputs (same policy, same seed).
+	run := func(step bool) int64 {
+		tr, err := New(testConfig(policy.NewChooseBest(0.25, true)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := block.Key(0); k < 500; k++ {
+			key := (k * 7919) % 1000
+			if err := tr.Put(key, []byte{byte(k)}); err != nil {
+				t.Fatal(err)
+			}
+			if step {
+				for {
+					acted, err := tr.CompactionStep()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !acted {
+						break
+					}
+				}
+			} else if err := tr.RunCascade(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr.dev.Counters().Writes
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("RunCascade wrote %d blocks, single-stepping wrote %d; sequences diverged", a, b)
+	}
+}

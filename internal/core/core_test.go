@@ -61,7 +61,7 @@ func TestPutGetBasic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := block.Key(0); k < 100; k++ {
-		if err := tr.Put(k, []byte{byte(k)}); err != nil {
+		if err := putC(tr, k, []byte{byte(k)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -89,9 +89,9 @@ func TestDeleteSemantics(t *testing.T) {
 	}
 	// Push a record down into storage levels, then delete it.
 	for k := block.Key(0); k < 50; k++ {
-		tr.Put(k, []byte{byte(k)})
+		putC(tr, k, []byte{byte(k)})
 	}
-	if err := tr.Delete(7); err != nil {
+	if err := delC(tr, 7); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok, _ := tr.Get(7); ok {
@@ -99,7 +99,7 @@ func TestDeleteSemantics(t *testing.T) {
 	}
 	// Push the tombstone down through more traffic; key stays dead.
 	for k := block.Key(100); k < 200; k++ {
-		tr.Put(k, []byte{1})
+		putC(tr, k, []byte{1})
 	}
 	if _, ok, _ := tr.Get(7); ok {
 		t.Error("deleted key resurfaced after merges")
@@ -108,7 +108,7 @@ func TestDeleteSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Re-insert revives it.
-	tr.Put(7, []byte{77})
+	putC(tr, 7, []byte{77})
 	if v, ok, _ := tr.Get(7); !ok || v[0] != 77 {
 		t.Error("re-inserted key not visible")
 	}
@@ -120,10 +120,10 @@ func TestScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := block.Key(0); k < 60; k += 2 {
-		tr.Put(k, []byte{byte(k)})
+		putC(tr, k, []byte{byte(k)})
 	}
-	tr.Delete(10)
-	tr.Put(12, []byte{99}) // update shadows the stored version
+	delC(tr, 10)
+	putC(tr, 12, []byte{99}) // update shadows the stored version
 	var got []block.Key
 	err = tr.Scan(5, 20, func(k block.Key, p []byte) bool {
 		got = append(got, k)
@@ -154,7 +154,7 @@ func TestGrowthRelabelsLevels(t *testing.T) {
 	}
 	h0 := tr.Height()
 	for k := block.Key(0); k < 2000; k++ {
-		if err := tr.Put(k, []byte{1}); err != nil {
+		if err := putC(tr, k, []byte{1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -185,9 +185,9 @@ func TestMergeEventsAccountForAllWrites(t *testing.T) {
 			for i := 0; i < 3000; i++ {
 				k := block.Key(rng.Intn(500))
 				if rng.Intn(3) == 0 {
-					tr.Delete(k)
+					delC(tr, k)
 				} else {
-					tr.Put(k, []byte{byte(i)})
+					putC(tr, k, []byte{byte(i)})
 				}
 			}
 			dev := cfg.Device.Counters()
@@ -223,13 +223,13 @@ func TestModelCheckAllPolicies(t *testing.T) {
 				k := block.Key(rng.Intn(300))
 				switch rng.Intn(4) {
 				case 0:
-					if err := tr.Delete(k); err != nil {
+					if err := delC(tr, k); err != nil {
 						t.Fatal(err)
 					}
 					delete(model, k)
 				default:
 					v := []byte{byte(i), byte(i >> 8)}
-					if err := tr.Put(k, v); err != nil {
+					if err := putC(tr, k, v); err != nil {
 						t.Fatal(err)
 					}
 					model[k] = v
@@ -283,7 +283,7 @@ func TestBloomFiltersCutAbsentReads(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := block.Key(0); k < 400; k += 2 {
-		tr.Put(k, []byte{1})
+		putC(tr, k, []byte{1})
 	}
 	cfg.Device.ResetCounters()
 	for k := block.Key(1); k < 400; k += 2 {
@@ -316,7 +316,7 @@ func TestCacheReducesReads(t *testing.T) {
 			t.Fatal(err)
 		}
 		for k := block.Key(0); k < 300; k++ {
-			tr.Put(k, []byte{1})
+			putC(tr, k, []byte{1})
 		}
 		cfg.Device.ResetCounters()
 		for i := 0; i < 5; i++ {
@@ -344,7 +344,7 @@ func TestSnapshotShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := block.Key(0); k < 100; k++ {
-		tr.Put(k, []byte{1})
+		putC(tr, k, []byte{1})
 	}
 	s := tr.Snapshot()
 	if s.Height != tr.Height() || len(s.Levels) != tr.Height()-1 {
@@ -391,13 +391,13 @@ func TestQuickTreeModel(t *testing.T) {
 		for i := 0; i < 1200; i++ {
 			k := block.Key(rng.Intn(150))
 			if rng.Intn(3) == 0 {
-				if tr.Delete(k) != nil {
+				if delC(tr, k) != nil {
 					return false
 				}
 				delete(model, k)
 			} else {
 				v := byte(rng.Intn(256))
-				if tr.Put(k, []byte{v}) != nil {
+				if putC(tr, k, []byte{v}) != nil {
 					return false
 				}
 				model[k] = v

@@ -57,7 +57,7 @@ func TestWriteFaultsSurface(t *testing.T) {
 			}
 			var sawErr error
 			for k := block.Key(0); k < 2000; k++ {
-				if err := tr.Put(k, []byte{1}); err != nil {
+				if err := putC(tr, k, []byte{1}); err != nil {
 					sawErr = err
 					break
 				}
@@ -89,7 +89,7 @@ func TestReadFaultsSurface(t *testing.T) {
 			}
 			var sawErr error
 			for k := block.Key(0); k < 2000; k++ {
-				if err := tr.Put(k, []byte{1}); err != nil {
+				if err := putC(tr, k, []byte{1}); err != nil {
 					sawErr = err
 					break
 				}
@@ -122,7 +122,7 @@ func TestLookupFaultSurfacesFromGet(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := block.Key(0); k < 200; k++ {
-		if err := tr.Put(k, []byte{1}); err != nil {
+		if err := putC(tr, k, []byte{1}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -5,22 +5,25 @@ import (
 )
 
 // Put inserts or updates the record for k. The write lands in L0; storage
-// levels change only through merges. Writer-side: callers serialize.
+// levels change only through merges, which Put no longer drives: after
+// the mutation the caller (internal/compaction) runs or schedules the
+// overflow cascade via CompactionStep/RunCascade. Writer-side: callers
+// serialize. The error return is reserved for future L0 failure modes;
+// today Put always succeeds.
 func (t *Tree) Put(k block.Key, payload []byte) error {
 	t.applyOne(BatchOp{Key: k, Payload: payload})
-	err := t.checkOverflows()
 	t.publish()
-	return err
+	return nil
 }
 
 // Delete removes k. If k lives in L0 the request executes there (the
 // record is replaced by a tombstone); otherwise the delete is logged as a
-// tombstone record that cancels matching records during merges.
+// tombstone record that cancels matching records during merges. Like
+// Put, Delete leaves the overflow cascade to the caller.
 func (t *Tree) Delete(k block.Key) error {
 	t.applyOne(BatchOp{Key: k, Delete: true})
-	err := t.checkOverflows()
 	t.publish()
-	return err
+	return nil
 }
 
 // BatchOp is one modification inside an ApplyBatch call: an upsert of
@@ -31,11 +34,11 @@ type BatchOp struct {
 	Delete  bool
 }
 
-// ApplyBatch applies ops in order as a single writer step: the merge
-// cascade is checked once, after all records are in L0, and a single new
-// snapshot is published covering the whole batch — so no reader observes a
-// prefix of the batch, and the per-request overhead (overflow check,
-// snapshot capture) is paid once rather than len(ops) times.
+// ApplyBatch applies ops in order as a single writer step: a single new
+// snapshot is published covering the whole batch — so no reader observes
+// a prefix of the batch, and the per-request overhead (snapshot capture,
+// and the caller's one overflow check) is paid once rather than len(ops)
+// times.
 //
 // Request statistics count each op individually, keeping a batched
 // workload's Stats comparable to the same workload issued record by
@@ -44,9 +47,8 @@ func (t *Tree) ApplyBatch(ops []BatchOp) error {
 	for _, op := range ops {
 		t.applyOne(op)
 	}
-	err := t.checkOverflows()
 	t.publish()
-	return err
+	return nil
 }
 
 // applyOne lands one modification in L0 and accounts for it.

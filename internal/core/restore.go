@@ -54,7 +54,12 @@ func Restore(cfg Config, st ExportedState) (*Tree, error) {
 	for _, r := range st.Memtable {
 		t.mem.Put(r)
 	}
-	if err := t.checkOverflows(); err != nil {
+	// Complete any overflow cascade the shutdown interrupted: a Close can
+	// land mid-cascade (the background scheduler stops after its current
+	// step), so the manifest may describe levels legitimately over
+	// capacity. Reopening restores the steady-state bounds before the
+	// first request.
+	if err := t.RunCascade(); err != nil {
 		return nil, err
 	}
 	t.publish() // expose the restored levels and memtable to readers

@@ -188,44 +188,6 @@ func (t *Tree) SizeBlocks(level int) int {
 // (RR's cursors) needing relocation when the tree gains a level.
 type levelsGrewNotifier interface{ LevelsGrew(oldBottom int) }
 
-// checkOverflows runs the overflow cascade: while any level is at
-// capacity, merge from it (or grow the tree when the bottom fills up).
-// Each completed (and audited) step publishes a fresh read snapshot, so
-// concurrent readers observe every intermediate state of a cascade but
-// never a half-applied merge.
-func (t *Tree) checkOverflows() error {
-	for {
-		if t.mem.Len() >= t.memCapacityRecords() {
-			if err := t.mergeFromMem(); err != nil {
-				return err
-			}
-			t.publish()
-			continue
-		}
-		acted := false
-		for i := 1; i <= len(t.levels); i++ {
-			l := t.levels[i-1]
-			if !l.Full() {
-				continue
-			}
-			if i == len(t.levels) {
-				t.grow()
-				if err := t.audit(); err != nil {
-					return err
-				}
-			} else if err := t.mergeFromLevel(i); err != nil {
-				return err
-			}
-			t.publish()
-			acted = true
-			break
-		}
-		if !acted {
-			return nil
-		}
-	}
-}
-
 // ForceGrow adds a level ahead of the bottom level's overflow. The paper
 // observes (Section V-A) that full merges into a relatively empty new
 // bottom level are very cost-effective and asks "whether we can increase

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"lsmssd/internal/compaction"
 	"lsmssd/internal/histogram"
 	"lsmssd/internal/learn"
 	"lsmssd/internal/policy"
@@ -155,7 +156,7 @@ func (p Params) Fig3(policies []string, totalMB, sampleMB float64) ([]CumSeries,
 		eff := p.effectiveScale(1) // Fig 3/4 use K0 = 1MB
 		var issued int64
 		for mb := sampleMB; mb <= totalMB+1e-9; mb += sampleMB {
-			n, err := workload.Drive(run.gen, tree, bytesEff(sampleMB, eff))
+			n, err := workload.Drive(run.gen, compaction.Driver{Tree: tree}, bytesEff(sampleMB, eff))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -421,7 +422,7 @@ func (p Params) growthRun(polName string, taus map[int]float64, beta bool, check
 	for _, mb := range checkpointsMB {
 		target := recordsForMBEff(mb, wl.PayloadSize, eff)
 		for tree.Records() < target {
-			n, err := workload.DriveN(gen, tree, 1000)
+			n, err := workload.DriveN(gen, compaction.Driver{Tree: tree}, 1000)
 			if err != nil {
 				return nil, err
 			}

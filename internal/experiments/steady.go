@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"lsmssd/internal/compaction"
 	"lsmssd/internal/core"
 	"lsmssd/internal/learn"
 	"lsmssd/internal/obs"
@@ -126,7 +127,7 @@ func (p Params) measureSteady(spec SteadySpec, run *steadyRun) (SteadyResult, er
 		p.Bus.Publish(obs.RunEvent{Name: runName, Phase: "measure-start"})
 	}
 	start := time.Now()
-	issued, err := workload.Drive(run.gen, tree, winBytes)
+	issued, err := workload.Drive(run.gen, compaction.Driver{Tree: tree}, winBytes)
 	if err != nil {
 		return SteadyResult{}, err
 	}
@@ -178,7 +179,7 @@ func growAndSettle(tree *core.Tree, gen workload.Generator, targetRecords int) e
 	})
 	defer tree.OnMerge(nil)
 	for intoBottom < need {
-		if _, err := workload.DriveN(gen, tree, 1000); err != nil {
+		if _, err := workload.DriveN(gen, compaction.Driver{Tree: tree}, 1000); err != nil {
 			return err
 		}
 		driven += 1000

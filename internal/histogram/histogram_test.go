@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"lsmssd/internal/block"
+	"lsmssd/internal/compaction"
 	"lsmssd/internal/core"
 	"lsmssd/internal/policy"
 	"lsmssd/internal/storage"
@@ -29,8 +30,9 @@ func buildTree(t *testing.T) (*core.Tree, *storage.MemDevice) {
 func TestLevelHistogram(t *testing.T) {
 	tree, dev := buildTree(t)
 	// Keys concentrated in the lower half of a [0, 1000) key space.
+	drv := compaction.Driver{Tree: tree}
 	for k := uint64(0); k < 500; k += 2 {
-		if err := tree.Put(block.Key(k), []byte("v")); err != nil {
+		if err := drv.Put(block.Key(k), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}

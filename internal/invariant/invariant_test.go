@@ -6,6 +6,7 @@ import (
 
 	"lsmssd/internal/block"
 	"lsmssd/internal/btree"
+	"lsmssd/internal/compaction"
 	"lsmssd/internal/core"
 	"lsmssd/internal/invariant"
 	"lsmssd/internal/level"
@@ -196,8 +197,9 @@ func TestCorruptedTreeDetected(t *testing.T) {
 // real merge machinery audits clean, strictly and with contents.
 func TestCleanTreePasses(t *testing.T) {
 	tr := newTree(t)
+	drv := compaction.Driver{Tree: tr}
 	for i := 0; i < 500; i++ {
-		if err := tr.Put(block.Key(i%113), []byte{byte(i)}); err != nil {
+		if err := drv.Put(block.Key(i%113), []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"lsmssd/internal/block"
+	"lsmssd/internal/compaction"
 	"lsmssd/internal/core"
 	"lsmssd/internal/invariant"
 	"lsmssd/internal/policy"
@@ -47,14 +48,15 @@ func TestPoliciesUnderAudit(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			drv := compaction.Driver{Tree: tr}
 			rng := rand.New(rand.NewSource(7))
 			for i := 0; i < 4000; i++ {
 				k := block.Key(rng.Intn(3000))
 				if rng.Intn(4) == 0 {
-					if err := tr.Delete(k); err != nil {
+					if err := drv.Delete(k); err != nil {
 						t.Fatalf("op %d: %v", i, err)
 					}
-				} else if err := tr.Put(k, []byte{byte(i), byte(i >> 8)}); err != nil {
+				} else if err := drv.Put(k, []byte{byte(i), byte(i >> 8)}); err != nil {
 					t.Fatalf("op %d: %v", i, err)
 				}
 			}

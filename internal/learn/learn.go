@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"lsmssd/internal/compaction"
 	"lsmssd/internal/core"
 	"lsmssd/internal/policy"
 	"lsmssd/internal/workload"
@@ -298,7 +299,7 @@ func (lr *learner) driveWhile(cond func() bool) error {
 		if driven >= lr.o.MaxBytesPerCycle {
 			return fmt.Errorf("learn: cycle did not close within %d bytes", lr.o.MaxBytesPerCycle)
 		}
-		n, err := workload.DriveN(lr.gen, lr.tree, 1)
+		n, err := workload.DriveN(lr.gen, compaction.Driver{Tree: lr.tree}, 1)
 		if err != nil {
 			return err
 		}
@@ -312,7 +313,7 @@ func (lr *learner) driveWhile(cond func() bool) error {
 }
 
 func (lr *learner) driveBytes(budget int64) error {
-	n, err := workload.Drive(lr.gen, lr.tree, budget)
+	n, err := workload.Drive(lr.gen, compaction.Driver{Tree: lr.tree}, budget)
 	lr.bytes += n
 	return err
 }

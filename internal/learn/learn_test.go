@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"lsmssd/internal/compaction"
 	"lsmssd/internal/core"
 	"lsmssd/internal/policy"
 	"lsmssd/internal/storage"
@@ -30,7 +31,7 @@ func TestLearnBetaOnThreeLevelTree(t *testing.T) {
 	gen := workload.NewUniform(workload.UniformConfig{
 		KeySpace: 1 << 40, PayloadSize: 20, InsertRatio: 0.5, TargetKeys: 150, Seed: 9,
 	})
-	if _, err := workload.DriveN(gen, tree, 400); err != nil {
+	if _, err := workload.DriveN(gen, compaction.Driver{Tree: tree}, 400); err != nil {
 		t.Fatal(err)
 	}
 	if tree.Height() != 3 {
@@ -71,7 +72,7 @@ func TestLearnFourLevelTreeFindsTau(t *testing.T) {
 	gen := workload.NewUniform(workload.UniformConfig{
 		KeySpace: 1 << 40, PayloadSize: 20, InsertRatio: 0.5, TargetKeys: 320, Seed: 9,
 	})
-	if _, err := workload.DriveN(gen, tree, 900); err != nil {
+	if _, err := workload.DriveN(gen, compaction.Driver{Tree: tree}, 900); err != nil {
 		t.Fatal(err)
 	}
 	if tree.Height() != 4 {
@@ -119,7 +120,7 @@ func TestCurveShape(t *testing.T) {
 	gen := workload.NewUniform(workload.UniformConfig{
 		KeySpace: 1 << 40, PayloadSize: 20, InsertRatio: 0.5, TargetKeys: 320, Seed: 9,
 	})
-	if _, err := workload.DriveN(gen, tree, 900); err != nil {
+	if _, err := workload.DriveN(gen, compaction.Driver{Tree: tree}, 900); err != nil {
 		t.Fatal(err)
 	}
 	if tree.Height() != 4 {
@@ -193,7 +194,7 @@ func TestLearnGoldenSectionOnTree(t *testing.T) {
 	gen := workload.NewUniform(workload.UniformConfig{
 		KeySpace: 1 << 40, PayloadSize: 20, InsertRatio: 0.5, TargetKeys: 320, Seed: 9,
 	})
-	if _, err := workload.DriveN(gen, tree, 900); err != nil {
+	if _, err := workload.DriveN(gen, compaction.Driver{Tree: tree}, 900); err != nil {
 		t.Fatal(err)
 	}
 	if tree.Height() != 4 {
@@ -233,7 +234,7 @@ func TestLearnExhaustiveOnTree(t *testing.T) {
 	gen := workload.NewUniform(workload.UniformConfig{
 		KeySpace: 1 << 40, PayloadSize: 20, InsertRatio: 0.5, TargetKeys: 320, Seed: 9,
 	})
-	if _, err := workload.DriveN(gen, tree, 900); err != nil {
+	if _, err := workload.DriveN(gen, compaction.Driver{Tree: tree}, 900); err != nil {
 		t.Fatal(err)
 	}
 	res, err := Learn(tree, m, gen, Options{

@@ -20,6 +20,11 @@
 //     be constructed only by the instrumented engine packages — the
 //     per-merge trace is experimental evidence, and a stray constructor
 //     elsewhere would inject events no engine emission point produced.
+//   - compaction-step: core.Tree's cascade entry points (CompactionStep,
+//     RunCascade) may be called only from the compaction scheduler (and
+//     core itself) — merge scheduling is centralized so backpressure,
+//     error parking, and mid-cascade audits see every step; a stray
+//     cascade call elsewhere would bypass all three.
 //
 // The analyzer is stdlib-only: packages are enumerated with `go list`,
 // parsed with go/parser, and typechecked with go/types against compiler
@@ -76,6 +81,13 @@ type Config struct {
 	// values (the sanctioned emission points). Test files are never
 	// linted, so sinks remain testable everywhere.
 	ObsAllowed []string
+	// CompactionMethods are the cascade entry points on TreePkg's Tree
+	// whose callers are restricted to the scheduling layer.
+	CompactionMethods []string
+	// CompactionAllowed lists the packages allowed to call
+	// CompactionMethods. Test files are never linted, so tests may drive
+	// cascades directly everywhere.
+	CompactionAllowed []string
 	// Layering maps a package path to import paths it must not depend on,
 	// directly or transitively.
 	Layering map[string][]string
@@ -116,7 +128,13 @@ func DefaultConfig() Config {
 			"lsmssd/internal/core",
 			"lsmssd/internal/merge",
 			"lsmssd/internal/policy",
+			"lsmssd/internal/compaction",  // StallEvent at the backpressure points
 			"lsmssd/internal/experiments", // RunEvent window markers
+		},
+		CompactionMethods: []string{"CompactionStep", "RunCascade"},
+		CompactionAllowed: []string{
+			"lsmssd/internal/core",       // Restore completes an interrupted cascade
+			"lsmssd/internal/compaction", // the scheduler and the sync Driver
 		},
 		Layering: map[string][]string{
 			"lsmssd/internal/obs":      lowDeny, // obs stays a leaf: engine publishes into it, never the reverse
@@ -182,6 +200,7 @@ func lintPackage(p *Package, cfg Config) []Finding {
 			case *ast.CallExpr:
 				out = append(out, checkDeviceCall(p, cfg, n)...)
 				out = append(out, checkTreeState(p, cfg, n)...)
+				out = append(out, checkCompactionStep(p, cfg, n)...)
 			case *ast.CompositeLit:
 				out = append(out, checkObsEvent(p, cfg, n)...)
 			}
@@ -265,6 +284,42 @@ func checkTreeState(p *Package, cfg Config, call *ast.CallExpr) []Finding {
 		Pos:  p.Fset.Position(sel.Sel.Pos()),
 		Rule: "tree-state",
 		Msg: fmt.Sprintf("core.Tree.%s reads live level state that mutates under concurrent merges; acquire a snapshot with Tree.AcquireView instead",
+			s.Obj().Name()),
+	}}
+}
+
+// checkCompactionStep flags calls to core.Tree's cascade entry points from
+// outside the compaction scheduling layer: merge scheduling is centralized
+// so backpressure, error parking, and mid-cascade invariant audits observe
+// every step, and a cascade driven from anywhere else bypasses all three.
+func checkCompactionStep(p *Package, cfg Config, call *ast.CallExpr) []Finding {
+	if cfg.TreePkg == "" || len(cfg.CompactionMethods) == 0 || inList(p.Path, cfg.CompactionAllowed) {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil
+	}
+	if !inList(s.Obj().Name(), cfg.CompactionMethods) {
+		return nil
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Tree" ||
+		named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != cfg.TreePkg {
+		return nil
+	}
+	return []Finding{{
+		Pos:  p.Fset.Position(sel.Sel.Pos()),
+		Rule: "compaction-step",
+		Msg: fmt.Sprintf("core.Tree.%s drives the merge cascade outside the compaction scheduler; go through compaction.Scheduler (or compaction.Driver) so backpressure and error parking see every step",
 			s.Obj().Name()),
 	}}
 }

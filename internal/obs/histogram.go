@@ -145,6 +145,7 @@ const (
 	OpDelete
 	OpScan
 	OpMerge // one merge step, timed inside the engine
+	OpStall // time a write spent in backpressure (sleep or stall gate)
 	NumOps
 )
 
@@ -161,6 +162,8 @@ func (o Op) String() string {
 		return "scan"
 	case OpMerge:
 		return "merge"
+	case OpStall:
+		return "stall"
 	}
 	return "unknown"
 }

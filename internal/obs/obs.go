@@ -151,6 +151,19 @@ type WarnEvent struct {
 
 func (WarnEvent) event() {}
 
+// StallEvent records write-path backpressure in background compaction
+// mode: an admission paid the pacing sleep (Kind "slowdown") or blocked
+// on the hard stall gate (Kind "stop") because L0 reached the
+// corresponding trigger. Duration is what the write actually waited.
+type StallEvent struct {
+	Kind     string // "slowdown" or "stop"
+	L0Blocks int    // L0 size when the stall ended, in blocks
+	Trigger  int    // the crossed threshold, in blocks
+	Duration time.Duration
+}
+
+func (StallEvent) event() {}
+
 // RunEvent marks measurement-window boundaries in a recorded trace. The
 // experiment harness emits one at the start of a window (Writes zero) and
 // one at the end carrying the device's write counter for the window, so a

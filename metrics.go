@@ -36,6 +36,9 @@ type (
 	WarnEvent = obs.WarnEvent
 	// RunEvent marks measurement-window boundaries in recorded traces.
 	RunEvent = obs.RunEvent
+	// StallEvent records a write that hit compaction backpressure (the
+	// pacing sleep or the hard stall gate) under BackgroundCompaction.
+	StallEvent = obs.StallEvent
 )
 
 // Subscribe attaches sink to the DB's event bus and returns a cancel
@@ -115,7 +118,32 @@ func (db *DB) metricFamilies() []obs.Family {
 		counter("lsmssd_bloom_skipped_total", "Block reads avoided by Bloom filters.", s.BloomSkipped),
 		counter("lsmssd_bloom_passed_total", "Lookups Bloom filters could not rule out.", s.BloomPassed),
 		counter("lsmssd_event_drops_total", "Observability events dropped because sinks lagged.", db.bus.Drops()),
+		gauge("lsmssd_compaction_queue_depth", "Overflowing merge sources (memtable and full levels) awaiting compaction; always 0 in sync mode.", float64(s.Compaction.QueueDepth)),
+		counter("lsmssd_compaction_steps_total", "Cascade steps executed by the background compaction scheduler.", s.Compaction.Steps),
 	}
+	stallKind := func(kind string) []obs.Label {
+		return []obs.Label{{Name: "kind", Value: kind}}
+	}
+	fams = append(fams,
+		obs.Family{
+			Name: "lsmssd_write_stalls_total",
+			Help: "Writes that hit compaction backpressure, by kind (slowdown = pacing sleep, stop = hard gate).",
+			Type: obs.TypeCounter,
+			Samples: []obs.Sample{
+				{Labels: stallKind("slowdown"), Value: float64(s.Compaction.Slowdowns)},
+				{Labels: stallKind("stop"), Value: float64(s.Compaction.Stops)},
+			},
+		},
+		obs.Family{
+			Name: "lsmssd_write_stall_seconds_total",
+			Help: "Cumulative time writes spent stalled, by kind.",
+			Type: obs.TypeCounter,
+			Samples: []obs.Sample{
+				{Labels: stallKind("slowdown"), Value: s.Compaction.SlowdownTime.Seconds()},
+				{Labels: stallKind("stop"), Value: s.Compaction.StopTime.Seconds()},
+			},
+		},
+	)
 
 	levelLabel := func(n int) []obs.Label {
 		return []obs.Label{{Name: "level", Value: strconv.Itoa(n)}}
@@ -189,6 +217,9 @@ type debugStateJSON struct {
 	LiveViews       int              `json:"live_views"`
 	DeferredFrees   int64            `json:"deferred_frees"`
 	EventDrops      int64            `json:"event_drops"`
+	CompactionMode  string           `json:"compaction_mode"`
+	CompactionQueue int              `json:"compaction_queue_depth"`
+	WriteStalls     int64            `json:"write_stalls"`
 	Levels          []debugLevelJSON `json:"levels"`
 	Latencies       []LatencyStats   `json:"latencies,omitempty"`
 }
@@ -206,6 +237,9 @@ func (db *DB) debugState() debugStateJSON {
 		LiveViews:       db.tree.LiveViews(),
 		DeferredFrees:   db.tree.DeferredFrees(),
 		EventDrops:      db.bus.Drops(),
+		CompactionMode:  s.Compaction.Mode,
+		CompactionQueue: s.Compaction.QueueDepth,
+		WriteStalls:     s.Compaction.Slowdowns + s.Compaction.Stops,
 		Latencies:       s.Latencies,
 	}
 	for _, l := range s.Levels {

@@ -92,6 +92,31 @@ func (p Policy) String() string {
 	return "unknown"
 }
 
+// CompactionMode selects who drives merge cascades (Options.CompactionMode).
+type CompactionMode int
+
+const (
+	// SyncCompaction runs the overflow cascade inline in the mutating
+	// call, exactly as the paper's cost model assumes: a Put that
+	// overflows L0 pays for the whole cascade before returning. The
+	// default, and what the experiment harness uses so BlocksWritten
+	// accounting is reproducible.
+	SyncCompaction CompactionMode = iota
+	// BackgroundCompaction moves merge cascades to a scheduler goroutine:
+	// writes pay only the L0 insertion, subject to LevelDB-style
+	// backpressure (SlowdownTrigger/StopTrigger) when compaction falls
+	// behind. Merge errors surface on a subsequent write or at Close.
+	BackgroundCompaction
+)
+
+// String returns "sync" or "background".
+func (m CompactionMode) String() string {
+	if m == BackgroundCompaction {
+		return "background"
+	}
+	return "sync"
+}
+
 // Options configures a DB. The zero value is a working in-memory engine
 // with the paper's default parameters scaled to library use.
 type Options struct {
@@ -142,6 +167,18 @@ type Options struct {
 	// Seed fixes all internal randomness; runs with equal options and
 	// inputs are reproducible (default 1).
 	Seed int64
+	// CompactionMode selects synchronous (default) or background merge
+	// scheduling; see the constants.
+	CompactionMode CompactionMode
+	// SlowdownTrigger is the L0 size, in blocks, at which each write pays
+	// a short pacing sleep so compaction can keep up (background mode
+	// only; default 2×MemtableBlocks). Must be at least MemtableBlocks.
+	SlowdownTrigger int
+	// StopTrigger is the L0 size, in blocks, at which writes block until
+	// the background scheduler drains L0 back under the trigger — the
+	// hard stall gate (background mode only; default 4×MemtableBlocks).
+	// Must be at least SlowdownTrigger.
+	StopTrigger int
 	// MetricsAddr, when set, serves the observability endpoint on this TCP
 	// address: Prometheus-text /metrics, an engine-state JSON dump at
 	// /debug/lsm, expvar at /debug/vars, and pprof under /debug/pprof/.
@@ -195,6 +232,14 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.CompactionMode == BackgroundCompaction {
+		if o.SlowdownTrigger == 0 {
+			o.SlowdownTrigger = 2 * o.MemtableBlocks
+		}
+		if o.StopTrigger == 0 {
+			o.StopTrigger = 4 * o.MemtableBlocks
+		}
+	}
 	return o
 }
 
@@ -217,6 +262,21 @@ func (o Options) Validate() error {
 	}
 	if o.Gamma < 2 {
 		return fmt.Errorf("lsmssd: Options.Gamma %d below 2: levels must grow geometrically", o.Gamma)
+	}
+	switch o.CompactionMode {
+	case SyncCompaction:
+		// Triggers are background-mode knobs; tolerate them set (ignored).
+	case BackgroundCompaction:
+		if o.SlowdownTrigger < o.MemtableBlocks {
+			return fmt.Errorf("lsmssd: Options.SlowdownTrigger %d below MemtableBlocks %d: writes would stall before L0 can even fill",
+				o.SlowdownTrigger, o.MemtableBlocks)
+		}
+		if o.StopTrigger < o.SlowdownTrigger {
+			return fmt.Errorf("lsmssd: Options.StopTrigger %d below SlowdownTrigger %d: the hard gate must sit above the pacing threshold",
+				o.StopTrigger, o.SlowdownTrigger)
+		}
+	default:
+		return fmt.Errorf("lsmssd: Options.CompactionMode %d is not SyncCompaction or BackgroundCompaction", o.CompactionMode)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package lsmssd_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -254,5 +255,141 @@ func TestRaceIteratorSnapshot(t *testing.T) {
 	}
 	if err := db.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRaceBackgroundCompaction hammers a background-compaction DB with
+// concurrent writers, readers, and iterators while Close fires mid-flight.
+// The scheduler goroutine takes the writer lock per step, so every
+// interleaving of admission gate, cascade step, snapshot read, and
+// shutdown is in play here for the race detector; workers treat ErrClosed
+// as the clean end of the run.
+func TestRaceBackgroundCompaction(t *testing.T) {
+	db, err := lsmssd.Open(lsmssd.Options{
+		Path:            filepath.Join(t.TempDir(), "bg.blk"),
+		RecordsPerBlock: 16,
+		MemtableBlocks:  4,
+		Gamma:           4,
+		Delta:           0.2,
+		CacheBlocks:     64,
+		BloomBitsPerKey: 8,
+		CompactionMode:  lsmssd.BackgroundCompaction,
+		SlowdownTrigger: 6,
+		StopTrigger:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const keySpace = 2000
+	ops := 3000
+	if testing.Short() {
+		ops = 400
+	}
+
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int64
+	)
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+	closed := func(err error) bool { return errors.Is(err, lsmssd.ErrClosed) }
+
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(700 + w)))
+			for i := 0; i < ops; i++ {
+				k := uint64(rng.Intn(keySpace))
+				if rng.Intn(5) == 0 {
+					if err := db.Delete(k); err != nil {
+						if !closed(err) {
+							fail("writer %d: Delete(%d): %v", w, k, err)
+						}
+						return
+					}
+				} else if err := db.Put(k, []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					if !closed(err) {
+						fail("writer %d: Put(%d): %v", w, k, err)
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	for r := 0; r < 2; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(800 + r)))
+			for i := 0; i < ops; i++ {
+				if _, _, err := db.Get(uint64(rng.Intn(keySpace))); err != nil {
+					if !closed(err) {
+						fail("reader %d: Get: %v", r, err)
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(900))
+		for i := 0; i < ops/10; i++ {
+			lo := uint64(rng.Intn(keySpace))
+			it, err := db.NewIterator(lo, lo+100)
+			if err != nil {
+				if !closed(err) {
+					fail("iterator: NewIterator: %v", err)
+				}
+				return
+			}
+			prev := uint64(0)
+			first := true
+			for it.Next() {
+				if !first && it.Key() <= prev {
+					fail("iterator: keys out of order: %d after %d", it.Key(), prev)
+					it.Close()
+					return
+				}
+				prev, first = it.Key(), false
+			}
+			if err := it.Close(); err != nil && !closed(err) {
+				fail("iterator: Close: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Closer: fires mid-flight, racing admission gates, in-flight cascade
+	// steps, and snapshot readers. Everything after this must drain via
+	// ErrClosed without the race detector or scheduler shutdown tripping.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1000))
+		spin := 200 + rng.Intn(200)
+		for i := 0; i < spin; i++ {
+			_ = db.Stats()
+		}
+		if err := db.Close(); err != nil && !closed(err) {
+			fail("closer: %v", err)
+		}
+	}()
+
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.FailNow()
+	}
+	if err := db.Close(); !closed(err) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
 	}
 }

@@ -55,6 +55,27 @@ type Stats struct {
 	// per operation that recorded at least one observation. Empty unless
 	// Options.MetricsAddr enabled latency recording.
 	Latencies []LatencyStats
+
+	// Compaction reports the merge scheduler's state and write-stall
+	// accounting; its counters participate in the uniform reset window.
+	Compaction CompactionStats
+}
+
+// CompactionStats describes the compaction scheduler (see
+// Options.CompactionMode). In sync mode only Mode is meaningful: the
+// cascade completes inside each mutating call, so the queue is always
+// empty and no write ever stalls.
+type CompactionStats struct {
+	Mode       string // "sync" or "background"
+	QueueDepth int    // overflowing merge sources awaiting background work
+	L0Blocks   int    // L0 size at the last scheduler refresh, in blocks
+	Steps      int64  // cascade steps executed by the background scheduler
+	Slowdowns  int64  // writes that paid the pacing sleep (SlowdownTrigger)
+	Stops      int64  // writes that blocked on the hard gate (StopTrigger)
+	// SlowdownTime and StopTime are the cumulative durations writes spent
+	// in each kind of stall.
+	SlowdownTime time.Duration
+	StopTime     time.Duration
 }
 
 // LatencyStats summarizes one operation's latency histogram over the
@@ -128,6 +149,17 @@ func (db *DB) Stats() Stats {
 		s.BloomSkipped, s.BloomPassed = b.Counts()
 	}
 	s.Latencies = db.latencyStats()
+	cs := db.sched.Snapshot()
+	s.Compaction = CompactionStats{
+		Mode:         cs.Mode.String(),
+		QueueDepth:   cs.QueueDepth,
+		L0Blocks:     cs.L0Blocks,
+		Steps:        cs.Steps,
+		Slowdowns:    cs.Slowdowns,
+		Stops:        cs.Stops,
+		SlowdownTime: cs.SlowdownTime,
+		StopTime:     cs.StopTime,
+	}
 	return s
 }
 
@@ -166,4 +198,5 @@ func (db *DB) ResetIOStats() {
 	tree, unlock := db.lockedTree()
 	defer unlock()
 	tree.ResetStats()
+	db.sched.ResetCounters()
 }
