@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench-read bench-write obs-smoke ci
+.PHONY: all build fmt vet lint test race bench-read bench-write obs-smoke crash ci
 
 all: build
 
@@ -18,7 +18,8 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific static analysis: device-io, global-rand, unchecked-err,
-# layering. See internal/lint and DESIGN.md §6.
+# layering, tree-state, obs-event, compaction-step, wal-frame. See
+# internal/lint and DESIGN.md §6.
 lint:
 	$(GO) run ./cmd/lsmlint ./...
 
@@ -48,4 +49,13 @@ bench-write:
 obs-smoke:
 	$(GO) run ./cmd/obssmoke
 
-ci: fmt vet lint test race obs-smoke
+# Power-cut recovery harness (internal/crashloop via cmd/crashloop): all
+# three WAL sync policies, randomized crashes and torn tails, acked-write
+# loss and prefix consistency checked after every recovery. Bounded for
+# CI; run `go run ./cmd/crashloop -iters 500` for a soak.
+crash:
+	$(GO) run ./cmd/crashloop -iters 60 -ops 100 -sync every
+	$(GO) run ./cmd/crashloop -iters 30 -ops 100 -sync interval -interval 1ms
+	$(GO) run ./cmd/crashloop -iters 30 -ops 100 -sync never
+
+ci: fmt vet lint test race obs-smoke crash

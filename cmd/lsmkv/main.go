@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lsmkv [-path file.blk] [-policy ChooseBest] [-preserve=true] [-compaction sync] [-metrics 127.0.0.1:8080]
+//	lsmkv [-path file.blk] [-policy ChooseBest] [-preserve=true] [-compaction sync] [-wal] [-sync every] [-metrics 127.0.0.1:8080]
 //
 // Commands (one per line on stdin):
 //
@@ -45,6 +45,8 @@ func main() {
 		delta      = flag.Float64("delta", 0.07, "partial merge rate")
 		metrics    = flag.String("metrics", "", "serve /metrics and /debug on this address (e.g. 127.0.0.1:8080)")
 		compaction = flag.String("compaction", "sync", "merge scheduling: sync (cascades run inline) or background (scheduler goroutine with write stalls)")
+		walOn      = flag.Bool("wal", false, "enable the write-ahead log for crash durability (requires -path)")
+		walSync    = flag.String("sync", "every", "WAL sync policy: every, interval, or never")
 	)
 	flag.Parse()
 
@@ -63,6 +65,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lsmkv: unknown compaction mode %q (sync or background)\n", *compaction)
 		os.Exit(1)
 	}
+	sync, ok := map[string]lsmssd.SyncPolicy{
+		"every": lsmssd.SyncEvery, "interval": lsmssd.SyncInterval, "never": lsmssd.SyncNever,
+	}[*walSync]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lsmkv: unknown WAL sync policy %q (every, interval, or never)\n", *walSync)
+		os.Exit(1)
+	}
 	db, err := lsmssd.Open(lsmssd.Options{
 		Path:            *path,
 		MergePolicy:     pol,
@@ -71,6 +80,7 @@ func main() {
 		Delta:           *delta,
 		MetricsAddr:     *metrics,
 		CompactionMode:  mode,
+		WAL:             lsmssd.WALOptions{Enabled: *walOn, Sync: sync},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lsmkv: %v\n", err)

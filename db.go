@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lsmssd/internal/block"
 	"lsmssd/internal/compaction"
@@ -14,10 +15,18 @@ import (
 	"lsmssd/internal/manifest"
 	"lsmssd/internal/obs"
 	"lsmssd/internal/storage"
+	"lsmssd/internal/wal"
 )
 
 // ErrClosed is returned by every DB operation issued after Close.
 var ErrClosed = errors.New("lsmssd: database is closed")
+
+// ErrCorrupt is returned when a data block read back from the device
+// fails its integrity checksum — a torn write, bit rot, or external
+// damage. The engine surfaces it through Get, Scan, iterators, and merge
+// paths rather than treating the block as absent, so corruption is always
+// loud. Test with errors.Is.
+var ErrCorrupt = storage.ErrCorrupt
 
 // DB is a key-value store backed by the paper's LSM-tree. All methods are
 // safe for concurrent use.
@@ -44,6 +53,14 @@ type DB struct {
 	sched    *compaction.Scheduler
 	raw      storage.Device // the unwrapped device, for Close
 
+	// Write-ahead log state (nil/zero unless Options.WAL.Enabled). lastSeq
+	// is the sequence of the newest logged frame, guarded by writerMu; the
+	// checkpoint manifest records it as the replay cutoff. recovery
+	// captures what Open's replay did, for Stats.
+	wal      *wal.Log
+	lastSeq  uint64
+	recovery WALRecoveryStats
+
 	// Observability (see metrics.go). bus and lat always exist; lat records
 	// only when MetricsAddr enabled it, and the bus constructs no events
 	// until a sink subscribes. metrics is the HTTP endpoint, nil unless
@@ -60,10 +77,16 @@ type DB struct {
 //
 // With Path set, Open looks for a manifest (Path + ".manifest") written by
 // a previous Close or Checkpoint and, if present, restores the store from
-// it; otherwise the file is created fresh. The manifest provides clean-
-// shutdown persistence, not crash durability — requests since the last
-// checkpoint are lost on a crash (there is no write-ahead log; see the
-// package documentation).
+// it; otherwise the file is created fresh. With Options.WAL enabled, Open
+// then replays the write-ahead log over the restored state: every frame
+// beyond the manifest's recorded sequence is re-applied, a torn tail left
+// by a power cut is truncated at the first bad frame, and the recovered
+// state is checkpointed before Open returns (Stats reports what the
+// replay did). With the WAL disabled the manifest alone provides clean-
+// shutdown persistence — a crash loses the requests since the last
+// checkpoint — and Open refuses to run if it finds unreplayed WAL frames
+// from an earlier WAL-enabled incarnation, rather than silently dropping
+// acknowledged writes.
 func Open(opts Options) (*DB, error) {
 	opts = opts.withDefaults()
 	if err := opts.Validate(); err != nil {
@@ -121,6 +144,9 @@ func Open(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
+		if opts.WAL.Enabled {
+			fd.SetDeferRecycle(true)
+		}
 		dev = fd
 	} else {
 		dev = storage.NewMemDevice()
@@ -135,8 +161,10 @@ func Open(opts Options) (*DB, error) {
 }
 
 // finishOpen wires the pieces that need the assembled DB: the compaction
-// scheduler (whose per-step lock is the DB's writer lock) and the
-// observability endpoint.
+// scheduler (whose per-step lock is the DB's writer lock), write-ahead
+// log recovery, and the observability endpoint. WAL replay must run after
+// the scheduler exists — replayed frames go through the normal admission
+// and cascade path — and before the metrics endpoint serves state.
 func (db *DB) finishOpen() (*DB, error) {
 	mode := compaction.Sync
 	if db.opts.CompactionMode == BackgroundCompaction {
@@ -155,10 +183,107 @@ func (db *DB) finishOpen() (*DB, error) {
 		return nil, errors.Join(err, db.raw.Close())
 	}
 	db.sched = sched
+	if err := db.openWAL(); err != nil {
+		db.sched.Stop()
+		db.bus.Close()
+		return nil, errors.Join(err, db.raw.Close())
+	}
 	return db.startObs()
 }
 
 func manifestPath(path string) string { return path + ".manifest" }
+func walBase(path string) string      { return path + ".wal" }
+
+// openWAL performs crash recovery and positions the log for appending.
+// With the WAL disabled it only verifies that no unreplayed frames exist
+// on disk — Open must never silently orphan acknowledged writes.
+func (db *DB) openWAL() error {
+	if db.opts.Path == "" {
+		return nil
+	}
+	base := walBase(db.opts.Path)
+	if !db.opts.WAL.Enabled {
+		has, err := wal.HasFramesAfter(base, db.lastSeq)
+		if err != nil {
+			return fmt.Errorf("lsmssd: inspecting write-ahead log: %w", err)
+		}
+		if has {
+			return fmt.Errorf("lsmssd: %s holds write-ahead log frames beyond the last checkpoint, but Options.WAL is disabled; reopen with the WAL enabled to recover them (or delete the segment files to discard them)", base)
+		}
+		return nil
+	}
+
+	start := time.Now()
+	info, err := wal.Replay(base, db.lastSeq, func(seq uint64, ops []wal.Op) error {
+		return db.applyReplayed(ops)
+	})
+	if err != nil {
+		return fmt.Errorf("lsmssd: write-ahead log replay: %w", err)
+	}
+	if info.LastSeq > db.lastSeq {
+		db.lastSeq = info.LastSeq
+	}
+	log, err := wal.Open(base, db.lastSeq+1, wal.Options{
+		Policy:       wal.SyncPolicy(db.opts.WAL.Sync),
+		Interval:     db.opts.WAL.Interval,
+		SegmentBytes: db.opts.WAL.SegmentBytes,
+	})
+	if err != nil {
+		return fmt.Errorf("lsmssd: write-ahead log open: %w", err)
+	}
+	db.wal = log
+	db.recovery = WALRecoveryStats{
+		Recovered: info.Frames > 0 || info.TornBytes > 0,
+		Segments:  info.Segments,
+		Frames:    info.Frames,
+		Ops:       info.Ops,
+		TornBytes: info.TornBytes,
+	}
+	if info.Frames > 0 {
+		// Fold the replayed state into a fresh checkpoint immediately:
+		// recovery converges instead of replaying an ever-longer log, and
+		// the covered segments are garbage-collected.
+		db.writerMu.Lock()
+		err := db.checkpointLocked()
+		db.writerMu.Unlock()
+		if err != nil {
+			return errors.Join(fmt.Errorf("lsmssd: post-recovery checkpoint: %w", err), db.wal.Close())
+		}
+	}
+	if db.bus.Enabled() {
+		db.bus.Publish(obs.RecoveryEvent{
+			Segments:  info.Segments,
+			Frames:    info.Frames,
+			Ops:       info.Ops,
+			TornBytes: info.TornBytes,
+			Duration:  time.Since(start),
+		})
+	}
+	return nil
+}
+
+// applyReplayed pushes one recovered WAL frame through the normal write
+// path — admission, the writer lock, a batched apply, and the cascade
+// notification — so recovery exercises exactly the machinery of live
+// traffic.
+func (db *DB) applyReplayed(ops []wal.Op) error {
+	batch := make([]core.BatchOp, len(ops))
+	for i, op := range ops {
+		batch[i] = core.BatchOp{Key: block.Key(op.Key), Payload: op.Value, Delete: op.Delete}
+	}
+	if err := db.sched.Admit(); err != nil {
+		return err
+	}
+	db.writerMu.Lock()
+	defer db.writerMu.Unlock()
+	if err := db.tree.ApplyBatch(batch); err != nil {
+		return err
+	}
+	if err := db.sched.Notify(); err != nil {
+		return err
+	}
+	return db.paranoidSteadyCheck()
+}
 
 // reopen restores a DB from a manifest over the existing device file.
 func reopen(opts Options, cfg core.Config, st manifest.State) (*DB, error) {
@@ -185,6 +310,9 @@ func reopen(opts Options, cfg core.Config, st manifest.State) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.WAL.Enabled {
+		fd.SetDeferRecycle(true)
+	}
 	cfg.Device = fd
 	tree, err := core.Restore(cfg, core.ExportedState{Levels: st.Levels, Memtable: st.Memtable})
 	if err != nil {
@@ -195,7 +323,7 @@ func reopen(opts Options, cfg core.Config, st manifest.State) (*DB, error) {
 			return nil, errors.Join(fmt.Errorf("lsmssd: restored state: %w", err), fd.Close())
 		}
 	}
-	return &DB{opts: opts, tree: tree, raw: fd, bus: cfg.Bus, lat: cfg.Lat}, nil
+	return &DB{opts: opts, tree: tree, raw: fd, bus: cfg.Bus, lat: cfg.Lat, lastSeq: st.WALSeq}, nil
 }
 
 // acquireView pins the current read snapshot, translating a closed engine
@@ -224,13 +352,27 @@ func (db *DB) Checkpoint() error {
 	return db.checkpointLocked()
 }
 
+// checkpointLocked persists the current state under the writer lock. With
+// the WAL enabled it also advances the durability horizon, in a fixed
+// order: the device is synced first (the manifest must never reference a
+// block the device could still lose), the manifest then records lastSeq
+// as the replay cutoff, and only after that checkpoint is durable do
+// freed block slots become reusable and fully covered WAL segments get
+// deleted.
 func (db *DB) checkpointLocked() error {
 	if db.opts.Path == "" {
 		return nil
 	}
+	if db.wal != nil {
+		if s, ok := db.raw.(storage.Syncer); ok {
+			if err := s.Sync(); err != nil {
+				return fmt.Errorf("lsmssd: syncing device before checkpoint: %w", err)
+			}
+		}
+	}
 	st := db.tree.Export()
 	cfg := db.tree.Config()
-	return manifest.Save(manifestPath(db.opts.Path), manifest.State{
+	if err := manifest.Save(manifestPath(db.opts.Path), manifest.State{
 		Config: manifest.Config{
 			BlockCapacity: cfg.BlockCapacity,
 			K0:            cfg.K0,
@@ -238,9 +380,52 @@ func (db *DB) checkpointLocked() error {
 			Epsilon:       cfg.Epsilon,
 			Seed:          cfg.Seed,
 		},
+		WALSeq:   db.lastSeq,
 		Levels:   st.Levels,
 		Memtable: st.Memtable,
-	})
+	}); err != nil {
+		return err
+	}
+	if db.wal == nil {
+		return nil
+	}
+	if fd, ok := db.raw.(*storage.FileDevice); ok {
+		fd.ReclaimFreed()
+	}
+	removed, err := db.wal.GC(db.lastSeq)
+	if err != nil {
+		return fmt.Errorf("lsmssd: write-ahead log gc: %w", err)
+	}
+	if removed > 0 && db.bus.Enabled() {
+		s := db.wal.Stats()
+		db.bus.Publish(obs.WALEvent{Kind: "gc", Segments: s.Segments, Removed: removed, LastSeq: db.lastSeq})
+	}
+	return nil
+}
+
+// logMutation appends ops to the write-ahead log as a single frame —
+// group commit: one frame, and under SyncEvery one fsync, per request
+// regardless of batch size. A logging failure means the request was never
+// made durable, so the caller must fail it without touching the tree.
+// When the append sealed a segment the caller checkpoints after applying
+// the ops (after, because the checkpoint's WALSeq covers this frame — the
+// manifest state must include it). Caller holds writerMu.
+func (db *DB) logMutation(ops []wal.Op) (rotated bool, err error) {
+	if db.wal == nil {
+		return false, nil
+	}
+	start := db.lat.Start()
+	seq, rotated, err := db.wal.Append(ops)
+	db.lat.Done(obs.OpWALAppend, start)
+	if err != nil {
+		return false, fmt.Errorf("lsmssd: write-ahead log append: %w", err)
+	}
+	db.lastSeq = seq
+	if rotated && db.bus.Enabled() {
+		s := db.wal.Stats()
+		db.bus.Publish(obs.WALEvent{Kind: "rotate", Segments: s.Segments, LastSeq: seq})
+	}
+	return rotated, nil
 }
 
 // Put inserts or updates the value stored for key. Under background
@@ -258,11 +443,20 @@ func (db *DB) Put(key uint64, value []byte) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	rotated, err := db.logMutation([]wal.Op{{Key: key, Value: value}})
+	if err != nil {
+		return err
+	}
 	if err := db.tree.Put(block.Key(key), value); err != nil {
 		return err
 	}
 	if err := db.sched.Notify(); err != nil {
 		return err
+	}
+	if rotated {
+		if err := db.checkpointLocked(); err != nil {
+			return err
+		}
 	}
 	return db.paranoidSteadyCheck()
 }
@@ -280,11 +474,20 @@ func (db *DB) Delete(key uint64) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	rotated, err := db.logMutation([]wal.Op{{Key: key, Delete: true}})
+	if err != nil {
+		return err
+	}
 	if err := db.tree.Delete(block.Key(key)); err != nil {
 		return err
 	}
 	if err := db.sched.Notify(); err != nil {
 		return err
+	}
+	if rotated {
+		if err := db.checkpointLocked(); err != nil {
+			return err
+		}
 	}
 	return db.paranoidSteadyCheck()
 }
@@ -363,9 +566,44 @@ func (db *DB) Close() error {
 	}
 	db.bus.Close()
 	err := db.checkpointLocked()
+	var werr error
+	if db.wal != nil {
+		werr = db.wal.Close()
+		db.wal = nil
+	}
 	db.closed.Store(true)
 	db.tree.MarkClosed()
-	return errors.Join(db.sched.Err(), merr, err, db.raw.Close())
+	return errors.Join(db.sched.Err(), merr, err, werr, db.raw.Close())
+}
+
+// Crash abandons the DB as a power cut would: no checkpoint, no device
+// sync, and write-ahead log frames buffered past the last policy-driven
+// fsync are truncated, exactly as an OS page cache would lose them. A
+// subsequent Open performs crash recovery from the last checkpoint plus
+// the surviving WAL prefix. Crash exists for durability testing (the
+// crash-loop harness drives it); production code wants Close. The
+// returned error reports teardown problems only.
+func (db *DB) Crash() error {
+	db.sched.Stop()
+	db.writerMu.Lock()
+	defer db.writerMu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	var merr error
+	if db.metrics != nil {
+		merr = db.metrics.Close()
+		db.metrics = nil
+	}
+	db.bus.Close()
+	var werr error
+	if db.wal != nil {
+		werr = db.wal.Crash()
+		db.wal = nil
+	}
+	db.closed.Store(true)
+	db.tree.MarkClosed()
+	return errors.Join(merr, werr, db.raw.Close())
 }
 
 // Validate checks every internal invariant (level ordering, waste

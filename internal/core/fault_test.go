@@ -6,44 +6,23 @@ import (
 	"testing"
 
 	"lsmssd/internal/block"
+	"lsmssd/internal/faultdev"
 	"lsmssd/internal/policy"
 	"lsmssd/internal/storage"
 )
 
-// faultDevice wraps a MemDevice and fails the n-th write or read,
-// exercising the error paths through merges, repairs, and compactions.
-type faultDevice struct {
-	*storage.MemDevice
-	failWriteAt int64 // fail when Writes reaches this count (0 = never)
-	failReadAt  int64
-	writes      int64
-	reads       int64
-}
-
-var errInjected = errors.New("injected fault")
-
-func (d *faultDevice) Write(id storage.BlockID, b *block.Block) error {
-	d.writes++
-	if d.failWriteAt > 0 && d.writes >= d.failWriteAt {
-		return fmt.Errorf("write %d: %w", d.writes, errInjected)
-	}
-	return d.MemDevice.Write(id, b)
-}
-
-func (d *faultDevice) Read(id storage.BlockID) (*block.Block, error) {
-	d.reads++
-	if d.failReadAt > 0 && d.reads >= d.failReadAt {
-		return nil, fmt.Errorf("read %d: %w", d.reads, errInjected)
-	}
-	return d.MemDevice.Read(id)
-}
+// These tests drive the shared fault-injection device (internal/faultdev)
+// through the tree, exercising the error paths of merges, repairs, and
+// compactions: injected faults must surface wrapped — never swallowed —
+// and never panic.
 
 func TestWriteFaultsSurface(t *testing.T) {
 	// Whatever the moment of failure, the tree must return the injected
 	// error (wrapped, not swallowed) and never panic.
 	for _, failAt := range []int64{1, 5, 20, 100} {
 		t.Run(fmt.Sprintf("failAt=%d", failAt), func(t *testing.T) {
-			dev := &faultDevice{MemDevice: storage.NewMemDevice(), failWriteAt: failAt}
+			dev := faultdev.Wrap(storage.NewMemDevice(), faultdev.Options{})
+			dev.FailWriteAt(failAt)
 			tr, err := New(Config{
 				Device:        dev,
 				Policy:        policy.NewChooseBest(0.25, true),
@@ -65,7 +44,7 @@ func TestWriteFaultsSurface(t *testing.T) {
 			if sawErr == nil {
 				t.Fatal("injected write fault never surfaced")
 			}
-			if !errors.Is(sawErr, errInjected) {
+			if !errors.Is(sawErr, faultdev.ErrInjected) {
 				t.Errorf("error lost provenance: %v", sawErr)
 			}
 		})
@@ -75,7 +54,8 @@ func TestWriteFaultsSurface(t *testing.T) {
 func TestReadFaultsSurface(t *testing.T) {
 	for _, failAt := range []int64{1, 10, 50} {
 		t.Run(fmt.Sprintf("failAt=%d", failAt), func(t *testing.T) {
-			dev := &faultDevice{MemDevice: storage.NewMemDevice(), failReadAt: failAt}
+			dev := faultdev.Wrap(storage.NewMemDevice(), faultdev.Options{})
+			dev.FailReadAt(failAt)
 			tr, err := New(Config{
 				Device:        dev,
 				Policy:        policy.NewFull(false), // Full merges read every block
@@ -101,7 +81,7 @@ func TestReadFaultsSurface(t *testing.T) {
 			if sawErr == nil {
 				t.Fatal("injected read fault never surfaced")
 			}
-			if !errors.Is(sawErr, errInjected) {
+			if !errors.Is(sawErr, faultdev.ErrInjected) {
 				t.Errorf("error lost provenance: %v", sawErr)
 			}
 		})
@@ -109,7 +89,7 @@ func TestReadFaultsSurface(t *testing.T) {
 }
 
 func TestLookupFaultSurfacesFromGet(t *testing.T) {
-	dev := &faultDevice{MemDevice: storage.NewMemDevice()}
+	dev := faultdev.Wrap(storage.NewMemDevice(), faultdev.Options{})
 	tr, err := New(Config{
 		Device:        dev,
 		Policy:        policy.NewChooseBest(0.25, true),
@@ -126,12 +106,43 @@ func TestLookupFaultSurfacesFromGet(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	dev.failReadAt = dev.reads + 1
-	if _, _, err := tr.Get(5); !errors.Is(err, errInjected) {
+	dev.FailReadAt(dev.Reads() + 1)
+	if _, _, err := tr.Get(5); !errors.Is(err, faultdev.ErrInjected) {
 		t.Errorf("Get error = %v, want injected fault", err)
 	}
-	dev.failReadAt = dev.reads + 1
-	if err := tr.Scan(0, 100, func(block.Key, []byte) bool { return true }); !errors.Is(err, errInjected) {
+	dev.FailReadAt(dev.Reads() + 1)
+	if err := tr.Scan(0, 100, func(block.Key, []byte) bool { return true }); !errors.Is(err, faultdev.ErrInjected) {
 		t.Errorf("Scan error = %v, want injected fault", err)
+	}
+}
+
+// TestCorruptBlockSurfacesThroughTree pins the ErrCorrupt contract at the
+// core layer: a checksum-damaged block fails Get/Scan with the sentinel,
+// never a silent not-found.
+func TestCorruptBlockSurfacesThroughTree(t *testing.T) {
+	dev := faultdev.Wrap(storage.NewMemDevice(), faultdev.Options{Seed: 5, TornWriteProb: 1})
+	tr, err := New(Config{
+		Device:        dev,
+		Policy:        policy.NewChooseBest(0.25, true),
+		BlockCapacity: 4,
+		K0:            2,
+		Gamma:         4,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	for k := block.Key(0); k < 2000; k++ {
+		if err := putC(tr, k, []byte{1}); err != nil {
+			sawErr = err
+			break
+		}
+	}
+	if sawErr == nil {
+		_, _, sawErr = tr.Get(1)
+	}
+	if !errors.Is(sawErr, storage.ErrCorrupt) {
+		t.Errorf("corruption surfaced as %v, want storage.ErrCorrupt", sawErr)
 	}
 }

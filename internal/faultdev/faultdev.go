@@ -1,0 +1,340 @@
+// Package faultdev wraps any storage.Device with deterministic fault
+// injection: seeded probabilistic schedules for failed writes, failed
+// reads, torn writes, bit rot, a capacity ceiling (ENOSPC), injected
+// latency, and a power-cut simulation mode that drops every un-synced
+// write on Crash.
+//
+// It exists so every layer exercises the same failure model. Unit tests
+// across core and level used to carry copy-pasted one-off fault wrappers;
+// they now share this package, and the crash-recovery harness drives the
+// power-cut mode against the full DB stack.
+//
+// Determinism: all probabilistic faults draw from a private rand.Rand
+// seeded by Options.Seed, so a failing schedule replays exactly from its
+// seed. The counter-based triggers (FailWriteAt, FailReadAt) are exact:
+// attempt counters include the faulted calls themselves, so "fail the
+// N-th access from now" is expressible as FailReadAt(d.Reads()+N).
+package faultdev
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/storage"
+)
+
+// ErrInjected marks a deliberately injected read/write failure. Callers
+// assert errors.Is(err, ErrInjected) to verify provenance survives the
+// engine's wrapping.
+var ErrInjected = errors.New("faultdev: injected fault")
+
+// ErrNoSpace reports the configured capacity ceiling was hit, modelling
+// ENOSPC from a full device.
+var ErrNoSpace = errors.New("faultdev: no space left on device")
+
+// Options configures the fault schedule. The zero value injects nothing
+// and passes every call straight through.
+type Options struct {
+	// Seed seeds the private RNG driving the probabilistic faults.
+	Seed int64
+	// WriteFailProb is the per-write probability of returning ErrInjected
+	// without storing anything.
+	WriteFailProb float64
+	// ReadFailProb is the per-read probability of returning ErrInjected.
+	ReadFailProb float64
+	// TornWriteProb is the per-write probability that the write reports
+	// success but the stored block is damaged: every later read of it
+	// returns storage.ErrCorrupt.
+	TornWriteProb float64
+	// BitFlipProb is the per-write probability of silent bit rot with the
+	// same observable effect as a torn write, but counted separately.
+	BitFlipProb float64
+	// CapacityBlocks, when positive, fails writes with ErrNoSpace once the
+	// device's live-block count exceeds it.
+	CapacityBlocks int64
+	// Latency is added to every read and write.
+	Latency time.Duration
+	// PowerCut arms the power-cut simulation: writes are tracked as
+	// volatile until Sync, frees are deferred until Sync, and Crash drops
+	// everything volatile — modelling a device cache losing power. The
+	// inner device must not recycle block IDs (MemDevice qualifies).
+	PowerCut bool
+}
+
+// Device is the fault-injecting storage.Device wrapper. Construct with
+// Wrap.
+type Device struct {
+	inner storage.Device
+	opts  Options
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	writes      int64 // write attempts, including faulted ones
+	reads       int64 // read attempts, including faulted ones
+	failWriteAt int64 // fail every write once writes reaches this (0 = off)
+	failReadAt  int64
+	corrupt     map[storage.BlockID]bool // torn/bit-rotted blocks
+	unsynced    map[storage.BlockID]bool // written since last Sync (power-cut mode)
+	pendingFree map[storage.BlockID]bool // freed since last Sync (power-cut mode)
+
+	injWriteFails, injReadFails, injTorn, injFlips int64
+}
+
+var _ storage.Device = (*Device)(nil)
+
+// Wrap layers the fault schedule in o over inner.
+func Wrap(inner storage.Device, o Options) *Device {
+	return &Device{
+		inner:       inner,
+		opts:        o,
+		rng:         rand.New(rand.NewSource(o.Seed)),
+		corrupt:     make(map[storage.BlockID]bool),
+		unsynced:    make(map[storage.BlockID]bool),
+		pendingFree: make(map[storage.BlockID]bool),
+	}
+}
+
+// FailWriteAt arms the exact trigger: every write attempt from the n-th
+// on (1-based, counting faulted attempts) fails with ErrInjected. Zero
+// disarms it.
+func (d *Device) FailWriteAt(n int64) {
+	d.mu.Lock()
+	d.failWriteAt = n
+	d.mu.Unlock()
+}
+
+// FailReadAt is FailWriteAt for reads.
+func (d *Device) FailReadAt(n int64) {
+	d.mu.Lock()
+	d.failReadAt = n
+	d.mu.Unlock()
+}
+
+// Writes returns the number of write attempts so far, faulted included.
+func (d *Device) Writes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes
+}
+
+// Reads returns the number of read attempts so far, faulted included.
+func (d *Device) Reads() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads
+}
+
+// Alloc delegates to the inner device; allocation itself never faults
+// (real allocators fail at write time, which is where ErrNoSpace fires).
+func (d *Device) Alloc() storage.BlockID { return d.inner.Alloc() }
+
+// Write applies the write-side fault schedule, then delegates.
+func (d *Device) Write(id storage.BlockID, b *block.Block) error {
+	if d.opts.Latency > 0 {
+		time.Sleep(d.opts.Latency)
+	}
+	d.mu.Lock()
+	d.writes++
+	n := d.writes
+	if d.failWriteAt > 0 && n >= d.failWriteAt {
+		d.injWriteFails++
+		d.mu.Unlock()
+		return fmt.Errorf("write %d: %w", n, ErrInjected)
+	}
+	if d.opts.WriteFailProb > 0 && d.rng.Float64() < d.opts.WriteFailProb {
+		d.injWriteFails++
+		d.mu.Unlock()
+		return fmt.Errorf("write %d: %w", n, ErrInjected)
+	}
+	torn := d.opts.TornWriteProb > 0 && d.rng.Float64() < d.opts.TornWriteProb
+	flip := d.opts.BitFlipProb > 0 && d.rng.Float64() < d.opts.BitFlipProb
+	d.mu.Unlock()
+	if d.opts.CapacityBlocks > 0 && d.inner.Counters().Live > d.opts.CapacityBlocks {
+		return fmt.Errorf("write block %d: %w", id, ErrNoSpace)
+	}
+	if err := d.inner.Write(id, b); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	if torn {
+		d.corrupt[id] = true
+		d.injTorn++
+	} else if flip {
+		d.corrupt[id] = true
+		d.injFlips++
+	}
+	if d.opts.PowerCut {
+		d.unsynced[id] = true
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// Read applies the read-side fault schedule, then delegates.
+func (d *Device) Read(id storage.BlockID) (*block.Block, error) {
+	if d.opts.Latency > 0 {
+		time.Sleep(d.opts.Latency)
+	}
+	d.mu.Lock()
+	d.reads++
+	n := d.reads
+	if d.failReadAt > 0 && n >= d.failReadAt {
+		d.injReadFails++
+		d.mu.Unlock()
+		return nil, fmt.Errorf("read %d: %w", n, ErrInjected)
+	}
+	if d.opts.ReadFailProb > 0 && d.rng.Float64() < d.opts.ReadFailProb {
+		d.injReadFails++
+		d.mu.Unlock()
+		return nil, fmt.Errorf("read %d: %w", n, ErrInjected)
+	}
+	bad := d.corrupt[id]
+	gone := d.pendingFree[id]
+	d.mu.Unlock()
+	if gone {
+		return nil, fmt.Errorf("faultdev: read block %d: %w", id, storage.ErrNotFound)
+	}
+	if bad {
+		return nil, fmt.Errorf("faultdev: read block %d: damaged by torn write: %w", id, storage.ErrCorrupt)
+	}
+	return d.inner.Read(id)
+}
+
+// Peek bypasses the probabilistic schedule (diagnostics must not consume
+// RNG state) but still surfaces torn-write damage.
+func (d *Device) Peek(id storage.BlockID) (*block.Block, error) {
+	d.mu.Lock()
+	bad := d.corrupt[id]
+	gone := d.pendingFree[id]
+	d.mu.Unlock()
+	if gone {
+		return nil, fmt.Errorf("faultdev: peek block %d: %w", id, storage.ErrNotFound)
+	}
+	if bad {
+		return nil, fmt.Errorf("faultdev: peek block %d: damaged by torn write: %w", id, storage.ErrCorrupt)
+	}
+	return d.inner.Peek(id)
+}
+
+// Free releases id. In power-cut mode the release is deferred until the
+// next Sync — a real device's FTL must not reuse the physical block while
+// the free could still be lost with the cache — so a Crash resurrects the
+// block exactly as a power cut would.
+func (d *Device) Free(id storage.BlockID) error {
+	d.mu.Lock()
+	if d.opts.PowerCut {
+		if d.pendingFree[id] {
+			d.mu.Unlock()
+			return fmt.Errorf("faultdev: free block %d: %w", id, storage.ErrNotFound)
+		}
+		if d.unsynced[id] {
+			// Never became durable, so the free cannot outlive the write:
+			// apply both immediately.
+			delete(d.unsynced, id)
+			delete(d.corrupt, id)
+			d.mu.Unlock()
+			return d.inner.Free(id)
+		}
+		d.pendingFree[id] = true
+		d.mu.Unlock()
+		return nil
+	}
+	delete(d.corrupt, id)
+	d.mu.Unlock()
+	return d.inner.Free(id)
+}
+
+// Sync makes the power-cut volatile state durable: tracked writes are
+// committed and deferred frees applied to the inner device. Outside
+// power-cut mode it is a no-op.
+func (d *Device) Sync() error {
+	d.mu.Lock()
+	if !d.opts.PowerCut {
+		d.mu.Unlock()
+		return nil
+	}
+	frees := make([]storage.BlockID, 0, len(d.pendingFree))
+	for id := range d.pendingFree {
+		frees = append(frees, id)
+	}
+	d.unsynced = make(map[storage.BlockID]bool)
+	d.pendingFree = make(map[storage.BlockID]bool)
+	d.mu.Unlock()
+	var errs []error
+	for _, id := range frees {
+		if err := d.inner.Free(id); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Crash simulates a power cut: every write since the last Sync is
+// dropped from the inner device, every deferred free is forgotten (the
+// blocks survive, exactly as un-flushed FTL metadata would), and the
+// volatile state is cleared. It returns the number of dropped writes.
+// Only meaningful in power-cut mode.
+func (d *Device) Crash() (dropped int, err error) {
+	d.mu.Lock()
+	drops := make([]storage.BlockID, 0, len(d.unsynced))
+	for id := range d.unsynced {
+		drops = append(drops, id)
+	}
+	d.unsynced = make(map[storage.BlockID]bool)
+	d.pendingFree = make(map[storage.BlockID]bool)
+	for _, id := range drops {
+		delete(d.corrupt, id)
+	}
+	d.mu.Unlock()
+	var errs []error
+	for _, id := range drops {
+		if ferr := d.inner.Free(id); ferr != nil {
+			errs = append(errs, ferr)
+		}
+	}
+	return len(drops), errors.Join(errs...)
+}
+
+// InjectedStats reports how many faults each schedule has fired.
+type InjectedStats struct {
+	WriteFails int64
+	ReadFails  int64
+	TornWrites int64
+	BitFlips   int64
+}
+
+// Injected returns a snapshot of the fault counts fired so far.
+func (d *Device) Injected() InjectedStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return InjectedStats{
+		WriteFails: d.injWriteFails,
+		ReadFails:  d.injReadFails,
+		TornWrites: d.injTorn,
+		BitFlips:   d.injFlips,
+	}
+}
+
+// Counters reports the inner device's accounting, adjusted so deferred
+// frees look applied — the engine above observed those frees succeed, and
+// its accounting invariants (Live == referenced + deferred zombies) must
+// keep holding between Sync points.
+func (d *Device) Counters() storage.Counters {
+	c := d.inner.Counters()
+	d.mu.Lock()
+	pending := int64(len(d.pendingFree))
+	d.mu.Unlock()
+	c.Frees += pending
+	c.Live -= pending
+	return c
+}
+
+// ResetCounters delegates to the inner device.
+func (d *Device) ResetCounters() { d.inner.ResetCounters() }
+
+// Close delegates to the inner device.
+func (d *Device) Close() error { return d.inner.Close() }

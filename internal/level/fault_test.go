@@ -6,53 +6,45 @@ import (
 
 	"lsmssd/internal/block"
 	"lsmssd/internal/btree"
+	"lsmssd/internal/faultdev"
 	"lsmssd/internal/storage"
 )
 
-// readFailDev fails all reads after a trigger, for error-path coverage.
-type readFailDev struct {
-	*storage.MemDevice
-	fail bool
-}
-
-var errBoom = errors.New("boom")
-
-func (d *readFailDev) Read(id storage.BlockID) (*block.Block, error) {
-	if d.fail {
-		return nil, errBoom
-	}
-	return d.MemDevice.Read(id)
+// failAllReads arms the shared fault device (internal/faultdev) so every
+// read from now on fails, for error-path coverage.
+func failAllReads(d *faultdev.Device) {
+	d.FailReadAt(d.Reads() + 1)
 }
 
 func TestRepairPairReadError(t *testing.T) {
-	dev := &readFailDev{MemDevice: storage.NewMemDevice()}
+	dev := faultdev.Wrap(storage.NewMemDevice(), faultdev.Options{})
 	l := New(Config{Device: dev, BlockCapacity: 4, Epsilon: 0.5, Capacity: 100})
 	load(t, l, 2, 2)
-	dev.fail = true
-	if _, err := l.RepairPair(0); !errors.Is(err, errBoom) {
-		t.Errorf("RepairPair error = %v, want boom", err)
+	failAllReads(dev)
+	if _, err := l.RepairPair(0); !errors.Is(err, faultdev.ErrInjected) {
+		t.Errorf("RepairPair error = %v, want injected fault", err)
 	}
 }
 
 func TestCompactReadError(t *testing.T) {
-	dev := &readFailDev{MemDevice: storage.NewMemDevice()}
+	dev := faultdev.Wrap(storage.NewMemDevice(), faultdev.Options{})
 	l := New(Config{Device: dev, BlockCapacity: 4, Epsilon: 0.2, Capacity: 100})
 	load(t, l, 3, 3, 3)
-	dev.fail = true
-	if _, err := l.Compact(); !errors.Is(err, errBoom) {
-		t.Errorf("Compact error = %v, want boom", err)
+	failAllReads(dev)
+	if _, err := l.Compact(); !errors.Is(err, faultdev.ErrInjected) {
+		t.Errorf("Compact error = %v, want injected fault", err)
 	}
 }
 
 func TestGetAndAscendReadError(t *testing.T) {
-	dev := &readFailDev{MemDevice: storage.NewMemDevice()}
+	dev := faultdev.Wrap(storage.NewMemDevice(), faultdev.Options{})
 	l := New(Config{Device: dev, BlockCapacity: 4, Epsilon: 0.2, Capacity: 100})
 	load(t, l, 4, 4)
-	dev.fail = true
-	if _, _, err := l.Get(0); !errors.Is(err, errBoom) {
+	failAllReads(dev)
+	if _, _, err := l.Get(0); !errors.Is(err, faultdev.ErrInjected) {
 		t.Errorf("Get error = %v", err)
 	}
-	if err := l.Ascend(0, 100, func(block.Record) bool { return true }); !errors.Is(err, errBoom) {
+	if err := l.Ascend(0, 100, func(block.Record) bool { return true }); !errors.Is(err, faultdev.ErrInjected) {
 		t.Errorf("Ascend error = %v", err)
 	}
 }

@@ -25,6 +25,11 @@
 //     core itself) — merge scheduling is centralized so backpressure,
 //     error parking, and mid-cascade audits see every step; a stray
 //     cascade call elsewhere would bypass all three.
+//   - wal-frame: wal.Log's mutating entry points (Append, Sync, GC, Crash)
+//     may be called only from the wal package and the DB layer — the
+//     durability argument depends on frames being appended before the tree
+//     applies them and garbage-collected only after a checkpoint, and a
+//     stray append or GC elsewhere would break the acked-write contract.
 //
 // The analyzer is stdlib-only: packages are enumerated with `go list`,
 // parsed with go/parser, and typechecked with go/types against compiler
@@ -88,6 +93,14 @@ type Config struct {
 	// CompactionMethods. Test files are never linted, so tests may drive
 	// cascades directly everywhere.
 	CompactionAllowed []string
+	// WALPkg is the package defining the write-ahead log whose mutating
+	// methods are restricted to the durability layer.
+	WALPkg string
+	// WALMethods are the restricted method names on WALPkg's Log.
+	WALMethods []string
+	// WALAllowed lists the packages allowed to call WALMethods (the wal
+	// package itself and the DB layer that owns the commit protocol).
+	WALAllowed []string
 	// Layering maps a package path to import paths it must not depend on,
 	// directly or transitively.
 	Layering map[string][]string
@@ -111,6 +124,7 @@ func DefaultConfig() Config {
 			"lsmssd/internal/level",
 			"lsmssd/internal/merge",
 			"lsmssd/internal/core",
+			"lsmssd/internal/faultdev", // transparent Device wrapper; delegates accounting to the inner device
 		},
 		RandAllowed:      []string{"New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8"},
 		TreePkg:          "lsmssd/internal/core",
@@ -130,14 +144,23 @@ func DefaultConfig() Config {
 			"lsmssd/internal/policy",
 			"lsmssd/internal/compaction",  // StallEvent at the backpressure points
 			"lsmssd/internal/experiments", // RunEvent window markers
+			"lsmssd",                      // WALEvent/RecoveryEvent at the DB's durability points
 		},
 		CompactionMethods: []string{"CompactionStep", "RunCascade"},
 		CompactionAllowed: []string{
 			"lsmssd/internal/core",       // Restore completes an interrupted cascade
 			"lsmssd/internal/compaction", // the scheduler and the sync Driver
 		},
+		WALPkg:     "lsmssd/internal/wal",
+		WALMethods: []string{"Append", "Sync", "GC", "Crash"},
+		WALAllowed: []string{
+			"lsmssd/internal/wal",
+			"lsmssd", // the DB layer owns the log-then-apply commit protocol
+		},
 		Layering: map[string][]string{
 			"lsmssd/internal/obs":      lowDeny, // obs stays a leaf: engine publishes into it, never the reverse
+			"lsmssd/internal/wal":      lowDeny, // the log is a leaf: the DB layer feeds it, the engine never sees it
+			"lsmssd/internal/faultdev": lowDeny, // wraps storage only; fault injection must not know engine structure
 			"lsmssd/internal/block":    lowDeny,
 			"lsmssd/internal/btree":    lowDeny,
 			"lsmssd/internal/bloom":    lowDeny,
@@ -201,6 +224,7 @@ func lintPackage(p *Package, cfg Config) []Finding {
 				out = append(out, checkDeviceCall(p, cfg, n)...)
 				out = append(out, checkTreeState(p, cfg, n)...)
 				out = append(out, checkCompactionStep(p, cfg, n)...)
+				out = append(out, checkWALFrame(p, cfg, n)...)
 			case *ast.CompositeLit:
 				out = append(out, checkObsEvent(p, cfg, n)...)
 			}
@@ -320,6 +344,43 @@ func checkCompactionStep(p *Package, cfg Config, call *ast.CallExpr) []Finding {
 		Pos:  p.Fset.Position(sel.Sel.Pos()),
 		Rule: "compaction-step",
 		Msg: fmt.Sprintf("core.Tree.%s drives the merge cascade outside the compaction scheduler; go through compaction.Scheduler (or compaction.Driver) so backpressure and error parking see every step",
+			s.Obj().Name()),
+	}}
+}
+
+// checkWALFrame flags calls to wal.Log's mutating entry points from
+// outside the durability layer: the acked-write contract holds only
+// because the DB appends a frame before the tree applies its ops and
+// garbage-collects segments only after a durable checkpoint, so frame
+// construction and log truncation must stay auditable at those two sites.
+func checkWALFrame(p *Package, cfg Config, call *ast.CallExpr) []Finding {
+	if cfg.WALPkg == "" || len(cfg.WALMethods) == 0 || inList(p.Path, cfg.WALAllowed) {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil
+	}
+	if !inList(s.Obj().Name(), cfg.WALMethods) {
+		return nil
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Log" ||
+		named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != cfg.WALPkg {
+		return nil
+	}
+	return []Finding{{
+		Pos:  p.Fset.Position(sel.Sel.Pos()),
+		Rule: "wal-frame",
+		Msg: fmt.Sprintf("wal.Log.%s called outside the durability layer; frames are appended and garbage-collected only by the DB's commit protocol so acked writes stay recoverable",
 			s.Obj().Name()),
 	}}
 }

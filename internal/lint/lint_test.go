@@ -70,7 +70,7 @@ func wantComments(t *testing.T, dir string) map[string][]string {
 // TestFixturesDetected proves every seeded violation of every rule is
 // reported, and nothing else.
 func TestFixturesDetected(t *testing.T) {
-	fixtures := []string{"devcall", "globalrand", "uncheckederr", "layering", "treestate", "obsevent", "compactionstep"}
+	fixtures := []string{"devcall", "globalrand", "uncheckederr", "layering", "treestate", "obsevent", "compactionstep", "walframe"}
 	for _, fix := range fixtures {
 		fix := fix
 		t.Run(fix, func(t *testing.T) {

@@ -1,12 +1,17 @@
 // Package manifest persists and restores the LSM-tree's in-memory state —
 // the per-level block metadata (the cached internal B+tree nodes) and the
-// memtable contents — so a file-backed store survives clean shutdowns.
+// memtable contents — so a file-backed store survives shutdowns.
 //
-// This is deliberately not a write-ahead log: the paper's engine keeps L0
-// in memory and its durability story is orthogonal to the merge-policy
-// contribution. The manifest provides checkpoint/restore semantics: it is
-// written atomically (temp file + rename) on Close or Checkpoint, and a
-// crash between checkpoints loses the requests since the last one.
+// The manifest is the checkpoint half of the engine's durability story:
+// it is written atomically (temp file + rename + directory sync) on Close
+// or Checkpoint and records, alongside the tree state, the write-ahead
+// log sequence it covers (State.WALSeq). Crash recovery restores the
+// checkpoint and then replays WAL frames with sequence greater than
+// WALSeq (see internal/wal); the DB layer garbage-collects fully covered
+// WAL segments after each checkpoint. With the WAL disabled the manifest
+// alone still provides clean-shutdown persistence — a crash between
+// checkpoints then loses the requests since the last one, exactly the
+// paper's original model.
 package manifest
 
 import (
@@ -17,6 +22,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"lsmssd/internal/block"
 	"lsmssd/internal/btree"
@@ -26,8 +32,10 @@ import (
 // Format (little endian):
 //
 //	magic   "LSMM"            4 bytes
-//	version uint32            currently 1
-//	config  6 × uint64        blockCapacity, k0, gamma, epsilon(bits), seed, levels
+//	version uint32            currently 2 (v2 added walseq)
+//	config  5 × uint64        blockCapacity, k0, gamma, epsilon(bits), seed
+//	walseq  uint64            last WAL frame sequence this checkpoint covers
+//	levels  uint64
 //	per level:
 //	    blocks uint64
 //	    per block: id, min, max, count, tombstones (uint64 each)
@@ -38,11 +46,27 @@ import (
 
 const (
 	magic   = "LSMM"
-	version = 1
+	version = 2
 )
 
 // ErrNoManifest is returned by Load when the manifest file does not exist.
 var ErrNoManifest = errors.New("manifest: not found")
+
+// Load distinguishes the ways a manifest can be unusable so callers (and
+// operators reading the error) can tell damage from skew. Each is
+// returned wrapped with detail; the on-disk file is never modified.
+var (
+	// ErrTruncated reports a manifest shorter than its own structure
+	// claims — a torn write or an incomplete copy.
+	ErrTruncated = errors.New("manifest: truncated")
+	// ErrBadMagic reports a file that is not a manifest at all.
+	ErrBadMagic = errors.New("manifest: bad magic")
+	// ErrChecksum reports body bytes that fail the trailing CRC32.
+	ErrChecksum = errors.New("manifest: checksum mismatch")
+	// ErrVersion reports a structurally sound manifest written by an
+	// incompatible format version.
+	ErrVersion = errors.New("manifest: unsupported version")
+)
 
 // Config is the subset of the tree configuration that must match between
 // the writer and the reader of a manifest.
@@ -58,6 +82,7 @@ type Config struct {
 // device.
 type State struct {
 	Config   Config
+	WALSeq   uint64              // last WAL frame sequence applied before this checkpoint
 	Levels   [][]btree.BlockMeta // index 0 is L1
 	Memtable []block.Record      // key order not required; replayed via Put
 }
@@ -89,6 +114,7 @@ func Save(path string, st State) error {
 		uint64(st.Config.Gamma),
 		floatBits(st.Config.Epsilon),
 		uint64(st.Config.Seed),
+		st.WALSeq,
 		uint64(len(st.Levels)),
 	)
 	for _, metas := range st.Levels {
@@ -124,7 +150,28 @@ func Save(path string, st State) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("manifest: %w", err)
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	// Sync the directory so the rename itself survives a power cut —
+	// without it a crash can roll the directory entry back to the previous
+	// manifest even though the new file's data blocks are durable.
+	return syncDir(filepath.Dir(path))
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("manifest: sync dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("manifest: sync dir: %w", err)
+	}
+	return nil
 }
 
 // Load reads and verifies a manifest.
@@ -137,20 +184,25 @@ func Load(path string) (State, error) {
 	if err != nil {
 		return st, fmt.Errorf("manifest: %w", err)
 	}
+	// The plaintext header (magic, version) is checked before the CRC so
+	// each failure mode reports its own error: a file that is not a
+	// manifest says so instead of "checksum mismatch", and a version skew
+	// is reported as skew even though older versions checksum differently.
 	if len(raw) < len(magic)+4+4 {
-		return st, fmt.Errorf("manifest: truncated (%d bytes)", len(raw))
+		return st, fmt.Errorf("%w (%d bytes)", ErrTruncated, len(raw))
+	}
+	if string(raw[:4]) != magic {
+		return st, fmt.Errorf("%w %q", ErrBadMagic, raw[:4])
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != version {
+		return st, fmt.Errorf("%w %d (this build reads version %d)", ErrVersion, v, version)
 	}
 	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
-	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
-		return st, fmt.Errorf("manifest: checksum mismatch")
+	if got := crc32.ChecksumIEEE(body); got != binary.LittleEndian.Uint32(tail) {
+		return st, fmt.Errorf("%w (stored %08x, computed %08x)",
+			ErrChecksum, binary.LittleEndian.Uint32(tail), got)
 	}
-	r := &reader{buf: body}
-	if string(r.bytes(4)) != magic {
-		return st, fmt.Errorf("manifest: bad magic")
-	}
-	if v := r.u32(); v != version {
-		return st, fmt.Errorf("manifest: unsupported version %d", v)
-	}
+	r := &reader{buf: body[8:]}
 	st.Config = Config{
 		BlockCapacity: int(r.u64()),
 		K0:            int(r.u64()),
@@ -158,6 +210,7 @@ func Load(path string) (State, error) {
 		Epsilon:       bitsFloat(r.u64()),
 		Seed:          int64(r.u64()),
 	}
+	st.WALSeq = r.u64()
 	levels := int(r.u64())
 	if levels > 64 {
 		return st, fmt.Errorf("manifest: implausible level count %d", levels)
@@ -188,7 +241,7 @@ func Load(path string) (State, error) {
 		st.Memtable = append(st.Memtable, rec)
 	}
 	if r.err != nil {
-		return st, fmt.Errorf("manifest: %w", r.err)
+		return st, r.err
 	}
 	return st, nil
 }
@@ -200,7 +253,7 @@ type reader struct {
 
 func (r *reader) bytes(n int) []byte {
 	if r.err != nil || len(r.buf) < n {
-		r.err = fmt.Errorf("unexpected end of manifest")
+		r.err = fmt.Errorf("%w mid-structure", ErrTruncated)
 		return make([]byte, n)
 	}
 	out := r.buf[:n]

@@ -16,6 +16,7 @@ import (
 func sampleState() State {
 	return State{
 		Config: Config{BlockCapacity: 36, K0: 256, Gamma: 10, Epsilon: 0.2, Seed: 7},
+		WALSeq: 42,
 		Levels: [][]btree.BlockMeta{
 			{
 				{ID: 3, Min: 10, Max: 20, Count: 4, Tombstones: 1},
@@ -46,6 +47,9 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if got.Config != want.Config {
 		t.Errorf("config = %+v, want %+v", got.Config, want.Config)
+	}
+	if got.WALSeq != want.WALSeq {
+		t.Errorf("walseq = %d, want %d", got.WALSeq, want.WALSeq)
 	}
 	if len(got.Levels) != len(want.Levels) {
 		t.Fatalf("levels = %d, want %d", len(got.Levels), len(want.Levels))

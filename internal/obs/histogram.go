@@ -144,8 +144,9 @@ const (
 	OpPut
 	OpDelete
 	OpScan
-	OpMerge // one merge step, timed inside the engine
-	OpStall // time a write spent in backpressure (sleep or stall gate)
+	OpMerge     // one merge step, timed inside the engine
+	OpStall     // time a write spent in backpressure (sleep or stall gate)
+	OpWALAppend // a write-ahead log frame append, including any policy fsync
 	NumOps
 )
 
@@ -164,6 +165,8 @@ func (o Op) String() string {
 		return "merge"
 	case OpStall:
 		return "stall"
+	case OpWALAppend:
+		return "wal_append"
 	}
 	return "unknown"
 }

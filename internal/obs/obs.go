@@ -164,6 +164,31 @@ type StallEvent struct {
 
 func (StallEvent) event() {}
 
+// WALEvent reports a write-ahead-log lifecycle action from the DB layer:
+// a segment rotation (Kind "rotate", which triggers the automatic
+// checkpoint) or a checkpoint-driven garbage collection (Kind "gc").
+type WALEvent struct {
+	Kind     string // "rotate" or "gc"
+	Segments int    // segment files on disk after the action
+	Removed  int    // segments deleted (gc only)
+	LastSeq  uint64 // last appended frame sequence
+}
+
+func (WALEvent) event() {}
+
+// RecoveryEvent summarizes a crash recovery performed by Open: the WAL
+// frames replayed over the checkpoint manifest, and any torn tail
+// truncated from the final segment.
+type RecoveryEvent struct {
+	Segments  int   // WAL segment files scanned
+	Frames    int   // frames replayed (sequence beyond the checkpoint)
+	Ops       int   // operations inside replayed frames
+	TornBytes int64 // bytes dropped from the torn tail, if any
+	Duration  time.Duration
+}
+
+func (RecoveryEvent) event() {}
+
 // RunEvent marks measurement-window boundaries in a recorded trace. The
 // experiment harness emits one at the start of a window (Writes zero) and
 // one at the end carrying the device's write counter for the window, so a

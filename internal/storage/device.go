@@ -25,6 +25,20 @@ type BlockID uint64
 // has been freed.
 var ErrNotFound = errors.New("storage: block not found")
 
+// ErrCorrupt is returned when a block read back from a device fails its
+// integrity check — a torn write, bit rot, or external damage. The engine
+// surfaces it unmodified through Get/Scan/merge paths rather than
+// treating the block as absent: corruption is loud, never silent.
+var ErrCorrupt = errors.New("storage: block corrupt")
+
+// Syncer is implemented by devices whose writes can be made durable on
+// demand. The DB layer syncs the device before writing a checkpoint
+// manifest, so a manifest never references block contents that could
+// still be lost to a power cut.
+type Syncer interface {
+	Sync() error
+}
+
 // Counters is a snapshot of a device's accounting state. Writes is the
 // paper's cost metric.
 type Counters struct {

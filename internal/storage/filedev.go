@@ -1,22 +1,39 @@
 package storage
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"sync"
 
 	"lsmssd/internal/block"
 )
 
+// slotTrailer is the per-slot integrity trailer appended after the
+// encoded block: a 4-byte CRC32 (IEEE) of the encoded bytes plus 4 bytes
+// of zero padding keeping slots 8-byte aligned. The trailer lives outside
+// the block's own blockSize budget, so block packing (and therefore
+// BlocksWritten) is byte-identical to a trailerless device.
+const slotTrailer = 8
+
 // FileDevice is a file-backed block store. Block id n occupies the byte
-// range [(n-1)*blockSize, n*blockSize) of the backing file. Freed slots are
-// recycled through a free list, mirroring an FTL's logical block map.
+// range [(n-1)*slot, n*slot) of the backing file, where slot is the block
+// size plus an integrity trailer: every write stores a CRC32 of the
+// encoded block, and every read verifies it, returning ErrCorrupt on
+// mismatch — a torn block write or bit rot is detected loudly rather than
+// decoded into garbage. Freed slots are recycled through a free list,
+// mirroring an FTL's logical block map; under a write-ahead log the DB
+// layer defers recycling to checkpoint boundaries (SetDeferRecycle) so
+// crash recovery never reads a slot rewritten after the checkpoint it is
+// recovering to.
 //
-// FileDevice exercises the real serialization and I/O path; it is not
-// crash-safe (there is no journal — the LSM-tree above it is the log). The
-// counters have the same meaning as on MemDevice, so experiments can run on
-// either device interchangeably.
+// FileDevice exercises the real serialization and I/O path. On its own it
+// provides detection, not durability — crash durability comes from the
+// WAL + checkpoint protocol above it (see internal/wal). The counters
+// have the same meaning as on MemDevice, so experiments can run on either
+// device interchangeably.
 //
 // The device is safe for concurrent use. Reads take only a brief RLock to
 // consult the allocator map, then issue an independent pread (os.File.ReadAt
@@ -24,14 +41,16 @@ import (
 // lookups from the snapshot-isolated read path scale with the file
 // descriptor rather than serializing on one device mutex.
 type FileDevice struct {
-	mu        sync.RWMutex // guards next, free, written
+	mu        sync.RWMutex // guards next, free, limbo, deferRecycle, written
 	f         *os.File
 	blockSize int
 	next      BlockID
 	free      []BlockID
+	limbo     []BlockID // freed slots awaiting ReclaimFreed (deferred mode)
+	deferred  bool      // deferRecycle: Free parks slots in limbo
 	written   map[BlockID]bool
 	cnt       atomicCounters
-	bufs      sync.Pool // *[]byte of blockSize, for encode/decode scratch
+	bufs      sync.Pool // *[]byte of slot size, for encode/decode scratch
 }
 
 func newFileDevice(f *os.File, blockSize int) *FileDevice {
@@ -42,7 +61,7 @@ func newFileDevice(f *os.File, blockSize int) *FileDevice {
 		written:   make(map[BlockID]bool),
 	}
 	d.bufs.New = func() any {
-		b := make([]byte, blockSize)
+		b := make([]byte, blockSize+slotTrailer)
 		return &b
 	}
 	return d
@@ -126,9 +145,12 @@ func (d *FileDevice) Write(id BlockID, b *block.Block) error {
 	}
 	buf := d.bufs.Get().(*[]byte)
 	defer d.bufs.Put(buf)
-	if err := b.Encode(*buf, d.blockSize); err != nil {
+	body := (*buf)[:d.blockSize]
+	if err := b.Encode(body, d.blockSize); err != nil {
 		return err
 	}
+	binary.LittleEndian.PutUint32((*buf)[d.blockSize:], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32((*buf)[d.blockSize+4:], 0)
 	d.mu.Lock()
 	if d.written[id] {
 		d.mu.Unlock()
@@ -174,10 +196,17 @@ func (d *FileDevice) load(id BlockID) (*block.Block, error) {
 	if _, err := d.f.ReadAt(*buf, d.offset(id)); err != nil {
 		return nil, fmt.Errorf("storage: read block %d: %w", id, err)
 	}
-	return block.Decode(*buf)
+	body := (*buf)[:d.blockSize]
+	want := binary.LittleEndian.Uint32((*buf)[d.blockSize:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("storage: read block %d: checksum mismatch (stored %08x, computed %08x): %w",
+			id, want, got, ErrCorrupt)
+	}
+	return block.Decode(body)
 }
 
-// Free recycles id's slot.
+// Free recycles id's slot — immediately by default, or into the limbo
+// list when deferred recycling is on.
 func (d *FileDevice) Free(id BlockID) error {
 	d.mu.Lock()
 	if !d.written[id] {
@@ -185,10 +214,50 @@ func (d *FileDevice) Free(id BlockID) error {
 		return fmt.Errorf("storage: free block %d: %w", id, ErrNotFound)
 	}
 	delete(d.written, id)
-	d.free = append(d.free, id)
+	if d.deferred {
+		d.limbo = append(d.limbo, id)
+	} else {
+		d.free = append(d.free, id)
+	}
 	d.mu.Unlock()
 	d.cnt.frees.Add(1)
 	d.cnt.live.Add(-1)
+	return nil
+}
+
+// SetDeferRecycle switches freed slots into a limbo list that only
+// ReclaimFreed returns to the allocator. The DB layer enables this when a
+// write-ahead log is active: the last checkpoint manifest may still
+// reference a freed slot, and recovery must be able to read its original
+// contents, so a slot is not reused until the next checkpoint has durably
+// stopped referencing it.
+func (d *FileDevice) SetDeferRecycle(on bool) {
+	d.mu.Lock()
+	d.deferred = on
+	if !on {
+		d.free = append(d.free, d.limbo...)
+		d.limbo = nil
+	}
+	d.mu.Unlock()
+}
+
+// ReclaimFreed returns every limbo slot to the free list. Called by the
+// DB layer immediately after a checkpoint manifest is durably written —
+// from that point no recovery path can reference the parked slots.
+func (d *FileDevice) ReclaimFreed() {
+	d.mu.Lock()
+	d.free = append(d.free, d.limbo...)
+	d.limbo = nil
+	d.mu.Unlock()
+}
+
+// Sync flushes the backing file to stable storage. The DB layer calls it
+// before writing a checkpoint manifest so the manifest never references
+// volatile block contents.
+func (d *FileDevice) Sync() error {
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync device file: %w", err)
+	}
 	return nil
 }
 
@@ -204,5 +273,5 @@ func (d *FileDevice) Close() error {
 }
 
 func (d *FileDevice) offset(id BlockID) int64 {
-	return int64(id-1) * int64(d.blockSize)
+	return int64(id-1) * int64(d.blockSize+slotTrailer)
 }

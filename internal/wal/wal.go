@@ -1,0 +1,690 @@
+// Package wal implements the engine's write-ahead log: a CRC32-framed,
+// segment-rotating redo log that makes acknowledged writes durable across
+// crashes, closing the gap the checkpoint-only manifest leaves open (a
+// crash between checkpoints would otherwise lose every request since the
+// last one).
+//
+// Layout. The log is a set of sibling segment files, "<base>.00000001",
+// "<base>.00000002", ...; each segment starts with a 16-byte header
+// (magic, version, first frame sequence) followed by frames:
+//
+//	u32 length   payload length in bytes
+//	u32 crc      CRC32 (IEEE) of the payload
+//	payload:
+//	    u64 seq      frame sequence, contiguous across segments
+//	    u32 nops     operations in the frame
+//	    per op: u8 kind (0 put, 1 delete), u64 key, u32 vlen, value
+//
+// One frame holds one commit: a single Put or Delete, or a whole
+// WriteBatch. That is the group-commit unit — under SyncEvery a batch of
+// a thousand records pays one fsync, not a thousand.
+//
+// Torn tails. A power cut can leave a half-written frame at the end of
+// the active segment. Replay verifies every frame's length and CRC and
+// truncates the segment at the first bad frame — by construction nothing
+// at or past a torn frame was ever acknowledged under SyncEvery. A bad
+// frame in any segment but the last is not a crash artifact but real
+// corruption, and Replay refuses it rather than silently dropping
+// acknowledged data.
+//
+// Checkpoint interaction. The manifest records the last frame sequence it
+// covers (manifest.State.WALSeq); replay skips frames at or below it, and
+// GC removes sealed segments whose frames are all covered. Rotating to a
+// new segment is the DB layer's cue to checkpoint, which bounds both
+// replay time and disk held by the log.
+//
+// The frame format is private to this package: frames are constructed and
+// synced only here, and the lsmlint wal-frame rule keeps every commit
+// point in the DB layer (see internal/lint).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects when appended frames are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncEvery fsyncs after every append: an acknowledged write is
+	// durable before the call returns. The default.
+	SyncEvery SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.Interval, checked at
+	// append time: a crash loses at most the last interval's writes, but
+	// the surviving log is always a prefix of what was acknowledged.
+	SyncInterval
+	// SyncNever issues no explicit fsync until Close; the OS decides when
+	// dirty pages reach the platter.
+	SyncNever
+)
+
+// String returns the policy name as used in flags and docs.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return "every"
+}
+
+// Options parameterizes a Log.
+type Options struct {
+	// Policy selects the sync policy (default SyncEvery).
+	Policy SyncPolicy
+	// Interval is the maximum time between fsyncs under SyncInterval
+	// (default 100ms). Checked at append time: an idle log syncs on the
+	// next append or at Close.
+	Interval time.Duration
+	// SegmentBytes is the rotation threshold (default 4 MiB): an append
+	// that would push the active segment past it seals the segment and
+	// starts a new one. Append reports the rotation so the DB layer can
+	// checkpoint and GC.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval == 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Op is one logged modification: an upsert of Value under Key, or a
+// delete of Key when Delete is set.
+type Op struct {
+	Key    uint64
+	Value  []byte
+	Delete bool
+}
+
+// ErrCorrupt reports structural damage to the log outside the torn tail
+// of the final segment — damage that cannot be explained by a crash and
+// would silently drop acknowledged writes if ignored.
+var ErrCorrupt = errors.New("wal: log corrupt")
+
+// errClosed guards use-after-close inside the package.
+var errClosed = errors.New("wal: log closed")
+
+const (
+	segMagic      = "LSMW"
+	segVersion    = 1
+	segHeaderSize = 4 + 4 + 8 // magic, version, first seq
+	frameHeader   = 4 + 4     // length, crc
+	maxFrameLen   = 64 << 20
+	opPut         = 0
+	opDelete      = 1
+)
+
+// segPath renders the segment file name for index idx.
+func segPath(base string, idx int) string {
+	return fmt.Sprintf("%s.%08d", base, idx)
+}
+
+// SegmentFiles returns the log's segment files in index order. It exists
+// for harnesses and tests that inspect or damage the on-disk log; the
+// engine itself goes through Replay/Open.
+func SegmentFiles(base string) ([]string, error) {
+	dir, prefix := filepath.Split(base)
+	if dir == "" {
+		dir = "."
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	type seg struct {
+		idx  int
+		path string
+	}
+	var segs []seg
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix+".") {
+			continue
+		}
+		suffix := name[len(prefix)+1:]
+		idx, err := strconv.Atoi(suffix)
+		if err != nil || len(suffix) != 8 {
+			continue // not a segment (e.g. a temp file)
+		}
+		segs = append(segs, seg{idx, filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].idx < segs[j].idx })
+	out := make([]string, len(segs))
+	for i, s := range segs {
+		out[i] = s.path
+	}
+	return out, nil
+}
+
+func segIndex(path string) int {
+	i := strings.LastIndexByte(path, '.')
+	n, _ := strconv.Atoi(path[i+1:])
+	return n
+}
+
+// ReplayInfo summarizes one Replay pass.
+type ReplayInfo struct {
+	Segments  int    // segment files scanned
+	Frames    int    // frames delivered to the callback (seq > afterSeq)
+	Ops       int    // operations inside delivered frames
+	LastSeq   uint64 // highest frame sequence seen, delivered or skipped
+	TornBytes int64  // bytes truncated from the final segment's torn tail
+}
+
+// Replay scans the log at base in order, delivering every frame with
+// sequence greater than afterSeq to fn. A torn tail in the final segment
+// is truncated on disk (so a subsequent Open appends after the last good
+// frame); a bad frame anywhere else fails with ErrCorrupt. A final
+// segment whose header never made it to disk is removed — segment headers
+// are synced at creation, so a torn header means no frame in it was ever
+// acknowledged.
+func Replay(base string, afterSeq uint64, fn func(seq uint64, ops []Op) error) (ReplayInfo, error) {
+	return scan(base, afterSeq, fn, true)
+}
+
+// HasFramesAfter reports whether the log holds any intact frame with
+// sequence greater than afterSeq. Read-only: torn tails are ignored, not
+// truncated. The DB layer uses it to refuse opening with the WAL disabled
+// while unreplayed frames exist.
+func HasFramesAfter(base string, afterSeq uint64) (bool, error) {
+	found := false
+	_, err := scan(base, afterSeq, func(uint64, []Op) error {
+		found = true
+		return nil
+	}, false)
+	return found, err
+}
+
+func scan(base string, afterSeq uint64, fn func(seq uint64, ops []Op) error, repair bool) (ReplayInfo, error) {
+	var info ReplayInfo
+	paths, err := SegmentFiles(base)
+	if err != nil {
+		return info, err
+	}
+	info.Segments = len(paths)
+	lastSeq := afterSeq
+	for si, path := range paths {
+		last := si == len(paths)-1
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return info, fmt.Errorf("wal: read segment: %w", err)
+		}
+		if len(data) < segHeaderSize || string(data[:4]) != segMagic {
+			if !last {
+				return info, fmt.Errorf("%w: segment %s has a bad header", ErrCorrupt, path)
+			}
+			// Torn creation: header sync never completed, so the segment
+			// holds no acknowledged frame.
+			if repair {
+				if err := os.Remove(path); err != nil {
+					return info, fmt.Errorf("wal: drop torn segment: %w", err)
+				}
+			}
+			info.TornBytes += int64(len(data))
+			break
+		}
+		if v := binary.LittleEndian.Uint32(data[4:8]); v != segVersion {
+			return info, fmt.Errorf("%w: segment %s has unsupported version %d", ErrCorrupt, path, v)
+		}
+		off := segHeaderSize
+		for off < len(data) {
+			frameLen, payload, ok := parseFrame(data[off:])
+			if !ok {
+				if !last {
+					return info, fmt.Errorf("%w: bad frame at %s offset %d (not the final segment)", ErrCorrupt, path, off)
+				}
+				torn := int64(len(data) - off)
+				if repair {
+					if err := os.Truncate(path, int64(off)); err != nil {
+						return info, fmt.Errorf("wal: truncate torn tail: %w", err)
+					}
+				}
+				info.TornBytes += torn
+				off = len(data)
+				break
+			}
+			seq, ops, err := decodePayload(payload)
+			if err != nil {
+				if !last {
+					return info, fmt.Errorf("%w: %s offset %d: %v", ErrCorrupt, path, off, err)
+				}
+				torn := int64(len(data) - off)
+				if repair {
+					if err := os.Truncate(path, int64(off)); err != nil {
+						return info, fmt.Errorf("wal: truncate torn tail: %w", err)
+					}
+				}
+				info.TornBytes += torn
+				off = len(data)
+				break
+			}
+			if seq <= lastSeq && seq > afterSeq {
+				return info, fmt.Errorf("%w: %s offset %d: sequence %d not increasing", ErrCorrupt, path, off, seq)
+			}
+			if seq > lastSeq {
+				lastSeq = seq
+			}
+			if seq > afterSeq {
+				info.Frames++
+				info.Ops += len(ops)
+				if fn != nil {
+					if err := fn(seq, ops); err != nil {
+						return info, err
+					}
+				}
+			}
+			off += frameLen
+		}
+	}
+	info.LastSeq = lastSeq
+	return info, nil
+}
+
+// parseFrame validates the frame at the start of data, returning its total
+// length (header + payload) and the payload bytes. ok is false when the
+// frame is short, implausibly long, or fails its CRC — the torn-tail cases.
+func parseFrame(data []byte) (frameLen int, payload []byte, ok bool) {
+	if len(data) < frameHeader {
+		return 0, nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[0:4]))
+	if n < 8+4 || n > maxFrameLen || frameHeader+n > len(data) {
+		return 0, nil, false
+	}
+	crc := binary.LittleEndian.Uint32(data[4:8])
+	payload = data[frameHeader : frameHeader+n]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return 0, nil, false
+	}
+	return frameHeader + n, payload, true
+}
+
+// decodePayload parses a frame payload into its sequence and operations.
+// Values are copied out of the read buffer.
+func decodePayload(p []byte) (seq uint64, ops []Op, err error) {
+	if len(p) < 12 {
+		return 0, nil, fmt.Errorf("payload too short (%d bytes)", len(p))
+	}
+	seq = binary.LittleEndian.Uint64(p[0:8])
+	nops := int(binary.LittleEndian.Uint32(p[8:12]))
+	if nops < 1 || nops > 1<<20 {
+		return 0, nil, fmt.Errorf("implausible op count %d", nops)
+	}
+	off := 12
+	ops = make([]Op, 0, nops)
+	for i := 0; i < nops; i++ {
+		if off+1+8+4 > len(p) {
+			return 0, nil, fmt.Errorf("truncated op %d", i)
+		}
+		kind := p[off]
+		off++
+		key := binary.LittleEndian.Uint64(p[off:])
+		off += 8
+		vlen := int(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+		if off+vlen > len(p) {
+			return 0, nil, fmt.Errorf("truncated value in op %d", i)
+		}
+		op := Op{Key: key}
+		switch kind {
+		case opPut:
+			if vlen > 0 {
+				op.Value = append([]byte(nil), p[off:off+vlen]...)
+			}
+		case opDelete:
+			if vlen != 0 {
+				return 0, nil, fmt.Errorf("delete op %d carries a value", i)
+			}
+			op.Delete = true
+		default:
+			return 0, nil, fmt.Errorf("unknown op kind %d", kind)
+		}
+		off += vlen
+		ops = append(ops, op)
+	}
+	if off != len(p) {
+		return 0, nil, fmt.Errorf("%d trailing bytes after last op", len(p)-off)
+	}
+	return seq, ops, nil
+}
+
+// Stats is a point-in-time snapshot of a Log's accounting.
+type Stats struct {
+	Appends   int64  // frames appended
+	Ops       int64  // operations inside appended frames
+	Bytes     int64  // frame bytes written (headers included)
+	Syncs     int64  // explicit fsyncs issued
+	Rotations int64  // segments sealed
+	Segments  int    // segment files currently on disk
+	NextSeq   uint64 // sequence the next append will be assigned
+}
+
+// Log is an open write-ahead log positioned for appending. Append/GC/
+// Close are serialized by the caller (the DB's writer lock); Stats may be
+// called concurrently from metrics scrapes.
+type Log struct {
+	base string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	idx      int   // active segment index
+	size     int64 // active segment size, bytes
+	synced   int64 // prefix of the active segment known durable
+	segs     []segInfo
+	nextSeq  uint64
+	lastSync time.Time
+	scratch  []byte
+	closed   bool
+
+	appends, ops, bytes, syncs, rotations atomic.Int64
+}
+
+type segInfo struct {
+	idx   int
+	first uint64 // first frame sequence the segment can hold
+}
+
+// Open positions the log at base for appending, continuing the last
+// segment left by a previous incarnation (after Replay has truncated any
+// torn tail) or creating the first one. nextSeq is the sequence the next
+// append will carry — the caller derives it from ReplayInfo.LastSeq.
+func Open(base string, nextSeq uint64, o Options) (*Log, error) {
+	if nextSeq == 0 {
+		return nil, fmt.Errorf("wal: next sequence must be positive")
+	}
+	l := &Log{base: base, opts: o.withDefaults(), nextSeq: nextSeq, lastSync: time.Now()}
+	paths, err := SegmentFiles(base)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		first, err := readHeader(p)
+		if err != nil {
+			return nil, err
+		}
+		l.segs = append(l.segs, segInfo{idx: segIndex(p), first: first})
+	}
+	if len(paths) == 0 {
+		if err := l.createSegment(1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	last := paths[len(paths)-1]
+	f, err := os.OpenFile(last, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, errors.Join(fmt.Errorf("wal: stat segment: %w", err), f.Close())
+	}
+	l.f = f
+	l.idx = segIndex(last)
+	l.size = st.Size()
+	// Everything Replay could read back is on disk; treat it as the
+	// durable prefix. Only bytes appended by this incarnation can be
+	// dropped by a simulated power cut.
+	l.synced = st.Size()
+	return l, nil
+}
+
+func readHeader(path string) (firstSeq uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer f.Close()
+	var h [segHeaderSize]byte
+	if _, err := f.Read(h[:]); err != nil {
+		return 0, fmt.Errorf("%w: segment %s has a short header", ErrCorrupt, path)
+	}
+	if string(h[:4]) != segMagic {
+		return 0, fmt.Errorf("%w: segment %s has bad magic", ErrCorrupt, path)
+	}
+	return binary.LittleEndian.Uint64(h[8:16]), nil
+}
+
+// createSegment starts segment idx with a synced header, making the
+// segment's existence and first sequence durable before any frame lands
+// in it.
+func (l *Log) createSegment(idx int) error {
+	f, err := os.OpenFile(segPath(l.base, idx), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	var h [segHeaderSize]byte
+	copy(h[:4], segMagic)
+	binary.LittleEndian.PutUint32(h[4:8], segVersion)
+	binary.LittleEndian.PutUint64(h[8:16], l.nextSeq)
+	if _, err := f.WriteAt(h[:], 0); err != nil {
+		return errors.Join(fmt.Errorf("wal: write segment header: %w", err), f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(fmt.Errorf("wal: sync segment header: %w", err), f.Close())
+	}
+	l.f = f
+	l.idx = idx
+	l.size = segHeaderSize
+	l.synced = segHeaderSize
+	l.segs = append(l.segs, segInfo{idx: idx, first: l.nextSeq})
+	return nil
+}
+
+// Append commits ops as one frame: it assigns the next sequence, writes
+// the frame, and fsyncs per the sync policy. rotated reports that the
+// append sealed the previous segment and started a new one — the DB
+// layer's cue to checkpoint. On error nothing was acknowledged; the
+// caller must not apply ops to the tree.
+func (l *Log) Append(ops []Op) (seq uint64, rotated bool, err error) {
+	if len(ops) == 0 {
+		return 0, false, fmt.Errorf("wal: empty append")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, false, errClosed
+	}
+	seq = l.nextSeq
+	frame := l.encodeFrame(seq, ops)
+	if l.size+int64(len(frame)) > l.opts.SegmentBytes && l.size > segHeaderSize {
+		if err := l.rotateLocked(); err != nil {
+			return 0, false, err
+		}
+		rotated = true
+	}
+	if _, err := l.f.WriteAt(frame, l.size); err != nil {
+		return 0, false, fmt.Errorf("wal: append frame: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.nextSeq++
+	l.appends.Add(1)
+	l.ops.Add(int64(len(ops)))
+	l.bytes.Add(int64(len(frame)))
+	switch l.opts.Policy {
+	case SyncEvery:
+		if err := l.syncLocked(); err != nil {
+			return 0, false, err
+		}
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.Interval {
+			if err := l.syncLocked(); err != nil {
+				return 0, false, err
+			}
+		}
+	}
+	return seq, rotated, nil
+}
+
+func (l *Log) encodeFrame(seq uint64, ops []Op) []byte {
+	n := 8 + 4
+	for _, op := range ops {
+		n += 1 + 8 + 4 + len(op.Value)
+	}
+	total := frameHeader + n
+	if cap(l.scratch) < total {
+		l.scratch = make([]byte, total)
+	}
+	buf := l.scratch[:total]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(n))
+	p := buf[frameHeader:]
+	binary.LittleEndian.PutUint64(p[0:8], seq)
+	binary.LittleEndian.PutUint32(p[8:12], uint32(len(ops)))
+	off := 12
+	for _, op := range ops {
+		kind, val := byte(opPut), op.Value
+		if op.Delete {
+			kind, val = opDelete, nil
+		}
+		p[off] = kind
+		off++
+		binary.LittleEndian.PutUint64(p[off:], op.Key)
+		off += 8
+		binary.LittleEndian.PutUint32(p[off:], uint32(len(val)))
+		off += 4
+		copy(p[off:], val)
+		off += len(val)
+	}
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(p))
+	return buf
+}
+
+// rotateLocked seals the active segment (syncing it, so sealed segments
+// never carry an undurable tail) and starts the next one.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	l.rotations.Add(1)
+	return l.createSegment(l.idx + 1)
+}
+
+func (l *Log) syncLocked() error {
+	if l.synced == l.size {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.synced = l.size
+	l.syncs.Add(1)
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	return l.syncLocked()
+}
+
+// GC removes sealed segments every frame of which has sequence at or
+// below upToSeq — i.e. segments fully covered by the checkpoint that
+// recorded upToSeq. The active segment is never removed.
+func (l *Log) GC(upToSeq uint64) (removed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errClosed
+	}
+	keep := l.segs[:0]
+	for i, s := range l.segs {
+		// Frame sequences are contiguous, so a segment's last frame is
+		// the next segment's first minus one.
+		if i+1 < len(l.segs) && l.segs[i+1].first-1 <= upToSeq {
+			if err := os.Remove(segPath(l.base, s.idx)); err != nil {
+				return removed, fmt.Errorf("wal: remove sealed segment: %w", err)
+			}
+			removed++
+			continue
+		}
+		keep = append(keep, s)
+	}
+	l.segs = keep
+	return removed, nil
+}
+
+// Stats returns a lock-free snapshot of the cumulative counters plus the
+// (briefly locked) segment count and next sequence.
+func (l *Log) Stats() Stats {
+	st := Stats{
+		Appends:   l.appends.Load(),
+		Ops:       l.ops.Load(),
+		Bytes:     l.bytes.Load(),
+		Syncs:     l.syncs.Load(),
+		Rotations: l.rotations.Load(),
+	}
+	l.mu.Lock()
+	st.Segments = len(l.segs)
+	st.NextSeq = l.nextSeq
+	l.mu.Unlock()
+	return st
+}
+
+// ResetCounters zeroes the cumulative traffic counters (appends, ops,
+// bytes, syncs, rotations), aligning the WAL series with the DB's uniform
+// measurement window.
+func (l *Log) ResetCounters() {
+	l.appends.Store(0)
+	l.ops.Store(0)
+	l.bytes.Store(0)
+	l.syncs.Store(0)
+	l.rotations.Store(0)
+}
+
+// Close syncs the active segment and closes it.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.syncLocked()
+	return errors.Join(err, l.f.Close())
+}
+
+// Crash simulates a power failure for crash testing: every byte appended
+// since the last fsync is dropped — the active segment is truncated back
+// to its durable prefix — and the log is closed without a final sync.
+// Under SyncEvery this loses nothing; under SyncInterval/SyncNever it
+// drops exactly the unsynced tail, which is what a real power cut does to
+// the page cache.
+func (l *Log) Crash() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.f.Truncate(l.synced)
+	return errors.Join(err, l.f.Close())
+}

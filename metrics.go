@@ -39,6 +39,12 @@ type (
 	// StallEvent records a write that hit compaction backpressure (the
 	// pacing sleep or the hard stall gate) under BackgroundCompaction.
 	StallEvent = obs.StallEvent
+	// WALEvent reports a write-ahead-log segment rotation or a
+	// checkpoint-driven segment garbage collection.
+	WALEvent = obs.WALEvent
+	// RecoveryEvent summarizes the crash recovery Open performed (frames
+	// replayed, torn tail truncated).
+	RecoveryEvent = obs.RecoveryEvent
 )
 
 // Subscribe attaches sink to the DB's event bus and returns a cancel
@@ -120,6 +126,20 @@ func (db *DB) metricFamilies() []obs.Family {
 		counter("lsmssd_event_drops_total", "Observability events dropped because sinks lagged.", db.bus.Drops()),
 		gauge("lsmssd_compaction_queue_depth", "Overflowing merge sources (memtable and full levels) awaiting compaction; always 0 in sync mode.", float64(s.Compaction.QueueDepth)),
 		counter("lsmssd_compaction_steps_total", "Cascade steps executed by the background compaction scheduler.", s.Compaction.Steps),
+	}
+	if s.WAL.Enabled {
+		fams = append(fams,
+			gauge("lsmssd_wal_enabled", "1 when the write-ahead log is on.", 1),
+			counter("lsmssd_wal_appends_total", "WAL frames appended (one per Put/Delete/Apply).", s.WAL.Appends),
+			counter("lsmssd_wal_ops_total", "Operations inside appended WAL frames.", s.WAL.Ops),
+			counter("lsmssd_wal_bytes_total", "WAL frame bytes written, headers included.", s.WAL.Bytes),
+			counter("lsmssd_wal_syncs_total", "WAL fsyncs issued by the sync policy or checkpoints.", s.WAL.Syncs),
+			counter("lsmssd_wal_rotations_total", "WAL segments sealed (each seals a checkpoint).", s.WAL.Rotations),
+			gauge("lsmssd_wal_segments", "WAL segment files currently on disk.", float64(s.WAL.Segments)),
+			gauge("lsmssd_wal_last_seq", "Sequence of the newest logged frame.", float64(s.WAL.LastSeq)),
+			counter("lsmssd_wal_recovered_ops_total", "Operations re-applied by crash recovery at Open.", int64(s.WAL.Recovery.Ops)),
+			counter("lsmssd_wal_recovered_torn_bytes_total", "Bytes truncated from the WAL's torn tail at Open.", s.WAL.Recovery.TornBytes),
+		)
 	}
 	stallKind := func(kind string) []obs.Label {
 		return []obs.Label{{Name: "kind", Value: kind}}
@@ -220,6 +240,7 @@ type debugStateJSON struct {
 	CompactionMode  string           `json:"compaction_mode"`
 	CompactionQueue int              `json:"compaction_queue_depth"`
 	WriteStalls     int64            `json:"write_stalls"`
+	WAL             *WALStats        `json:"wal,omitempty"`
 	Levels          []debugLevelJSON `json:"levels"`
 	Latencies       []LatencyStats   `json:"latencies,omitempty"`
 }
@@ -241,6 +262,10 @@ func (db *DB) debugState() debugStateJSON {
 		CompactionQueue: s.Compaction.QueueDepth,
 		WriteStalls:     s.Compaction.Slowdowns + s.Compaction.Stops,
 		Latencies:       s.Latencies,
+	}
+	if s.WAL.Enabled {
+		w := s.WAL
+		d.WAL = &w
 	}
 	for _, l := range s.Levels {
 		d.Levels = append(d.Levels, debugLevelJSON{

@@ -43,13 +43,28 @@
 // safe from any number of goroutines concurrently with writers, which
 // serialize on an internal lock. After Close, every operation fails
 // with ErrClosed.
+//
+// File-backed stores can opt into crash durability with a write-ahead
+// log: every acknowledged write is replayed on Open after a crash, with
+// the fsync cadence chosen by the sync policy:
+//
+//	db, err := lsmssd.Open(lsmssd.Options{
+//		Path: "/data/store.blk",
+//		WAL:  lsmssd.WALOptions{Enabled: true, Sync: lsmssd.SyncEvery},
+//	})
+//
+// Without the WAL, a file-backed store still persists across clean
+// shutdowns via its checkpoint manifest, and its device write counts stay
+// byte-identical to the paper's cost model (see DESIGN.md §11).
 package lsmssd
 
 import (
 	"fmt"
+	"time"
 
 	"lsmssd/internal/block"
 	"lsmssd/internal/policy"
+	"lsmssd/internal/wal"
 )
 
 // Policy selects the merge policy (Section III–IV of the paper).
@@ -117,14 +132,59 @@ func (m CompactionMode) String() string {
 	return "sync"
 }
 
+// SyncPolicy selects when the write-ahead log fsyncs (Options.WAL.Sync).
+// The policy trades write latency for the amount of acknowledged data a
+// power cut can lose; see DESIGN.md §11 for the full trade-off table.
+type SyncPolicy int
+
+const (
+	// SyncEvery fsyncs the log before acknowledging each mutation: zero
+	// acknowledged writes are lost on a crash. Group commit applies — a
+	// WriteBatch pays one fsync for the whole batch. The default.
+	SyncEvery SyncPolicy = iota
+	// SyncInterval fsyncs at most once per WALOptions.Interval: a crash
+	// loses at most the final interval's writes, and recovery always
+	// yields a prefix of the acknowledged history (never a gap).
+	SyncInterval
+	// SyncNever leaves fsync timing to the operating system: fastest, and
+	// a crash may lose everything since the last checkpoint or natural
+	// write-back. Recovery still yields an acknowledged-prefix state.
+	SyncNever
+)
+
+// String returns "every", "interval", or "never".
+func (p SyncPolicy) String() string { return wal.SyncPolicy(p).String() }
+
+// WALOptions configures the write-ahead log (Options.WAL). The zero value
+// disables it, preserving the paper's original durability model
+// (checkpoint-only) and its exact BlocksWritten accounting.
+type WALOptions struct {
+	// Enabled turns the log on. Requires Options.Path; log segments are
+	// stored alongside the device file as Path + ".wal.NNNNNNNN".
+	Enabled bool
+	// Sync selects the fsync cadence (default SyncEvery).
+	Sync SyncPolicy
+	// Interval is the maximum time between fsyncs under SyncInterval
+	// (default 100ms). Ignored by the other policies.
+	Interval time.Duration
+	// SegmentBytes caps a log segment (default 4 MiB). Filling a segment
+	// triggers an automatic checkpoint, which bounds both recovery replay
+	// time and the disk the log holds.
+	SegmentBytes int64
+}
+
 // Options configures a DB. The zero value is a working in-memory engine
 // with the paper's default parameters scaled to library use.
 type Options struct {
-	// Path, when set, stores data blocks in a file at this location. The
-	// file is created or truncated: this engine is an index structure,
-	// not a durable database (there is no write-ahead log; L0 lives in
-	// memory).
+	// Path, when set, stores data blocks in a file at this location,
+	// checkpointed through a manifest at Path + ".manifest". On its own
+	// this persists clean shutdowns only (L0 lives in memory); enable WAL
+	// for crash durability of every acknowledged write.
 	Path string
+	// WAL configures the write-ahead log; see WALOptions. Disabled by
+	// default, which keeps the engine's device write counts byte-identical
+	// to the paper's cost model.
+	WAL WALOptions
 	// BlockSize is the storage block size in bytes (default 4096).
 	BlockSize int
 	// PayloadHint is the typical value size in bytes used to derive the
@@ -240,6 +300,14 @@ func (o Options) withDefaults() Options {
 			o.StopTrigger = 4 * o.MemtableBlocks
 		}
 	}
+	if o.WAL.Enabled {
+		if o.WAL.Interval == 0 {
+			o.WAL.Interval = 100 * time.Millisecond
+		}
+		if o.WAL.SegmentBytes == 0 {
+			o.WAL.SegmentBytes = 4 << 20
+		}
+	}
 	return o
 }
 
@@ -277,6 +345,22 @@ func (o Options) Validate() error {
 		}
 	default:
 		return fmt.Errorf("lsmssd: Options.CompactionMode %d is not SyncCompaction or BackgroundCompaction", o.CompactionMode)
+	}
+	if o.WAL.Enabled {
+		if o.Path == "" {
+			return fmt.Errorf("lsmssd: Options.WAL.Enabled requires Options.Path: the log lives alongside the device file")
+		}
+		switch o.WAL.Sync {
+		case SyncEvery, SyncInterval, SyncNever:
+		default:
+			return fmt.Errorf("lsmssd: Options.WAL.Sync %d is not SyncEvery, SyncInterval, or SyncNever", o.WAL.Sync)
+		}
+		if o.WAL.Interval < 0 {
+			return fmt.Errorf("lsmssd: Options.WAL.Interval %v is negative", o.WAL.Interval)
+		}
+		if o.WAL.SegmentBytes < 4096 {
+			return fmt.Errorf("lsmssd: Options.WAL.SegmentBytes %d below 4096: segments must hold at least a few frames", o.WAL.SegmentBytes)
+		}
 	}
 	return nil
 }

@@ -59,6 +59,40 @@ type Stats struct {
 	// Compaction reports the merge scheduler's state and write-stall
 	// accounting; its counters participate in the uniform reset window.
 	Compaction CompactionStats
+
+	// WAL reports write-ahead log traffic and the recovery Open performed,
+	// if any. Zero value when Options.WAL is disabled. The traffic counters
+	// (Appends through Rotations) participate in the uniform reset window;
+	// Segments, LastSeq, and Recovery describe the present.
+	WAL WALStats
+}
+
+// WALStats describes the write-ahead log (see Options.WAL).
+type WALStats struct {
+	Enabled   bool
+	Appends   int64  // frames appended (one per Put/Delete/Apply)
+	Ops       int64  // operations inside appended frames
+	Bytes     int64  // frame bytes written, headers included
+	Syncs     int64  // fsyncs issued by the sync policy or Checkpoint
+	Rotations int64  // segments sealed (each triggers a checkpoint)
+	Segments  int    // segment files currently on disk
+	LastSeq   uint64 // sequence of the newest logged frame
+
+	// Recovery is what Open's replay did for this DB instance; it never
+	// changes afterwards and does not reset.
+	Recovery WALRecoveryStats
+}
+
+// WALRecoveryStats summarizes the crash recovery Open performed: the WAL
+// frames it replayed over the checkpoint manifest and any torn tail it
+// truncated. Recovered is false when the log was already empty beyond the
+// checkpoint (a clean shutdown).
+type WALRecoveryStats struct {
+	Recovered bool
+	Segments  int   // segment files scanned
+	Frames    int   // frames replayed
+	Ops       int   // operations re-applied
+	TornBytes int64 // bytes truncated from the torn tail
 }
 
 // CompactionStats describes the compaction scheduler (see
@@ -160,6 +194,20 @@ func (db *DB) Stats() Stats {
 		SlowdownTime: cs.SlowdownTime,
 		StopTime:     cs.StopTime,
 	}
+	if db.wal != nil {
+		ws := db.wal.Stats()
+		s.WAL = WALStats{
+			Enabled:   true,
+			Appends:   ws.Appends,
+			Ops:       ws.Ops,
+			Bytes:     ws.Bytes,
+			Syncs:     ws.Syncs,
+			Rotations: ws.Rotations,
+			Segments:  ws.Segments,
+			LastSeq:   ws.NextSeq - 1,
+			Recovery:  db.recovery,
+		}
+	}
 	return s
 }
 
@@ -199,4 +247,7 @@ func (db *DB) ResetIOStats() {
 	defer unlock()
 	tree.ResetStats()
 	db.sched.ResetCounters()
+	if db.wal != nil {
+		db.wal.ResetCounters()
+	}
 }
