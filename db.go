@@ -418,6 +418,15 @@ func (db *DB) logMutation(ops []wal.Op) (rotated bool, err error) {
 	seq, rotated, err := db.wal.Append(ops)
 	db.lat.Done(obs.OpWALAppend, start)
 	if err != nil {
+		// rotated can be true even on error: the rotation succeeded before
+		// the frame write failed. Checkpoint now anyway, so the sealed
+		// segment is covered and GC'd instead of lingering until the next
+		// rotation.
+		if rotated {
+			if cerr := db.checkpointLocked(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+		}
 		return false, fmt.Errorf("lsmssd: write-ahead log append: %w", err)
 	}
 	db.lastSeq = seq

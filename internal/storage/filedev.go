@@ -41,7 +41,7 @@ const slotTrailer = 8
 // lookups from the snapshot-isolated read path scale with the file
 // descriptor rather than serializing on one device mutex.
 type FileDevice struct {
-	mu        sync.RWMutex // guards next, free, limbo, deferRecycle, written
+	mu        sync.RWMutex // guards next, free, limbo, deferRecycle, written, syncErr
 	f         *os.File
 	blockSize int
 	next      BlockID
@@ -49,6 +49,7 @@ type FileDevice struct {
 	limbo     []BlockID // freed slots awaiting ReclaimFreed (deferred mode)
 	deferred  bool      // deferRecycle: Free parks slots in limbo
 	written   map[BlockID]bool
+	syncErr   error // sticky after a failed fsync (never retried)
 	cnt       atomicCounters
 	bufs      sync.Pool // *[]byte of slot size, for encode/decode scratch
 }
@@ -254,9 +255,21 @@ func (d *FileDevice) ReclaimFreed() {
 // Sync flushes the backing file to stable storage. The DB layer calls it
 // before writing a checkpoint manifest so the manifest never references
 // volatile block contents.
+//
+// A sync failure is sticky: a failed fsync may discard dirty pages and
+// clear the kernel's error state, so a retried fsync could falsely report
+// the lost blocks durable. Once Sync has failed, every later Sync returns
+// the same error — no checkpoint can be cut past the failure, and the
+// store must reopen from its last durable state.
 func (d *FileDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.syncErr != nil {
+		return d.syncErr
+	}
 	if err := d.f.Sync(); err != nil {
-		return fmt.Errorf("storage: sync device file: %w", err)
+		d.syncErr = fmt.Errorf("storage: sync device file: %w", err)
+		return d.syncErr
 	}
 	return nil
 }

@@ -118,6 +118,24 @@ type Op struct {
 // would silently drop acknowledged writes if ignored.
 var ErrCorrupt = errors.New("wal: log corrupt")
 
+// ErrTooLarge reports an Append whose frame would exceed the limits
+// replay enforces (maxFrameLen payload bytes, maxFrameOps operations per
+// frame). Such a frame must never be written: it would be acknowledged
+// and fsynced, yet rejected by parseFrame/decodePayload on recovery —
+// treated as a torn tail in the active segment (silently dropping it and
+// every later frame) or as ErrCorrupt in a sealed one. Nothing is written
+// when ErrTooLarge is returned; the caller can split the batch and retry.
+var ErrTooLarge = errors.New("wal: frame exceeds replay limits")
+
+// ErrPoisoned reports that a previous fsync failed and the log has
+// permanently refused further appends. On Linux a failed fsync can
+// discard the dirty pages and clear the kernel's error state, so a
+// retried fsync would falsely report the lost frame durable (the
+// "fsyncgate" anomaly). Once poisoned, every Append and Sync fails; the
+// store must be closed and reopened so recovery replays exactly what
+// truly reached disk.
+var ErrPoisoned = errors.New("wal: log poisoned by failed sync")
+
 // errClosed guards use-after-close inside the package.
 var errClosed = errors.New("wal: log closed")
 
@@ -126,7 +144,8 @@ const (
 	segVersion    = 1
 	segHeaderSize = 4 + 4 + 8 // magic, version, first seq
 	frameHeader   = 4 + 4     // length, crc
-	maxFrameLen   = 64 << 20
+	maxFrameLen   = 64 << 20  // payload byte cap, enforced by Append and parseFrame
+	maxFrameOps   = 1 << 20   // per-frame op cap, enforced by Append and decodePayload
 	opPut         = 0
 	opDelete      = 1
 )
@@ -327,7 +346,7 @@ func decodePayload(p []byte) (seq uint64, ops []Op, err error) {
 	}
 	seq = binary.LittleEndian.Uint64(p[0:8])
 	nops := int(binary.LittleEndian.Uint32(p[8:12]))
-	if nops < 1 || nops > 1<<20 {
+	if nops < 1 || nops > maxFrameOps {
 		return 0, nil, fmt.Errorf("implausible op count %d", nops)
 	}
 	off := 12
@@ -396,6 +415,7 @@ type Log struct {
 	lastSync time.Time
 	scratch  []byte
 	closed   bool
+	poison   error // sticky ErrPoisoned after a failed fsync
 
 	appends, ops, bytes, syncs, rotations atomic.Int64
 }
@@ -495,19 +515,38 @@ func (l *Log) createSegment(idx int) error {
 // Append commits ops as one frame: it assigns the next sequence, writes
 // the frame, and fsyncs per the sync policy. rotated reports that the
 // append sealed the previous segment and started a new one — the DB
-// layer's cue to checkpoint. On error nothing was acknowledged; the
-// caller must not apply ops to the tree.
+// layer's cue to checkpoint; it is meaningful even when err is non-nil,
+// because the rotation survives a failure of the subsequent write, and
+// the sealed segment still deserves its checkpoint. On error nothing was
+// acknowledged and the caller must not apply ops to the tree — though
+// after a failed fsync the frame's durability is indeterminate (it may
+// reach disk and be replayed), which is why that failure poisons the log
+// (ErrPoisoned) and forces recovery rather than letting writes continue.
+//
+// A frame that replay would refuse — over maxFrameLen payload bytes or
+// maxFrameOps operations — is rejected up front with ErrTooLarge, before
+// anything is written or a sequence consumed.
 func (l *Log) Append(ops []Op) (seq uint64, rotated bool, err error) {
 	if len(ops) == 0 {
 		return 0, false, fmt.Errorf("wal: empty append")
+	}
+	if len(ops) > maxFrameOps {
+		return 0, false, fmt.Errorf("%w: %d operations in one frame (max %d)", ErrTooLarge, len(ops), maxFrameOps)
+	}
+	n := payloadLen(ops)
+	if n > maxFrameLen {
+		return 0, false, fmt.Errorf("%w: %d-byte payload (max %d)", ErrTooLarge, n, maxFrameLen)
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, false, errClosed
 	}
+	if l.poison != nil {
+		return 0, false, l.poison
+	}
 	seq = l.nextSeq
-	frame := l.encodeFrame(seq, ops)
+	frame := l.encodeFrame(seq, n, ops)
 	if l.size+int64(len(frame)) > l.opts.SegmentBytes && l.size > segHeaderSize {
 		if err := l.rotateLocked(); err != nil {
 			return 0, false, err
@@ -515,7 +554,7 @@ func (l *Log) Append(ops []Op) (seq uint64, rotated bool, err error) {
 		rotated = true
 	}
 	if _, err := l.f.WriteAt(frame, l.size); err != nil {
-		return 0, false, fmt.Errorf("wal: append frame: %w", err)
+		return 0, rotated, fmt.Errorf("wal: append frame: %w", err)
 	}
 	l.size += int64(len(frame))
 	l.nextSeq++
@@ -525,23 +564,31 @@ func (l *Log) Append(ops []Op) (seq uint64, rotated bool, err error) {
 	switch l.opts.Policy {
 	case SyncEvery:
 		if err := l.syncLocked(); err != nil {
-			return 0, false, err
+			return 0, rotated, err
 		}
 	case SyncInterval:
 		if time.Since(l.lastSync) >= l.opts.Interval {
 			if err := l.syncLocked(); err != nil {
-				return 0, false, err
+				return 0, rotated, err
 			}
 		}
 	}
 	return seq, rotated, nil
 }
 
-func (l *Log) encodeFrame(seq uint64, ops []Op) []byte {
+// payloadLen is the encoded payload size of a frame carrying ops.
+func payloadLen(ops []Op) int {
 	n := 8 + 4
 	for _, op := range ops {
 		n += 1 + 8 + 4 + len(op.Value)
 	}
+	return n
+}
+
+// encodeFrame renders the frame for seq into the scratch buffer; n must
+// be payloadLen(ops), pre-validated against maxFrameLen so the uint32
+// length field cannot overflow.
+func (l *Log) encodeFrame(seq uint64, n int, ops []Op) []byte {
 	total := frameHeader + n
 	if cap(l.scratch) < total {
 		l.scratch = make([]byte, total)
@@ -584,11 +631,20 @@ func (l *Log) rotateLocked() error {
 }
 
 func (l *Log) syncLocked() error {
+	if l.poison != nil {
+		return l.poison
+	}
 	if l.synced == l.size {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
+		// Never retry a failed fsync: the kernel may have discarded the
+		// dirty pages and cleared its error state, so a retry could
+		// "succeed" while the frame is gone. Poison the log so every later
+		// Append/Sync fails and the store reopens through crash recovery,
+		// which replays exactly what truly reached disk.
+		l.poison = fmt.Errorf("%w: %v", ErrPoisoned, err)
+		return l.poison
 	}
 	l.synced = l.size
 	l.syncs.Add(1)

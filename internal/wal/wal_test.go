@@ -333,6 +333,89 @@ func TestAppendValidation(t *testing.T) {
 	}
 }
 
+func TestAppendRejectsFramesReplayWouldRefuse(t *testing.T) {
+	base := testBase(t)
+	l := mustOpen(t, base, 1, Options{Policy: SyncNever})
+
+	// Payload over maxFrameLen: parseFrame would treat such a frame as a
+	// torn tail (or ErrCorrupt in a sealed segment) on replay, so it must
+	// be refused before it can ever be acknowledged.
+	big := make([]byte, 17<<20)
+	huge := make([]Op, 4)
+	for i := range huge {
+		huge[i] = Op{Key: uint64(i), Value: big}
+	}
+	if _, _, err := l.Append(huge); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized payload: err = %v, want ErrTooLarge", err)
+	}
+
+	// Op count over maxFrameOps: decodePayload would reject it on replay.
+	many := make([]Op, maxFrameOps+1)
+	for i := range many {
+		many[i].Key = uint64(i)
+	}
+	if _, _, err := l.Append(many); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized op count: err = %v, want ErrTooLarge", err)
+	}
+
+	// A rejection writes nothing and burns no sequence: the log stays
+	// usable and the next frame still carries sequence 1.
+	seq, _, err := l.Append([]Op{{Key: 7, Value: []byte("ok")}})
+	if err != nil || seq != 1 {
+		t.Fatalf("append after rejection: seq %d, err %v", seq, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if info, ops := collect(t, base, 0); info.Frames != 1 || len(ops) != 1 {
+		t.Fatalf("replay after rejections: %+v, %d ops", info, len(ops))
+	}
+
+	// A frame at exactly the op-count cap is fine both ways.
+	l = mustOpen(t, base, 2, Options{Policy: SyncNever})
+	capped := make([]Op, maxFrameOps)
+	for i := range capped {
+		capped[i].Key = uint64(i)
+	}
+	if _, _, err := l.Append(capped); err != nil {
+		t.Fatalf("append at op-count cap: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := collect(t, base, 0); info.Frames != 2 || info.Ops != 1+maxFrameOps {
+		t.Fatalf("replay at cap: %+v", info)
+	}
+}
+
+func TestFailedSyncPoisonsLog(t *testing.T) {
+	base := testBase(t)
+	l := mustOpen(t, base, 1, Options{Policy: SyncNever})
+	if _, _, err := l.Append([]Op{{Key: 1, Value: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the descriptor so the pending fsync fails, as a dying disk
+	// would make it. (A closed fd is the portable way to get an fsync
+	// error.)
+	if err := l.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("failed sync: err = %v, want ErrPoisoned", err)
+	}
+	// The failure is sticky: durability must not pretend to resume
+	// (fsyncgate) even if a later fsync would nominally succeed.
+	if _, _, err := l.Append([]Op{{Key: 2}}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after failed sync: err = %v, want ErrPoisoned", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("second sync: err = %v, want ErrPoisoned", err)
+	}
+	if err := l.Close(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("close after poison: err = %v, want ErrPoisoned", err)
+	}
+}
+
 func TestStatsAndReset(t *testing.T) {
 	base := testBase(t)
 	l := mustOpen(t, base, 1, Options{Policy: SyncEvery})
