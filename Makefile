@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench-read bench-write obs-smoke crash ci
+.PHONY: all build fmt vet lint test race fuzz bench-read bench-write obs-smoke crash ci
 
 all: build
 
@@ -17,14 +17,23 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analysis: device-io, global-rand, unchecked-err,
-# layering, tree-state, obs-event, compaction-step, wal-frame. See
-# internal/lint and DESIGN.md §6.
+# Repo-specific static analysis: the eight syntactic rules (device-io,
+# global-rand, unchecked-err, layering, tree-state, obs-event,
+# compaction-step, wal-frame) plus the five CFG/dataflow rules
+# (lock-discipline, view-refcount, sentinel-error-flow, wal-ordering,
+# goroutine-shutdown). See internal/lint and DESIGN.md §6, §12.
 lint:
 	$(GO) run ./cmd/lsmlint ./...
 
 test:
 	$(GO) test ./...
+
+# Fuzz smoke: the WAL frame decoder and the checksummed block read path,
+# 10s each (go's fuzzer takes one -fuzz target per invocation). Longer
+# soaks: bump -fuzztime.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzBlockChecksum -fuzztime 10s ./internal/storage
 
 # Race-detector run; includes the TestRaceStress and
 # TestRaceIteratorSnapshot concurrency suites.
@@ -33,15 +42,20 @@ race:
 
 # Parallel point-lookup throughput across 1/2/4/8 goroutines. Gets are
 # snapshot-isolated and lock-free, so on a multi-core machine ns/op should
-# drop substantially from goroutines=1 to goroutines=8.
+# drop substantially from goroutines=1 to goroutines=8. Also emits
+# BENCH_read.json (ops/s, p50/p99 latency, device counters) via
+# cmd/benchjson so PRs have a machine-diffable perf trajectory.
 bench-read:
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentReads' -benchtime 2s .
+	$(GO) run ./cmd/benchjson -mode read -out BENCH_read.json
 
 # Concurrent write throughput and put-latency tail, sync vs background
 # compaction. Background should collapse the p99/max tail (the inline
-# cascade) into scheduler backpressure.
+# cascade) into scheduler backpressure. Also emits BENCH_write.json via
+# cmd/benchjson (see bench-read).
 bench-write:
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentWrites|BenchmarkPutLatencyTail' -benchtime 2s .
+	$(GO) run ./cmd/benchjson -mode write -out BENCH_write.json
 
 # End-to-end observability smoke: open a store with the /metrics endpoint
 # on an ephemeral port, drive writes, scrape it, and require the core
@@ -58,4 +72,4 @@ crash:
 	$(GO) run ./cmd/crashloop -iters 30 -ops 100 -sync interval -interval 1ms
 	$(GO) run ./cmd/crashloop -iters 30 -ops 100 -sync never
 
-ci: fmt vet lint test race obs-smoke crash
+ci: fmt vet lint test race fuzz obs-smoke crash

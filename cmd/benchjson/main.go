@@ -1,0 +1,170 @@
+// Command benchjson runs a fixed write or read workload against the
+// engine and emits a machine-readable result file (BENCH_write.json /
+// BENCH_read.json via the Makefile), so successive PRs have a perf
+// trajectory to diff instead of eyeballing `go test -bench` output.
+//
+// The workload is deterministic (seeded key stream, fixed op count), so
+// two runs on the same tree state report the same BlocksWritten; latency
+// and throughput fields carry the machine noise. Reported fields: ops/s,
+// p50/p99/max per-op latency, and the device counters.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -mode write -out BENCH_write.json
+//	go run ./cmd/benchjson -mode read  -out BENCH_read.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"lsmssd"
+)
+
+// result is the JSON document benchjson emits.
+type result struct {
+	Mode          string  `json:"mode"`
+	Ops           int     `json:"ops"`
+	Goroutines    int     `json:"goroutines"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	P50NS         int64   `json:"p50_ns"`
+	P99NS         int64   `json:"p99_ns"`
+	MaxNS         int64   `json:"max_ns"`
+	BlocksWritten int64   `json:"blocks_written"`
+	BlocksRead    int64   `json:"blocks_read"`
+}
+
+func main() {
+	mode := flag.String("mode", "write", "workload: write or read")
+	ops := flag.Int("ops", 200_000, "operations to run (measured phase)")
+	goroutines := flag.Int("goroutines", 4, "concurrent workers")
+	seed := flag.Int64("seed", 1, "key-stream seed")
+	out := flag.String("out", "", "output path (default BENCH_<mode>.json)")
+	flag.Parse()
+
+	res, err := run(*mode, *ops, *goroutines, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *mode + ".json"
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: %s: %d ops, %.0f ops/s, p50 %s p99 %s, %d blocks written → %s\n",
+		res.Mode, res.Ops, res.OpsPerSec,
+		time.Duration(res.P50NS), time.Duration(res.P99NS), res.BlocksWritten, path)
+}
+
+func run(mode string, ops, goroutines int, seed int64) (*result, error) {
+	if goroutines < 1 || ops < goroutines {
+		return nil, fmt.Errorf("need goroutines >= 1 and ops >= goroutines (got %d, %d)", ops, goroutines)
+	}
+	db, err := lsmssd.Open(lsmssd.Options{CompactionMode: lsmssd.BackgroundCompaction})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := db.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: close:", cerr)
+		}
+	}()
+
+	const keySpace = 4_000_000
+	payload := make([]byte, 100)
+
+	// Read mode measures lookups against a preloaded tree; the load phase
+	// is not timed and its device traffic is subtracted below.
+	if mode == "read" {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < keySpace/4; i++ {
+			if err := db.Put(uint64(rng.Intn(keySpace)), payload); err != nil {
+				return nil, err
+			}
+		}
+	} else if mode != "write" {
+		return nil, fmt.Errorf("unknown mode %q (want write or read)", mode)
+	}
+	base := db.Stats()
+
+	lats := make([][]time.Duration, goroutines)
+	errs := make([]error, goroutines)
+	done := make(chan struct{})
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			n := ops / goroutines
+			if g < ops%goroutines {
+				n++
+			}
+			lat := make([]time.Duration, n)
+			rng := rand.New(rand.NewSource(seed + int64(g)*7919))
+			for i := 0; i < n; i++ {
+				k := uint64(rng.Intn(keySpace))
+				var opErr error
+				t0 := time.Now()
+				if mode == "write" {
+					opErr = db.Put(k, payload)
+				} else {
+					_, _, opErr = db.Get(k)
+				}
+				lat[i] = time.Since(t0)
+				if opErr != nil {
+					errs[g] = opErr
+					lats[g] = lat[:i]
+					return
+				}
+			}
+			lats[g] = lat
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(all)-1))
+		return int64(all[i])
+	}
+	cur := db.Stats()
+	return &result{
+		Mode:          mode,
+		Ops:           len(all),
+		Goroutines:    goroutines,
+		ElapsedNS:     int64(elapsed),
+		OpsPerSec:     float64(len(all)) / elapsed.Seconds(),
+		P50NS:         pct(0.50),
+		P99NS:         pct(0.99),
+		MaxNS:         int64(all[len(all)-1]),
+		BlocksWritten: cur.BlocksWritten - base.BlocksWritten,
+		BlocksRead:    cur.BlocksRead - base.BlocksRead,
+	}, nil
+}

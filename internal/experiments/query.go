@@ -55,7 +55,7 @@ func (p Params) QueryOverhead(policies []string, datasetMB float64) (*Table, err
 		for j := 0; j < lookups; j++ {
 			k := present[rng.Intn(len(present))]
 			if _, ok, err := tree.Get(k); err != nil || !ok {
-				return nil, fmt.Errorf("queries %s: present key %d missing (%v)", pol, k, err)
+				return nil, fmt.Errorf("queries %s: present key %d missing: %w", pol, k, err)
 			}
 		}
 		readsHit := float64(dev.Counters().Reads) / lookups

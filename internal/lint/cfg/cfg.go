@@ -1,0 +1,456 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast
+// function bodies, the substrate for lsmlint's path-sensitive rules (see
+// internal/lint/rules and DESIGN.md §12).
+//
+// The graph is deliberately simple: every statement lives in a basic
+// block, blocks are connected by edges labeled with the branch condition
+// that selects them (so dataflow analyses can refine facts along `err !=
+// nil` edges), and a single synthetic Exit block collects every return.
+// Constructs handled: if/else, for (all three clauses), range, switch,
+// type switch, select (each comm clause is its own successor), labeled
+// break/continue, goto, fallthrough, and panic (an edge straight to
+// Exit, since deferred calls still run). Defer and go statements are kept
+// as ordinary nodes in their block — the analyses give them their special
+// meaning, not the graph.
+//
+// The builder is stdlib-only and purely syntactic; it needs no type
+// information. It never fails: unresolvable gotos (impossible in
+// well-typed code) simply fall through to Exit.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// EdgeKind classifies how control reaches an edge's destination.
+type EdgeKind uint8
+
+const (
+	// Flow is unconditional fallthrough.
+	Flow EdgeKind = iota
+	// True is taken when the source block's condition evaluated true
+	// (if-then, loop body entry, a range producing an element).
+	True
+	// False is taken when the condition evaluated false (else branch,
+	// loop exit, range exhausted).
+	False
+)
+
+// Edge is one control transfer. Cond is the branch condition for
+// True/False edges (the if or for condition); nil for Flow edges and for
+// range loops (whose "condition" is element availability, not a boolean
+// expression).
+type Edge struct {
+	To   *Block
+	Kind EdgeKind
+	Cond ast.Expr
+}
+
+// Block is a basic block: nodes executed in order, then a transfer along
+// one of Succs.
+type Block struct {
+	Index int
+	// Nodes holds the block's statements in execution order. For a block
+	// ending in a condition the condition expression is the last node; for
+	// a select comm clause the clause's comm statement leads its block.
+	Nodes []ast.Node
+	Succs []Edge
+	Preds []*Block
+}
+
+// Graph is the control-flow graph of one function body. Entry is
+// Blocks[0]; Exit is the single synthetic return collector (no Nodes, no
+// Succs). Blocks unreachable from Entry may exist (code after return);
+// analyses should key off reachability, which the dataflow engine's
+// worklist provides naturally.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// Build constructs the CFG of body. A nil or empty body yields a graph
+// whose Entry flows straight to Exit.
+func Build(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.labels = make(map[string]*labelInfo)
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, b.g.Exit, Flow, nil)
+	b.resolveGotos()
+	for _, blk := range b.g.Blocks {
+		for _, e := range blk.Succs {
+			e.To.Preds = append(e.To.Preds, blk)
+		}
+	}
+	return b.g
+}
+
+// loopFrame records the jump targets a loop (or switch/select) exposes to
+// break/continue, keyed by the optional statement label.
+type loopFrame struct {
+	label        string
+	breakTo      *Block
+	continueTo   *Block // nil for switch/select frames
+	isLoop       bool
+	fallthrough_ *Block // next case body, switch frames only
+}
+
+type labelInfo struct {
+	block   *Block // target block for goto
+	pending bool
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []*loopFrame
+	labels map[string]*labelInfo
+	gotos  []pendingGoto
+	// nextLabel is a label attached to the next loop/switch statement, so
+	// `break L` / `continue L` resolve to the right frame.
+	nextLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, kind EdgeKind, cond ast.Expr) {
+	from.Succs = append(from.Succs, Edge{To: to, Kind: kind, Cond: cond})
+}
+
+// startUnreachable parks the builder on a fresh block with no
+// predecessors, for statements after an unconditional transfer.
+func (b *builder) startUnreachable() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit, Flow, nil)
+		b.startUnreachable()
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isPanic(s.X) {
+			b.edge(b.cur, b.g.Exit, Flow, nil)
+			b.startUnreachable()
+		}
+	default:
+		// Decl, assign, incdec, send, go, defer, empty: straight-line.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+	condBlk := b.cur
+	join := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(condBlk, then, True, s.Cond)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, join, Flow, nil)
+
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(condBlk, els, False, s.Cond)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, join, Flow, nil)
+	} else {
+		b.edge(condBlk, join, False, s.Cond)
+	}
+	b.cur = join
+}
+
+func (b *builder) pushFrame(f *loopFrame) { b.frames = append(b.frames, f) }
+func (b *builder) popFrame()              { b.frames = b.frames[:len(b.frames)-1] }
+
+// takeLabel consumes the label a LabeledStmt attached for the statement
+// being built.
+func (b *builder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.cur, head, Flow, nil)
+	join := b.newBlock()
+
+	body := b.newBlock()
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		b.edge(head, body, True, s.Cond)
+		b.edge(head, join, False, s.Cond)
+	} else {
+		b.edge(head, body, Flow, nil)
+	}
+
+	// continue runs the post statement (or re-tests the condition).
+	contTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head, Flow, nil)
+		contTo = post
+	}
+
+	b.pushFrame(&loopFrame{label: label, breakTo: join, continueTo: contTo, isLoop: true})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, contTo, Flow, nil)
+	b.popFrame()
+	b.cur = join
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	// The range statement itself heads the loop: analyses see the ranged
+	// expression (and key/value assignment) once per iteration.
+	head.Nodes = append(head.Nodes, s)
+	b.edge(b.cur, head, Flow, nil)
+	join := b.newBlock()
+	body := b.newBlock()
+	b.edge(head, body, True, nil)
+	b.edge(head, join, False, nil)
+
+	b.pushFrame(&loopFrame{label: label, breakTo: join, continueTo: head, isLoop: true})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head, Flow, nil)
+	b.popFrame()
+	b.cur = join
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	if s.Tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+	}
+	b.caseClauses(s.Body, label, func(c *ast.CaseClause) []ast.Node {
+		nodes := make([]ast.Node, 0, len(c.List))
+		for _, e := range c.List {
+			nodes = append(nodes, e)
+		}
+		return nodes
+	})
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+	b.caseClauses(s.Body, label, func(c *ast.CaseClause) []ast.Node { return nil })
+}
+
+// caseClauses builds the shared switch shape: the current block fans out
+// to one block per case (plus straight to join when no default exists),
+// every case body flows to join, and fallthrough jumps into the next
+// case's body.
+func (b *builder) caseClauses(body *ast.BlockStmt, label string, caseNodes func(*ast.CaseClause) []ast.Node) {
+	head := b.cur
+	join := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if c, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, c)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		blocks[i].Nodes = append(blocks[i].Nodes, caseNodes(c)...)
+		if c.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, blocks[i], Flow, nil)
+	}
+	if !hasDefault {
+		b.edge(head, join, Flow, nil)
+	}
+	for i, c := range clauses {
+		var next *Block
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		b.pushFrame(&loopFrame{label: label, breakTo: join, fallthrough_: next})
+		b.cur = blocks[i]
+		b.stmtList(c.Body)
+		b.edge(b.cur, join, Flow, nil)
+		b.popFrame()
+	}
+	b.cur = join
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	join := b.newBlock()
+	for _, cs := range s.Body.List {
+		c, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		if c.Comm != nil {
+			blk.Nodes = append(blk.Nodes, c.Comm)
+		}
+		b.edge(head, blk, Flow, nil)
+		b.pushFrame(&loopFrame{label: label, breakTo: join})
+		b.cur = blk
+		b.stmtList(c.Body)
+		b.edge(b.cur, join, Flow, nil)
+		b.popFrame()
+	}
+	// A select with no cases blocks forever; give head an edge to join
+	// only when cases exist is technically more precise, but an empty
+	// select is pathological — treat it as flowing to join regardless so
+	// the graph stays connected.
+	if len(s.Body.List) == 0 {
+		b.edge(head, join, Flow, nil)
+	}
+	b.cur = join
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	// The label's block is a goto target; it also names the loop/switch
+	// that follows for labeled break/continue.
+	blk := b.newBlock()
+	b.edge(b.cur, blk, Flow, nil)
+	b.cur = blk
+	if li, ok := b.labels[name]; ok {
+		li.block = blk
+		li.pending = false
+	} else {
+		b.labels[name] = &labelInfo{block: blk}
+	}
+	b.nextLabel = name
+	b.stmt(s.Stmt)
+	b.nextLabel = ""
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.edge(b.cur, f.breakTo, Flow, nil)
+				b.startUnreachable()
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.isLoop && (label == "" || f.label == label) {
+				b.edge(b.cur, f.continueTo, Flow, nil)
+				b.startUnreachable()
+				return
+			}
+		}
+	case token.FALLTHROUGH:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if f := b.frames[i]; f.fallthrough_ != nil {
+				b.edge(b.cur, f.fallthrough_, Flow, nil)
+				b.startUnreachable()
+				return
+			}
+		}
+	case token.GOTO:
+		if li, ok := b.labels[label]; ok && li.block != nil {
+			b.edge(b.cur, li.block, Flow, nil)
+		} else {
+			// Forward goto: resolve once the label is seen.
+			b.labels[label] = &labelInfo{pending: true}
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		}
+		b.startUnreachable()
+		return
+	}
+	// Unresolvable branch (malformed code): treat as flow to exit.
+	b.edge(b.cur, b.g.Exit, Flow, nil)
+	b.startUnreachable()
+}
+
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotos {
+		if li, ok := b.labels[g.label]; ok && li.block != nil {
+			b.edge(g.from, li.block, Flow, nil)
+		} else {
+			b.edge(g.from, b.g.Exit, Flow, nil)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src as a file, finds the first function declaration,
+// and builds its CFG.
+func buildFunc(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return Build(fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// reachable returns the set of blocks reachable from Entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, e := range b.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() { x := 1; y := x; _ = y }`)
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0].To != g.Exit {
+		t.Fatalf("entry should flow straight to exit")
+	}
+}
+
+func TestIfElseEdges(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	} else {
+		return 2
+	}
+}`)
+	var tr, fa int
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			switch e.Kind {
+			case True:
+				tr++
+				if e.Cond == nil {
+					t.Error("true edge lost its condition")
+				}
+			case False:
+				fa++
+				if e.Cond == nil {
+					t.Error("false edge lost its condition")
+				}
+			}
+		}
+	}
+	if tr != 1 || fa != 1 {
+		t.Fatalf("true/false edges = %d/%d, want 1/1", tr, fa)
+	}
+	// Both returns edge to Exit.
+	if n := len(exitPreds(g)); n != 2 {
+		t.Fatalf("exit preds = %d, want 2 (both returns)", n)
+	}
+}
+
+// exitPreds returns the reachable blocks with an edge to Exit
+// (unreachable join blocks also carry such edges; they don't count).
+func exitPreds(g *Graph) []*Block {
+	r := reachable(g)
+	var out []*Block
+	for _, b := range g.Blocks {
+		if !r[b] {
+			continue
+		}
+		for _, e := range b.Succs {
+			if e.To == g.Exit {
+				out = append(out, b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	if c {
+		println("t")
+	}
+	println("after")
+}`)
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The join block (holding the trailing println) must have two preds:
+	// the condition's false edge and the then-branch.
+	for _, b := range g.Blocks {
+		if len(b.Nodes) == 1 {
+			if es, ok := b.Nodes[0].(*ast.ExprStmt); ok {
+				if c, ok := es.X.(*ast.CallExpr); ok && len(c.Args) == 1 {
+					if lit, ok := c.Args[0].(*ast.BasicLit); ok && lit.Value == `"after"` {
+						if len(b.Preds) != 2 {
+							t.Fatalf("join preds = %d, want 2", len(b.Preds))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	for i := 0; i < 10; i++ {
+		if i == 5 {
+			break
+		}
+		if i == 3 {
+			continue
+		}
+		println(i)
+	}
+	println("done")
+}`)
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// A loop implies a cycle: some reachable block must have a reachable
+	// successor with a smaller index (the back edge).
+	back := false
+	for b := range r {
+		for _, e := range b.Succs {
+			if e.To.Index < b.Index && r[e.To] {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("no back edge found for the for loop")
+	}
+}
+
+func TestInfiniteLoopWithBreak(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	for {
+		if done() {
+			break
+		}
+	}
+	println("after")
+}
+func done() bool { return true }`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable despite break")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`)
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The range head has a True (body) and False (exhausted) successor.
+	found := false
+	for b := range r {
+		var hasT, hasF bool
+		for _, e := range b.Succs {
+			if e.Kind == True {
+				hasT = true
+			}
+			if e.Kind == False {
+				hasF = true
+			}
+		}
+		if hasT && hasF {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no block with both True and False successors (range head)")
+	}
+}
+
+func TestSwitchDefaultAndFallthrough(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) string {
+	switch x {
+	case 1:
+		return "one"
+	case 2:
+		fallthrough
+	case 3:
+		return "few"
+	default:
+		return "many"
+	}
+}`)
+	// Every return reaches exit; with a default present there is no edge
+	// from the switch head to the join, so the only path to Exit through
+	// the function end is via the (unreachable) join.
+	if n := len(exitPreds(g)); n < 3 {
+		t.Fatalf("exit preds = %d, want >= 3 (three returns)", n)
+	}
+}
+
+func TestSwitchNoDefaultFlowsPast(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		println(1)
+	}
+	println("after")
+}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case <-b:
+		return 0
+	}
+}`)
+	// Two comm clauses, both returning.
+	if n := len(exitPreds(g)); n != 2 {
+		t.Fatalf("exit preds = %d, want 2", n)
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+top:
+	if c {
+		goto done
+	}
+	goto top
+done:
+	println("x")
+}`)
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("exit unreachable through goto done")
+	}
+}
+
+func TestPanicEdgesToExit(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	if c {
+		panic("boom")
+	}
+	println("ok")
+}`)
+	// Entry→cond: true branch panics (edge to exit), false branch prints.
+	if n := len(exitPreds(g)); n != 2 {
+		t.Fatalf("exit preds = %d, want 2 (panic + fallthrough)", n)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(m [][]int) {
+outer:
+	for _, row := range m {
+		for _, x := range row {
+			if x == 0 {
+				continue outer
+			}
+			if x < 0 {
+				break outer
+			}
+			println(x)
+		}
+	}
+	println("done")
+}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {}`)
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0].To != g.Exit {
+		t.Fatal("empty body should flow entry → exit")
+	}
+}

@@ -1,0 +1,120 @@
+// Package dataflow is a small fixpoint engine over internal/lint/cfg
+// graphs: iterative forward or backward propagation of per-block facts to
+// a fixed point, with edge-sensitive refinement so analyses can narrow
+// facts along branch outcomes (`err != nil` true vs false edges).
+//
+// The fact domain is opaque to the engine — an Analysis supplies the
+// boundary fact, the per-block transfer function, the meet operator
+// (intersection-like for must-analyses, union-like for may-analyses), and
+// equality (the termination test). Facts must be treated as immutable:
+// Transfer, FilterEdge, and Meet return new values and never mutate their
+// inputs, or the fixpoint is unsound.
+//
+// Termination is the analysis's responsibility: the lattice must have
+// finite height (meet chains stabilize). Every lsmlint rule uses small
+// finite state machines per tracked variable, which trivially satisfies
+// this. As a backstop against a buggy analysis, the engine caps the
+// number of block visits and returns what it has.
+package dataflow
+
+import "lsmssd/internal/lint/cfg"
+
+// Fact is one analysis's per-program-point information.
+type Fact any
+
+// Analysis defines one dataflow problem.
+type Analysis interface {
+	// Boundary is the fact at the graph boundary: Entry's in-fact for a
+	// forward analysis, Exit's out-fact for a backward one.
+	Boundary() Fact
+	// Transfer computes a block's out-fact from its in-fact (forward), or
+	// its in-fact from its out-fact (backward: the engine hands the block
+	// to the analysis, which must walk Nodes in reverse itself).
+	Transfer(b *cfg.Block, in Fact) Fact
+	// FilterEdge refines the fact flowing along e out of from (forward) or
+	// into from (backward) — path sensitivity. Return the fact unchanged
+	// when the edge's condition is uninformative.
+	FilterEdge(from *cfg.Block, e cfg.Edge, f Fact) Fact
+	// Meet combines facts where paths join. It must be commutative,
+	// associative, and monotone.
+	Meet(a, b Fact) Fact
+	// Equal is the fixpoint termination test.
+	Equal(a, b Fact) bool
+}
+
+// Result holds the stable facts. In is the fact before the block executes
+// and Out the fact after it, in execution order for both directions.
+// Blocks unreachable from the boundary are absent from both maps.
+type Result struct {
+	In  map[*cfg.Block]Fact
+	Out map[*cfg.Block]Fact
+}
+
+// visitCap bounds total block visits; see the package comment.
+const visitCap = 1 << 16
+
+// Forward runs a forward fixpoint: facts flow Entry → Exit along Succs.
+func Forward(g *cfg.Graph, a Analysis) Result {
+	res := Result{In: make(map[*cfg.Block]Fact), Out: make(map[*cfg.Block]Fact)}
+	res.In[g.Entry] = a.Boundary()
+	work := []*cfg.Block{g.Entry}
+	visits := 0
+	for len(work) > 0 && visits < visitCap {
+		visits++
+		b := work[0]
+		work = work[1:]
+		out := a.Transfer(b, res.In[b])
+		res.Out[b] = out
+		for _, e := range b.Succs {
+			f := a.FilterEdge(b, e, out)
+			cur, ok := res.In[e.To]
+			next := f
+			if ok {
+				next = a.Meet(cur, f)
+			}
+			if !ok || !a.Equal(cur, next) {
+				res.In[e.To] = next
+				work = append(work, e.To)
+			}
+		}
+	}
+	return res
+}
+
+// Backward runs a backward fixpoint: facts flow Exit → Entry along Preds.
+// Transfer receives the block's out-fact (what holds after the block) and
+// returns its in-fact. FilterEdge sees each incoming edge as the fact
+// propagates from a block's in-fact to its predecessors' out-facts.
+func Backward(g *cfg.Graph, a Analysis) Result {
+	res := Result{In: make(map[*cfg.Block]Fact), Out: make(map[*cfg.Block]Fact)}
+	res.Out[g.Exit] = a.Boundary()
+	work := []*cfg.Block{g.Exit}
+	visits := 0
+	for len(work) > 0 && visits < visitCap {
+		visits++
+		b := work[0]
+		work = work[1:]
+		in := a.Transfer(b, res.Out[b])
+		res.In[b] = in
+		for _, p := range b.Preds {
+			// Find the edge(s) p → b to filter along.
+			f := in
+			for _, e := range p.Succs {
+				if e.To == b {
+					f = a.FilterEdge(p, e, in)
+					break
+				}
+			}
+			cur, ok := res.Out[p]
+			next := f
+			if ok {
+				next = a.Meet(cur, f)
+			}
+			if !ok || !a.Equal(cur, next) {
+				res.Out[p] = next
+				work = append(work, p)
+			}
+		}
+	}
+	return res
+}

@@ -1,46 +1,27 @@
-// Package lint implements lsmlint, the repository's static analyzer. It
-// enforces the coding disciplines the engine's correctness argument rests
-// on, none of which the compiler can check:
+// Package lint is the driver for lsmlint, the repository's static
+// analyzer. It enforces the coding disciplines the engine's correctness
+// argument rests on, none of which the compiler can check.
 //
-//   - device-io: storage.Device.Read/Write may be called only from the
-//     packages that own block I/O and its cost accounting (the paper's
-//     write counts are the experimental metric; a stray call elsewhere
-//     silently skews them);
-//   - global-rand: no math/rand package-level functions — all randomness
-//     must flow from a seeded *rand.Rand so runs are reproducible;
-//   - unchecked-err: no dropped error results from Close (any package) or
-//     from this module's own APIs;
-//   - layering: the leaf packages (block, btree, bloom, ...) must not
-//     depend on the engine layers above them;
-//   - tree-state: core.Tree's live level-state accessors (Level, Memtable)
-//     may be read only by the writer-side packages — everyone else must go
-//     through an acquired snapshot (Tree.AcquireView), because live state
-//     mutates under concurrent merges.
-//   - obs-event: observability event values (obs.MergeEvent & friends) may
-//     be constructed only by the instrumented engine packages — the
-//     per-merge trace is experimental evidence, and a stray constructor
-//     elsewhere would inject events no engine emission point produced.
-//   - compaction-step: core.Tree's cascade entry points (CompactionStep,
-//     RunCascade) may be called only from the compaction scheduler (and
-//     core itself) — merge scheduling is centralized so backpressure,
-//     error parking, and mid-cascade audits see every step; a stray
-//     cascade call elsewhere would bypass all three.
-//   - wal-frame: wal.Log's mutating entry points (Append, Sync, GC, Crash)
-//     may be called only from the wal package and the DB layer — the
-//     durability argument depends on frames being appended before the tree
-//     applies them and garbage-collected only after a checkpoint, and a
-//     stray append or GC elsewhere would break the acked-write contract.
+// The driver owns package loading (go list + go/parser + go/types against
+// compiler export data — no third-party machinery), the Rule registry
+// contract, finding collection/sorting, and the `//lint:ignore`
+// suppression mechanism. The rules themselves live in internal/lint/rules;
+// path-sensitive rules build on internal/lint/cfg (control-flow graphs)
+// and internal/lint/dataflow (fixpoint engine).
 //
-// The analyzer is stdlib-only: packages are enumerated with `go list`,
-// parsed with go/parser, and typechecked with go/types against compiler
-// export data, so it needs no third-party loader.
+// Suppression: a comment of the form
+//
+//	//lint:ignore rule1[,rule2] reason
+//
+// suppresses the named rules on the comment's line and on the line
+// immediately after it (covering both end-of-line and preceding-line
+// placement). A directive with no reason is itself a finding
+// (rule "lint-ignore"): every suppression must say why.
 package lint
 
 import (
 	"fmt"
-	"go/ast"
 	"go/token"
-	"go/types"
 	"sort"
 	"strings"
 )
@@ -54,6 +35,21 @@ type Finding struct {
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+}
+
+// Rule is one named check. Run inspects a single typechecked package and
+// returns its findings; the driver handles sorting and suppression.
+type Rule struct {
+	Name string
+	Doc  string
+	Run  func(*Context) []Finding
+}
+
+// Context is everything a rule sees: one loaded package plus the active
+// configuration.
+type Context struct {
+	Pkg *Package
+	Cfg Config
 }
 
 // Config selects the rule parameters. DefaultConfig returns the
@@ -104,6 +100,45 @@ type Config struct {
 	// Layering maps a package path to import paths it must not depend on,
 	// directly or transitively.
 	Layering map[string][]string
+
+	// LockCheckedPkgs lists the packages where the lock-discipline rule
+	// applies: every TreeMutateMethods call must be dominated by a
+	// LockName.Lock() with an unlock on all exit paths. Packages below the
+	// DB layer (core, compaction) mutate under a caller-holds-lock
+	// contract and are excluded.
+	LockCheckedPkgs []string
+	// LockName is the mutex field serializing tree mutations ("writerMu").
+	LockName string
+	// LockAcquireHelpers are functions returning (T, unlockFunc) that
+	// acquire LockName on the caller's behalf; calling or deferring the
+	// returned func counts as the unlock.
+	LockAcquireHelpers []string
+	// TreeMutateMethods are the mutating methods on TreePkg's Tree that
+	// the lock-discipline rule guards.
+	TreeMutateMethods []string
+
+	// SentinelPkgs lists the packages whose returned errors carry sentinel
+	// identity (wal, storage): the sentinel-error-flow rule forbids
+	// blank-discarding them, rewrapping them without %w, or dropping them
+	// on any path.
+	SentinelPkgs []string
+
+	// WALOrderPkgs lists the packages where the wal-ordering rule applies
+	// (the DB layer owning the log-then-apply commit protocol).
+	WALOrderPkgs []string
+	// WALAppendHelpers are same-package helpers that wrap wal.Log.Append
+	// and return an error; a mutation applied before that error is
+	// checked violates the commit protocol.
+	WALAppendHelpers []string
+
+	// GoShutdownPkgs lists the packages where every `go` statement must
+	// have a shutdown path: a select/receive on a quit-like channel, a
+	// range over a channel, or a sole-statement delegate call.
+	GoShutdownPkgs []string
+	// GoDelegates are method names whose sole-statement call inside a
+	// goroutine counts as delegating lifecycle to the callee
+	// (http.Server.Serve and friends block until shutdown).
+	GoDelegates []string
 }
 
 // DefaultConfig is the production rule set for this repository.
@@ -181,19 +216,46 @@ func DefaultConfig() Config {
 				"lsmssd/internal/policy",
 			},
 		},
+
+		LockCheckedPkgs:    []string{"lsmssd"},
+		LockName:           "writerMu",
+		LockAcquireHelpers: []string{"lockedTree"},
+		TreeMutateMethods: []string{
+			"Put", "Delete", "ApplyBatch", "ForceGrow",
+			"MarkClosed", "ResetStats", "Export",
+		},
+
+		SentinelPkgs: []string{
+			"lsmssd/internal/wal",
+			"lsmssd/internal/storage",
+		},
+
+		WALOrderPkgs:     []string{"lsmssd"},
+		WALAppendHelpers: []string{"logMutation"},
+
+		GoShutdownPkgs: []string{
+			"lsmssd/internal/compaction",
+			"lsmssd/internal/obs",
+		},
+		GoDelegates: []string{"Serve", "ListenAndServe", "Wait", "Run"},
 	}
 }
 
-// Run lints the packages matching patterns (relative to dir) and returns
-// the findings sorted by position.
-func Run(dir string, patterns []string, cfg Config) ([]Finding, error) {
+// Run lints the packages matching patterns (relative to dir) with the
+// given rules and returns the surviving findings sorted by position.
+func Run(dir string, patterns []string, cfg Config, rules []Rule) ([]Finding, error) {
 	pkgs, err := load(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
 	var out []Finding
 	for _, p := range pkgs {
-		out = append(out, lintPackage(p, cfg)...)
+		ctx := &Context{Pkg: p, Cfg: cfg}
+		var raw []Finding
+		for _, r := range rules {
+			raw = append(raw, r.Run(ctx)...)
+		}
+		out = append(out, applySuppressions(p, raw)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
@@ -208,313 +270,67 @@ func Run(dir string, patterns []string, cfg Config) ([]Finding, error) {
 	return out, nil
 }
 
-func lintPackage(p *Package, cfg Config) []Finding {
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	rules []string
+	line  int
+	file  string
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// applySuppressions filters a package's findings through its
+// //lint:ignore directives and reports malformed directives.
+func applySuppressions(p *Package, findings []Finding) []Finding {
+	var dirs []directive
 	var out []Finding
-	out = append(out, checkLayering(p, cfg)...)
 	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.SelectorExpr:
-				out = append(out, checkGlobalRand(p, cfg, n)...)
-			case *ast.ExprStmt:
-				if call, ok := n.X.(*ast.CallExpr); ok {
-					out = append(out, checkUncheckedErr(p, cfg, call)...)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
 				}
-			case *ast.CallExpr:
-				out = append(out, checkDeviceCall(p, cfg, n)...)
-				out = append(out, checkTreeState(p, cfg, n)...)
-				out = append(out, checkCompactionStep(p, cfg, n)...)
-				out = append(out, checkWALFrame(p, cfg, n)...)
-			case *ast.CompositeLit:
-				out = append(out, checkObsEvent(p, cfg, n)...)
-			}
-			return true
-		})
-	}
-	return out
-}
-
-func inList(s string, list []string) bool {
-	for _, x := range list {
-		if s == x {
-			return true
-		}
-	}
-	return false
-}
-
-// checkDeviceCall flags calls to the restricted storage.Device methods
-// from packages outside the sanctioned I/O layers.
-func checkDeviceCall(p *Package, cfg Config, call *ast.CallExpr) []Finding {
-	if inList(p.Path, cfg.DeviceIOAllowed) {
-		return nil
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return nil
-	}
-	s := p.Info.Selections[sel]
-	if s == nil || s.Kind() != types.MethodVal {
-		return nil
-	}
-	if !inList(s.Obj().Name(), cfg.DeviceMethods) {
-		return nil
-	}
-	recv := s.Recv()
-	if ptr, ok := recv.(*types.Pointer); ok {
-		recv = ptr.Elem()
-	}
-	named, ok := recv.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != cfg.DevicePkg {
-		return nil
-	}
-	return []Finding{{
-		Pos:  p.Fset.Position(sel.Sel.Pos()),
-		Rule: "device-io",
-		Msg: fmt.Sprintf("direct %s.%s.%s call outside the block-I/O layers breaks write-cost accounting; route it through level/merge/core",
-			cfg.DevicePkg, named.Obj().Name(), s.Obj().Name()),
-	}}
-}
-
-// checkTreeState flags reads of core.Tree's live level state from outside
-// the writer-side packages: under the snapshot-isolated read path, live
-// levels mutate during merges, so concurrent readers must acquire a View
-// instead.
-func checkTreeState(p *Package, cfg Config, call *ast.CallExpr) []Finding {
-	if cfg.TreePkg == "" || inList(p.Path, cfg.TreeStateAllowed) {
-		return nil
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return nil
-	}
-	s := p.Info.Selections[sel]
-	if s == nil || s.Kind() != types.MethodVal {
-		return nil
-	}
-	if !inList(s.Obj().Name(), cfg.TreeStateMethods) {
-		return nil
-	}
-	recv := s.Recv()
-	if ptr, ok := recv.(*types.Pointer); ok {
-		recv = ptr.Elem()
-	}
-	named, ok := recv.(*types.Named)
-	if !ok || named.Obj().Name() != "Tree" ||
-		named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != cfg.TreePkg {
-		return nil
-	}
-	return []Finding{{
-		Pos:  p.Fset.Position(sel.Sel.Pos()),
-		Rule: "tree-state",
-		Msg: fmt.Sprintf("core.Tree.%s reads live level state that mutates under concurrent merges; acquire a snapshot with Tree.AcquireView instead",
-			s.Obj().Name()),
-	}}
-}
-
-// checkCompactionStep flags calls to core.Tree's cascade entry points from
-// outside the compaction scheduling layer: merge scheduling is centralized
-// so backpressure, error parking, and mid-cascade invariant audits observe
-// every step, and a cascade driven from anywhere else bypasses all three.
-func checkCompactionStep(p *Package, cfg Config, call *ast.CallExpr) []Finding {
-	if cfg.TreePkg == "" || len(cfg.CompactionMethods) == 0 || inList(p.Path, cfg.CompactionAllowed) {
-		return nil
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return nil
-	}
-	s := p.Info.Selections[sel]
-	if s == nil || s.Kind() != types.MethodVal {
-		return nil
-	}
-	if !inList(s.Obj().Name(), cfg.CompactionMethods) {
-		return nil
-	}
-	recv := s.Recv()
-	if ptr, ok := recv.(*types.Pointer); ok {
-		recv = ptr.Elem()
-	}
-	named, ok := recv.(*types.Named)
-	if !ok || named.Obj().Name() != "Tree" ||
-		named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != cfg.TreePkg {
-		return nil
-	}
-	return []Finding{{
-		Pos:  p.Fset.Position(sel.Sel.Pos()),
-		Rule: "compaction-step",
-		Msg: fmt.Sprintf("core.Tree.%s drives the merge cascade outside the compaction scheduler; go through compaction.Scheduler (or compaction.Driver) so backpressure and error parking see every step",
-			s.Obj().Name()),
-	}}
-}
-
-// checkWALFrame flags calls to wal.Log's mutating entry points from
-// outside the durability layer: the acked-write contract holds only
-// because the DB appends a frame before the tree applies its ops and
-// garbage-collects segments only after a durable checkpoint, so frame
-// construction and log truncation must stay auditable at those two sites.
-func checkWALFrame(p *Package, cfg Config, call *ast.CallExpr) []Finding {
-	if cfg.WALPkg == "" || len(cfg.WALMethods) == 0 || inList(p.Path, cfg.WALAllowed) {
-		return nil
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return nil
-	}
-	s := p.Info.Selections[sel]
-	if s == nil || s.Kind() != types.MethodVal {
-		return nil
-	}
-	if !inList(s.Obj().Name(), cfg.WALMethods) {
-		return nil
-	}
-	recv := s.Recv()
-	if ptr, ok := recv.(*types.Pointer); ok {
-		recv = ptr.Elem()
-	}
-	named, ok := recv.(*types.Named)
-	if !ok || named.Obj().Name() != "Log" ||
-		named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != cfg.WALPkg {
-		return nil
-	}
-	return []Finding{{
-		Pos:  p.Fset.Position(sel.Sel.Pos()),
-		Rule: "wal-frame",
-		Msg: fmt.Sprintf("wal.Log.%s called outside the durability layer; frames are appended and garbage-collected only by the DB's commit protocol so acked writes stay recoverable",
-			s.Obj().Name()),
-	}}
-}
-
-// checkObsEvent flags composite literals of ObsPkg's event types (named
-// types with an "Event" suffix) outside the sanctioned emission packages:
-// the merge trace is experimental evidence, so every event must originate
-// at an auditable instrumentation point. Non-event obs types (Family,
-// Sample, Histogram...) remain constructible anywhere.
-func checkObsEvent(p *Package, cfg Config, lit *ast.CompositeLit) []Finding {
-	if cfg.ObsPkg == "" || inList(p.Path, cfg.ObsAllowed) {
-		return nil
-	}
-	tv, ok := p.Info.Types[lit]
-	if !ok {
-		return nil
-	}
-	named, ok := tv.Type.(*types.Named)
-	if !ok {
-		return nil
-	}
-	obj := named.Obj()
-	if obj.Pkg() == nil || obj.Pkg().Path() != cfg.ObsPkg || !strings.HasSuffix(obj.Name(), "Event") {
-		return nil
-	}
-	return []Finding{{
-		Pos:  p.Fset.Position(lit.Pos()),
-		Rule: "obs-event",
-		Msg: fmt.Sprintf("obs.%s constructed outside the instrumented engine packages; events must originate at the engine's emission points so traces stay trustworthy",
-			obj.Name()),
-	}}
-}
-
-// checkGlobalRand flags math/rand package-level functions: they draw from
-// the shared global source, defeating Options.Seed reproducibility.
-func checkGlobalRand(p *Package, cfg Config, sel *ast.SelectorExpr) []Finding {
-	id, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return nil
-	}
-	pn, ok := p.Info.Uses[id].(*types.PkgName)
-	if !ok {
-		return nil
-	}
-	path := pn.Imported().Path()
-	if path != "math/rand" && path != "math/rand/v2" {
-		return nil
-	}
-	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || inList(fn.Name(), cfg.RandAllowed) {
-		return nil
-	}
-	return []Finding{{
-		Pos:  p.Fset.Position(sel.Sel.Pos()),
-		Rule: "global-rand",
-		Msg: fmt.Sprintf("%s.%s uses the global random source; derive a *rand.Rand from Options.Seed instead",
-			path, fn.Name()),
-	}}
-}
-
-// checkUncheckedErr flags expression statements that drop an error result
-// from a Close method (any package) or from a function declared in this
-// module. Deferred and go-routine calls are exempt.
-func checkUncheckedErr(p *Package, cfg Config, call *ast.CallExpr) []Finding {
-	var obj types.Object
-	switch fun := call.Fun.(type) {
-	case *ast.SelectorExpr:
-		obj = p.Info.Uses[fun.Sel]
-	case *ast.Ident:
-		obj = p.Info.Uses[fun]
-	default:
-		return nil
-	}
-	fn, ok := obj.(*types.Func)
-	if !ok {
-		return nil
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || !returnsError(sig) {
-		return nil
-	}
-	ours := fn.Pkg() != nil && (fn.Pkg().Path() == cfg.ModulePrefix ||
-		strings.HasPrefix(fn.Pkg().Path(), cfg.ModulePrefix+"/"))
-	if fn.Name() != "Close" && !ours {
-		return nil
-	}
-	return []Finding{{
-		Pos:  p.Fset.Position(call.Pos()),
-		Rule: "unchecked-err",
-		Msg:  fmt.Sprintf("result of %s contains an error that is dropped; handle it or fold it in with errors.Join", fn.Name()),
-	}}
-}
-
-func returnsError(sig *types.Signature) bool {
-	res := sig.Results()
-	for i := 0; i < res.Len(); i++ {
-		if named, ok := res.At(i).Type().(*types.Named); ok &&
-			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
-			return true
-		}
-	}
-	return false
-}
-
-// checkLayering flags imports (direct or transitive) of packages the
-// configured layering denies to this package.
-func checkLayering(p *Package, cfg Config) []Finding {
-	deny := cfg.Layering[p.Path]
-	if len(deny) == 0 {
-		return nil
-	}
-	var out []Finding
-	for _, f := range p.Files {
-		for _, imp := range f.Imports {
-			path := strings.Trim(imp.Path.Value, `"`)
-			if inList(path, deny) {
-				out = append(out, Finding{
-					Pos:  p.Fset.Position(imp.Pos()),
-					Rule: "layering",
-					Msg:  fmt.Sprintf("%s must not import %s (layering)", p.Path, path),
-				})
-				continue
-			}
-			for _, d := range p.DepsOf(path) {
-				if inList(d, deny) {
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				if len(fields) < 2 {
 					out = append(out, Finding{
-						Pos:  p.Fset.Position(imp.Pos()),
-						Rule: "layering",
-						Msg:  fmt.Sprintf("%s must not depend on %s (transitively via %s)", p.Path, d, path),
+						Pos:  pos,
+						Rule: "lint-ignore",
+						Msg:  "lint:ignore directive needs a rule list and a reason: //lint:ignore rule[,rule] reason",
 					})
-					break
+					continue
 				}
+				dirs = append(dirs, directive{
+					rules: strings.Split(fields[0], ","),
+					line:  pos.Line,
+					file:  pos.Filename,
+				})
 			}
 		}
 	}
+	for _, f := range findings {
+		if !suppressed(f, dirs) {
+			out = append(out, f)
+		}
+	}
 	return out
+}
+
+func suppressed(f Finding, dirs []directive) bool {
+	for _, d := range dirs {
+		if d.file != f.Pos.Filename {
+			continue
+		}
+		// A directive covers its own line (end-of-line placement) and the
+		// next line (preceding-comment placement).
+		if f.Pos.Line != d.line && f.Pos.Line != d.line+1 {
+			continue
+		}
+		for _, r := range d.rules {
+			if r == f.Rule {
+				return true
+			}
+		}
+	}
+	return false
 }

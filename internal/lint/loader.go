@@ -62,7 +62,7 @@ func goList(dir string, args ...string) ([]*listedPackage, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("lint: go list %v: %v\n%s", args, err, stderr.String())
+		return nil, fmt.Errorf("lint: go list %v: %w\n%s", args, err, stderr.String())
 	}
 	var pkgs []*listedPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
@@ -71,7 +71,7 @@ func goList(dir string, args ...string) ([]*listedPackage, error) {
 		if err := dec.Decode(p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("lint: decode go list output: %v", err)
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
 		}
 		pkgs = append(pkgs, p)
 	}
@@ -120,7 +120,7 @@ func load(dir string, patterns []string) ([]*Package, error) {
 		for _, name := range t.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, fmt.Errorf("lint: %v", err)
+				return nil, fmt.Errorf("lint: %w", err)
 			}
 			files = append(files, f)
 		}
@@ -133,7 +133,7 @@ func load(dir string, patterns []string) ([]*Package, error) {
 		conf := types.Config{Importer: imp, Sizes: sizes}
 		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, fmt.Errorf("lint: typecheck %s: %v", t.ImportPath, err)
+			return nil, fmt.Errorf("lint: typecheck %s: %w", t.ImportPath, err)
 		}
 		out = append(out, &Package{
 			Path:    t.ImportPath,

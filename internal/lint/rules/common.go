@@ -1,0 +1,140 @@
+package rules
+
+// Shared machinery for the path-sensitive rules: function enumeration,
+// FuncLit-excluding AST walks, and the `err != nil` condition matcher the
+// edge-sensitive analyses refine on.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lsmssd/internal/lint"
+)
+
+// fnBody is one analyzable function: a declaration or a literal.
+type fnBody struct {
+	name string // "" for func literals
+	body *ast.BlockStmt
+	pos  token.Pos
+}
+
+// functions enumerates every function body in the package: declarations
+// first, then every function literal (each literal is analyzed as its own
+// unit, since defers and returns inside it are its own).
+func functions(p *lint.Package) []fnBody {
+	var out []fnBody
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, fnBody{name: fd.Name.Name, body: fd.Body, pos: fd.Pos()})
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				out = append(out, fnBody{body: fl.Body, pos: fl.Pos()})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// inspectShallow walks n in pre-order without descending into function
+// literals, which are separate analysis units.
+func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok && x != n {
+			return false
+		}
+		return visit(x)
+	})
+}
+
+// finalName returns the rightmost identifier of an expression: the Sel of
+// a selector chain, the name of a plain identifier, "" otherwise.
+func finalName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// nilCheck matches a binary `x != nil` / `x == nil` condition and returns
+// the object of x and whether the operator was != .
+func nilCheck(info *types.Info, cond ast.Expr) (obj types.Object, neq bool, ok bool) {
+	bin, isBin := cond.(*ast.BinaryExpr)
+	if !isBin || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return nil, false, false
+	}
+	x, y := bin.X, bin.Y
+	if isNilIdent(x) {
+		x, y = y, x
+	}
+	if !isNilIdent(y) {
+		return nil, false, false
+	}
+	id, isID := x.(*ast.Ident)
+	if !isID {
+		return nil, false, false
+	}
+	o := info.Uses[id]
+	if o == nil {
+		return nil, false, false
+	}
+	return o, bin.Op == token.NEQ, true
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// identObj resolves an identifier to its object through either Defs
+// (short variable declarations) or Uses.
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or nil for builtins, conversions, and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// hasQuitName reports whether a channel-ish name looks like a shutdown
+// signal (done, stop, quit, exit, close).
+func hasQuitName(name string) bool {
+	l := strings.ToLower(name)
+	for _, w := range []string{"done", "stop", "quit", "exit", "close"} {
+		if strings.Contains(l, w) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,4 +1,4 @@
-package lint
+package rules
 
 import (
 	"bufio"
@@ -7,19 +7,28 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"lsmssd/internal/lint"
 )
 
-// fixtureConfig adapts the production rules to the testdata packages: the
-// layering rule is keyed on the fixture path (the production map is keyed
-// on real package paths, which fixtures cannot assume).
-func fixtureConfig() Config {
-	cfg := DefaultConfig()
+// fixturePrefix is the import path under which the fixture corpus lives.
+const fixturePrefix = "lsmssd/internal/lint/rules/testdata/src/"
+
+// fixtureConfig adapts the production rules to the testdata packages:
+// package-scoped rules are re-keyed onto the fixture paths (the
+// production config keys on real package paths, which fixtures cannot
+// assume).
+func fixtureConfig() lint.Config {
+	cfg := lint.DefaultConfig()
 	cfg.Layering = map[string][]string{
-		"lsmssd/internal/lint/testdata/src/layering": {
+		fixturePrefix + "layering": {
 			"lsmssd/internal/policy", // direct
 			"lsmssd/internal/level",  // transitive via merge
 		},
 	}
+	cfg.LockCheckedPkgs = []string{fixturePrefix + "lockdiscipline"}
+	cfg.WALOrderPkgs = []string{fixturePrefix + "walordering"}
+	cfg.GoShutdownPkgs = []string{fixturePrefix + "goshutdown"}
 	return cfg
 }
 
@@ -68,19 +77,28 @@ func wantComments(t *testing.T, dir string) map[string][]string {
 }
 
 // TestFixturesDetected proves every seeded violation of every rule is
-// reported, and nothing else.
+// reported, and nothing else: each fixture carries both the failing
+// shape (marked `// want rule`) and its fixed counterpart (unmarked).
 func TestFixturesDetected(t *testing.T) {
-	fixtures := []string{"devcall", "globalrand", "uncheckederr", "layering", "treestate", "obsevent", "compactionstep", "walframe"}
+	fixtures := []string{
+		// v1 syntactic rules.
+		"devcall", "globalrand", "uncheckederr", "layering",
+		"treestate", "obsevent", "compactionstep", "walframe",
+		// v2 path-sensitive rules.
+		"lockdiscipline", "viewrefcount", "errflow", "walordering", "goshutdown",
+		// Driver mechanism.
+		"suppress",
+	}
 	for _, fix := range fixtures {
 		fix := fix
 		t.Run(fix, func(t *testing.T) {
-			rel := "./internal/lint/testdata/src/" + fix
-			findings, err := Run("../..", []string{rel}, fixtureConfig())
+			rel := "./internal/lint/rules/testdata/src/" + fix
+			findings, err := lint.Run("../../..", []string{rel}, fixtureConfig(), All())
 			if err != nil {
 				t.Fatal(err)
 			}
 			want := wantComments(t, filepath.Join("testdata/src", fix))
-			if len(want) == 0 {
+			if len(want) == 0 && fix != "suppress" {
 				t.Fatalf("fixture %s has no want comments", fix)
 			}
 			got := make(map[string][]string)
@@ -119,13 +137,28 @@ func sameSet(a, b []string) bool {
 	return true
 }
 
+// TestSelect covers the -rules flag resolution.
+func TestSelect(t *testing.T) {
+	rs, err := Select("")
+	if err != nil || len(rs) != len(All()) {
+		t.Fatalf("empty selection should return all rules: %v, %d", err, len(rs))
+	}
+	rs, err = Select("global-rand, lock-discipline")
+	if err != nil || len(rs) != 2 {
+		t.Fatalf("two-rule selection: %v, %d", err, len(rs))
+	}
+	if _, err := Select("no-such-rule"); err == nil {
+		t.Fatal("unknown rule name should error")
+	}
+}
+
 // TestRepositoryClean is the acceptance gate: the production rule set
 // reports nothing on the repository itself.
 func TestRepositoryClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skips go list over the whole module")
 	}
-	findings, err := Run("../..", []string{"./..."}, DefaultConfig())
+	findings, err := lint.Run("../../..", []string{"./..."}, lint.DefaultConfig(), All())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,273 @@
+package rules
+
+// lock-discipline: inside the DB layer, every core.Tree mutation must be
+// dominated by a writerMu.Lock() (directly or via a lock-acquire helper
+// like lockedTree), and an acquired lock must be released on every exit
+// path (an explicit Unlock, a deferred Unlock, or the unlock func
+// escaping to the caller, as lockedTree itself does). Functions whose
+// names end in "Locked" follow the caller-holds-lock convention and are
+// exempt.
+//
+// The analysis is a forward may-analysis over a four-state machine
+// tracked as a bitmask (a bit per state a path may be in):
+//
+//	unlocked --Lock/helper--> locked --Unlock--> unlocked
+//	locked --defer Unlock--> deferred (terminal: released at return)
+//	any --unlock value escapes--> escaped (terminal: caller releases)
+//
+// A mutation is flagged when the unlocked bit is set at the call (some
+// path reaches it without the lock); a function is flagged when the plain
+// locked bit survives to Exit (some path returns without releasing).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lsmssd/internal/lint"
+	"lsmssd/internal/lint/cfg"
+	"lsmssd/internal/lint/dataflow"
+)
+
+const (
+	lsUnlocked uint8 = 1 << iota
+	lsLocked
+	lsDeferred
+	lsEscaped
+)
+
+// lockAnalysis implements dataflow.Analysis; the fact is the state
+// bitmask. report is nil during the fixpoint and set during the replay
+// pass that emits findings from the stable facts.
+type lockAnalysis struct {
+	ctx    *lint.Context
+	tokens map[types.Object]bool // unlock funcs bound from acquire helpers
+	report func(pos token.Pos, msg string)
+}
+
+func (a *lockAnalysis) Boundary() dataflow.Fact { return lsUnlocked }
+func (a *lockAnalysis) Meet(x, y dataflow.Fact) dataflow.Fact {
+	return x.(uint8) | y.(uint8)
+}
+func (a *lockAnalysis) Equal(x, y dataflow.Fact) bool { return x.(uint8) == y.(uint8) }
+func (a *lockAnalysis) FilterEdge(from *cfg.Block, e cfg.Edge, f dataflow.Fact) dataflow.Fact {
+	return f
+}
+
+func (a *lockAnalysis) Transfer(b *cfg.Block, in dataflow.Fact) dataflow.Fact {
+	mask := in.(uint8)
+	for _, n := range b.Nodes {
+		mask = a.node(n, mask)
+	}
+	return mask
+}
+
+// mapStates applies a per-state transition to every state in the mask.
+func mapStates(mask uint8, f func(uint8) uint8) uint8 {
+	var out uint8
+	for bit := uint8(1); bit <= lsEscaped; bit <<= 1 {
+		if mask&bit != 0 {
+			out |= f(bit)
+		}
+	}
+	return out
+}
+
+func onLock(s uint8) uint8 {
+	if s == lsUnlocked || s == lsLocked {
+		return lsLocked
+	}
+	return s
+}
+
+func onUnlock(s uint8) uint8 {
+	if s == lsLocked {
+		return lsUnlocked
+	}
+	return s
+}
+
+func onDeferUnlock(s uint8) uint8 {
+	if s == lsLocked || s == lsUnlocked {
+		return lsDeferred
+	}
+	return s
+}
+
+// node applies one statement's lock operations to the mask, emitting
+// findings through a.report when set.
+func (a *lockAnalysis) node(n ast.Node, mask uint8) uint8 {
+	cfgc := a.ctx.Cfg
+
+	// defer mu.Unlock() / defer unlock(): the release is guaranteed at
+	// every subsequent exit.
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		if a.isUnlockCall(ds.Call) || a.isTokenCall(ds.Call) {
+			return mapStates(mask, onDeferUnlock)
+		}
+	}
+
+	// funExprs marks expressions appearing as a call's Fun, so a bare
+	// `mu.Unlock` or unlock-token mention elsewhere reads as an escape.
+	funExprs := map[ast.Expr]bool{}
+	boundIdents := map[*ast.Ident]bool{}
+	inspectShallow(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			funExprs[x.Fun] = true
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					boundIdents[id] = true
+				}
+			}
+		}
+		return true
+	})
+
+	escaped := false
+	inspectShallow(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			switch {
+			case a.isLockCall(x) || a.isHelperCall(x):
+				mask = mapStates(mask, onLock)
+			case a.isUnlockCall(x) || a.isTokenCall(x):
+				mask = mapStates(mask, onUnlock)
+			default:
+				if sel, s, ok := restrictedMethodCall(a.ctx, x, cfgc.TreePkg, "Tree", cfgc.TreeMutateMethods); ok {
+					if mask&lsUnlocked != 0 && a.report != nil {
+						a.report(sel.Sel.Pos(), fmt.Sprintf(
+							"core.Tree.%s may run without %s held on some path; acquire the writer lock before mutating",
+							s.Obj().Name(), cfgc.LockName))
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			// `mu.Unlock` used as a value (returned, stored): the release
+			// obligation transfers to whoever receives it.
+			if !funExprs[x] && x.Sel.Name == "Unlock" && finalName(x.X) == cfgc.LockName {
+				escaped = true
+			}
+		case *ast.Ident:
+			// Unlock token mentioned outside a call position and not as an
+			// assignment target: it escapes, the receiver releases.
+			if obj := a.ctx.Pkg.Info.Uses[x]; obj != nil && a.tokens[obj] &&
+				!boundIdents[x] && !funExprs[x] {
+				escaped = true
+			}
+		}
+		return true
+	})
+	if escaped {
+		return lsEscaped
+	}
+	return mask
+}
+
+func (a *lockAnalysis) isLockCall(call *ast.CallExpr) bool {
+	return a.isMuMethod(call, "Lock")
+}
+func (a *lockAnalysis) isUnlockCall(call *ast.CallExpr) bool {
+	return a.isMuMethod(call, "Unlock")
+}
+
+func (a *lockAnalysis) isMuMethod(call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	return finalName(sel.X) == a.ctx.Cfg.LockName
+}
+
+func (a *lockAnalysis) isHelperCall(call *ast.CallExpr) bool {
+	return inList(finalName(call.Fun), a.ctx.Cfg.LockAcquireHelpers)
+}
+
+func (a *lockAnalysis) isTokenCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := a.ctx.Pkg.Info.Uses[id]
+	return obj != nil && a.tokens[obj]
+}
+
+// lockTokens pre-scans a body for `x, unlock := helper()` bindings and
+// returns the function-typed objects that stand for the pending unlock.
+func lockTokens(ctx *lint.Context, body *ast.BlockStmt) map[types.Object]bool {
+	tokens := map[types.Object]bool{}
+	helperNames := ctx.Cfg.LockAcquireHelpers
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !inList(finalName(call.Fun), helperNames) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := identObj(ctx.Pkg.Info, id)
+			if obj == nil {
+				continue
+			}
+			if _, isSig := obj.Type().Underlying().(*types.Signature); isSig {
+				tokens[obj] = true
+			}
+		}
+		return true
+	})
+	return tokens
+}
+
+var lockDiscipline = lint.Rule{
+	Name: "lock-discipline",
+	Doc:  "core.Tree mutations dominated by writerMu.Lock with release on all exit paths",
+	Run: func(ctx *lint.Context) []lint.Finding {
+		if ctx.Cfg.LockName == "" || !inList(ctx.Pkg.Path, ctx.Cfg.LockCheckedPkgs) {
+			return nil
+		}
+		var out []lint.Finding
+		for _, fn := range functions(ctx.Pkg) {
+			if strings.HasSuffix(fn.name, "Locked") {
+				continue // caller-holds-lock convention
+			}
+			g := cfg.Build(fn.body)
+			a := &lockAnalysis{ctx: ctx, tokens: lockTokens(ctx, fn.body)}
+			res := dataflow.Forward(g, a)
+
+			// Replay with the stable in-facts to emit mutation findings
+			// exactly once per site.
+			a.report = func(pos token.Pos, msg string) {
+				out = append(out, lint.Finding{
+					Pos:  ctx.Pkg.Fset.Position(pos),
+					Rule: "lock-discipline",
+					Msg:  msg,
+				})
+			}
+			for _, b := range g.Blocks {
+				if in, ok := res.In[b]; ok {
+					a.Transfer(b, in)
+				}
+			}
+			a.report = nil
+
+			if exitIn, ok := res.In[g.Exit]; ok && exitIn.(uint8)&lsLocked != 0 {
+				out = append(out, lint.Finding{
+					Pos:  ctx.Pkg.Fset.Position(fn.pos),
+					Rule: "lock-discipline",
+					Msg: fmt.Sprintf("%s may still be held at return on some path; unlock on every exit or defer the unlock",
+						ctx.Cfg.LockName),
+				})
+			}
+		}
+		return out
+	},
+}

@@ -1,0 +1,56 @@
+// Package errflow seeds violations of the sentinel-error-flow rule:
+// errors from the sentinel-bearing packages (wal, storage) that are
+// blank-discarded, rewrapped without %w, or dropped on some path. The
+// fixed shapes (%w wrapping, checked-on-every-path) ride along as
+// negatives.
+package errflow
+
+import (
+	"fmt"
+
+	"lsmssd/internal/storage"
+)
+
+func blankDiscard() {
+	d, _ := storage.OpenFileDevice("fixture.dev", 512) // want sentinel-error-flow
+	_ = d
+}
+
+func rewrapWithoutVerb() error {
+	d, err := storage.OpenFileDevice("fixture.dev", 512)
+	if err != nil {
+		return fmt.Errorf("open device: %v", err) // want sentinel-error-flow
+	}
+	_ = d
+	return nil
+}
+
+func droppedOnOnePath(fallback bool) error {
+	d, err := storage.OpenFileDevice("fixture.dev", 512) // want sentinel-error-flow
+	_ = d
+	if fallback {
+		return nil
+	}
+	return err
+}
+
+func wrappedProperly() error {
+	d, err := storage.OpenFileDevice("fixture.dev", 512)
+	if err != nil {
+		return fmt.Errorf("open device: %w", err)
+	}
+	_ = d
+	return nil
+}
+
+func checkedOnEveryPath(retry bool) error {
+	d, err := storage.OpenFileDevice("fixture.dev", 512)
+	if err != nil {
+		if retry {
+			return nil // deliberate: error consumed by the retry decision
+		}
+		return err
+	}
+	_ = d
+	return nil
+}

@@ -1,0 +1,70 @@
+// Package goshutdown seeds violations of the goroutine-shutdown rule:
+// goroutines in service packages with no way to stop them. The fixed
+// shapes (select on a stop channel, range over a closable channel,
+// lifecycle delegation to a blocking Serve) ride along as negatives.
+package goshutdown
+
+type server interface {
+	Serve() error
+}
+
+type worker struct {
+	stopCh chan struct{}
+	wake   chan struct{}
+	jobs   chan int
+}
+
+func (w *worker) run() {
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case <-w.wake:
+		}
+	}
+}
+
+func (w *worker) spin() {
+	for {
+		<-w.wake
+	}
+}
+
+func startSelectLoop(w *worker) {
+	go w.run()
+}
+
+func startUnstoppable(w *worker) {
+	go w.spin() // want goroutine-shutdown
+}
+
+func startInlineUnstoppable(w *worker) {
+	go func() { // want goroutine-shutdown
+		for {
+			<-w.wake
+		}
+	}()
+}
+
+func startInlineSelect(w *worker) {
+	go func() {
+		for {
+			select {
+			case <-w.stopCh:
+				return
+			case <-w.wake:
+			}
+		}
+	}()
+}
+
+func startDrainLoop(w *worker) {
+	go func() {
+		for range w.jobs {
+		}
+	}()
+}
+
+func startDelegate(s server) {
+	go func() { _ = s.Serve() }()
+}

@@ -1,0 +1,73 @@
+// Package lockdiscipline seeds violations of the lock-discipline rule:
+// core.Tree mutations not dominated by writerMu.Lock, and exit paths
+// that keep the lock. The fixed shapes (defer, helper with unlock token,
+// Locked-suffix convention, escaping unlock) ride along as negatives.
+package lockdiscipline
+
+import (
+	"sync"
+
+	"lsmssd/internal/core"
+)
+
+type store struct {
+	writerMu sync.Mutex
+	tree     *core.Tree
+}
+
+func unguarded(s *store) error {
+	return s.tree.Put(1, nil) // want lock-discipline
+}
+
+func unguardedOnOnePath(s *store, fast bool) error {
+	if !fast {
+		s.writerMu.Lock()
+		defer s.writerMu.Unlock()
+	}
+	return s.tree.Delete(2) // want lock-discipline
+}
+
+func leakOnEarlyReturn(s *store, n int) error { // want lock-discipline
+	s.writerMu.Lock()
+	if n == 0 {
+		return nil
+	}
+	err := s.tree.Put(3, nil)
+	s.writerMu.Unlock()
+	return err
+}
+
+func deferredUnlock(s *store) error {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	return s.tree.Put(4, nil)
+}
+
+func unlockOnEveryPath(s *store, n int) error {
+	s.writerMu.Lock()
+	if n == 0 {
+		s.writerMu.Unlock()
+		return nil
+	}
+	err := s.tree.Put(5, nil)
+	s.writerMu.Unlock()
+	return err
+}
+
+func throughHelper(s *store) error {
+	tree, unlock := s.lockedTree()
+	defer unlock()
+	return tree.Put(6, nil)
+}
+
+// lockedTree hands the caller the tree plus the release obligation; the
+// escaping unlock waives the exit check here.
+func (s *store) lockedTree() (*core.Tree, func()) {
+	s.writerMu.Lock()
+	return s.tree, s.writerMu.Unlock
+}
+
+// applyLocked follows the caller-holds-lock suffix convention.
+func applyLocked(s *store) error {
+	return s.tree.Delete(7)
+}

@@ -1,0 +1,20 @@
+// Package suppress exercises the driver's //lint:ignore mechanism: a
+// correctly targeted directive silences the finding on its own line and
+// the next, a directive naming a different rule changes nothing.
+package suppress
+
+import "math/rand"
+
+func suppressedPrecedingLine() int {
+	//lint:ignore global-rand fixture exercises the suppression mechanism
+	return rand.Int()
+}
+
+func suppressedSameLine() int {
+	return rand.Int() //lint:ignore global-rand end-of-line placement
+}
+
+func wrongRuleStillFires() int {
+	//lint:ignore device-io directive targets a different rule
+	return rand.Int() // want global-rand
+}

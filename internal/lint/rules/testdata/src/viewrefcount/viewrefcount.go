@@ -1,0 +1,69 @@
+// Package viewrefcount seeds violations of the view-refcount rule:
+// acquired core.Views that miss their Release on some path. The fixed
+// shapes (deferred release, release on every path, escape to the caller)
+// ride along as negatives.
+package viewrefcount
+
+import "lsmssd/internal/core"
+
+func leakOnSuccessPath(t *core.Tree, skip bool) error {
+	v, err := t.AcquireView() // want view-refcount
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	v.Release()
+	return nil
+}
+
+func neverReleased(t *core.Tree) error {
+	v, err := t.AcquireView() // want view-refcount
+	if err != nil {
+		return err
+	}
+	_ = v.MemLen()
+	return nil
+}
+
+func discarded(t *core.Tree) {
+	_, _ = t.AcquireView() // want view-refcount
+}
+
+func deferredRelease(t *core.Tree) (int, error) {
+	v, err := t.AcquireView()
+	if err != nil {
+		return 0, err
+	}
+	defer v.Release()
+	return v.MemLen(), nil
+}
+
+func releasedOnEveryPath(t *core.Tree, fast bool) (int, error) {
+	v, err := t.AcquireView()
+	if err != nil {
+		return 0, err
+	}
+	if fast {
+		n := v.MemLen()
+		v.Release()
+		return n, nil
+	}
+	v.Release()
+	return 0, nil
+}
+
+type cursor struct {
+	view *core.View
+}
+
+// escapes hands the view to the caller inside a cursor; the receiver owns
+// the release.
+func escapes(t *core.Tree) (*cursor, error) {
+	v, err := t.AcquireView()
+	if err != nil {
+		return nil, err
+	}
+	return &cursor{view: v}, nil
+}

@@ -30,8 +30,10 @@ func cutPowerDirectly(l *wal.Log) error {
 func readingIsFine(l *wal.Log) int64 {
 	// Inspecting the log carries no durability authority; only mutating
 	// it is restricted. Replay and segment listing are likewise free.
-	has, _ := wal.HasFramesAfter("db.wal", 0)
-	_ = has
+	has, err := wal.HasFramesAfter("db.wal", 0)
+	if err != nil || has {
+		return l.Stats().Appends
+	}
 	return l.Stats().Appends
 }
 

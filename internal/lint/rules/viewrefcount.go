@@ -1,0 +1,279 @@
+package rules
+
+// view-refcount: every acquired *core.View must reach a Release on every
+// path, including error returns. An acquisition is any call whose first
+// result is *core.View (Tree.AcquireView and DB-layer wrappers alike).
+// The obligation is discharged by v.Release() (direct or deferred) or by
+// the view escaping the function — returned, stored in a composite
+// literal or field, passed to another function, or captured by a closure
+// — in which case the receiver owns the release.
+//
+// The analysis is forward and edge-sensitive: an acquisition paired with
+// an error result starts in the "conditional" state; the `err != nil`
+// branch kills the obligation (the acquire failed, nothing is held) and
+// the `err == nil` branch promotes it to "held". A held or conditional
+// view reaching Exit is a leak on some path.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lsmssd/internal/lint"
+	"lsmssd/internal/lint/cfg"
+	"lsmssd/internal/lint/dataflow"
+)
+
+type viewState struct {
+	cond bool         // acquired alongside an error not yet checked
+	err  types.Object // the paired error variable, when cond
+	pos  token.Pos    // acquisition site, for reporting
+}
+
+// viewFact maps a view variable to its outstanding obligation. Facts are
+// immutable: every transfer copies.
+type viewFact map[types.Object]viewState
+
+func (f viewFact) clone() viewFact {
+	out := make(viewFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+type viewAnalysis struct {
+	ctx    *lint.Context
+	report func(pos token.Pos, msg string)
+}
+
+func (a *viewAnalysis) Boundary() dataflow.Fact { return viewFact{} }
+
+func (a *viewAnalysis) Meet(x, y dataflow.Fact) dataflow.Fact {
+	fx, fy := x.(viewFact), y.(viewFact)
+	out := fx.clone()
+	for k, v := range fy {
+		if cur, ok := out[k]; ok {
+			// held (err already checked) is the more dangerous state.
+			if !v.cond {
+				cur.cond = false
+			}
+			out[k] = cur
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func (a *viewAnalysis) Equal(x, y dataflow.Fact) bool {
+	fx, fy := x.(viewFact), y.(viewFact)
+	if len(fx) != len(fy) {
+		return false
+	}
+	for k, v := range fx {
+		w, ok := fy[k]
+		if !ok || v.cond != w.cond {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterEdge resolves conditional acquisitions along err-nil branches.
+func (a *viewAnalysis) FilterEdge(from *cfg.Block, e cfg.Edge, f dataflow.Fact) dataflow.Fact {
+	if e.Cond == nil {
+		return f
+	}
+	obj, neq, ok := nilCheck(a.ctx.Pkg.Info, e.Cond)
+	if !ok {
+		return f
+	}
+	fact := f.(viewFact)
+	var out viewFact
+	errBranch := (neq && e.Kind == cfg.True) || (!neq && e.Kind == cfg.False)
+	for k, v := range fact {
+		if !v.cond || v.err != obj {
+			continue
+		}
+		if out == nil {
+			out = fact.clone()
+		}
+		if errBranch {
+			delete(out, k) // acquire failed: nothing held
+		} else {
+			v.cond = false // acquire succeeded: obligation is live
+			out[k] = v
+		}
+	}
+	if out == nil {
+		return f
+	}
+	return out
+}
+
+func (a *viewAnalysis) Transfer(b *cfg.Block, in dataflow.Fact) dataflow.Fact {
+	f := in.(viewFact).clone()
+	for _, n := range b.Nodes {
+		a.node(n, f)
+	}
+	return f
+}
+
+// isAcquire reports whether call's first result is *core.View.
+func (a *viewAnalysis) isAcquire(call *ast.CallExpr) bool {
+	tv, ok := a.ctx.Pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	first := tv.Type
+	if tup, ok := first.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		first = tup.At(0).Type()
+	}
+	ptr, ok := first.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "View" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == a.ctx.Cfg.TreePkg
+}
+
+func (a *viewAnalysis) node(n ast.Node, f viewFact) {
+	info := a.ctx.Pkg.Info
+
+	// Acquisition: v, err := acquire() (or v := acquire()).
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && a.isAcquire(call) {
+			a.scanUses(n, f, nil) // call args may mention tracked views
+			vid, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return
+			}
+			if vid.Name == "_" {
+				if a.report != nil {
+					a.report(call.Pos(), "acquired view is discarded; a view that is never released pins its snapshot forever")
+				}
+				return
+			}
+			obj := identObj(info, vid)
+			if obj == nil {
+				return
+			}
+			st := viewState{pos: call.Pos()}
+			if len(as.Lhs) == 2 {
+				if eid, ok := as.Lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+					st.cond = true
+					st.err = identObj(info, eid)
+				}
+			}
+			f[obj] = st
+			return
+		}
+	}
+
+	// defer v.Release() discharges.
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		if obj := a.releaseTarget(ds.Call); obj != nil {
+			delete(f, obj)
+			return
+		}
+	}
+
+	a.scanUses(n, f, nil)
+}
+
+// releaseTarget returns the tracked object when call is v.Release().
+func (a *viewAnalysis) releaseTarget(call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return a.ctx.Pkg.Info.Uses[id]
+}
+
+// scanUses walks a node: Release calls discharge, method-call receivers
+// keep the obligation, and any other mention of a tracked view (return,
+// argument, composite literal, closure capture, reassignment) discharges
+// it as an escape — responsibility moves with the value.
+func (a *viewAnalysis) scanUses(n ast.Node, f viewFact, _ map[types.Object]bool) {
+	info := a.ctx.Pkg.Info
+	receiverIdents := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				receiverIdents[id] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if obj := a.releaseTarget(x); obj != nil {
+				delete(f, obj)
+			}
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				return true
+			}
+			if _, tracked := f[obj]; tracked && !receiverIdents[x] {
+				delete(f, obj) // escape: the receiver owns the release
+			}
+		}
+		return true
+	})
+}
+
+var viewRefcount = lint.Rule{
+	Name: "view-refcount",
+	Doc:  "every AcquireView reaches Release (or escapes) on all paths",
+	Run: func(ctx *lint.Context) []lint.Finding {
+		if ctx.Cfg.TreePkg == "" {
+			return nil
+		}
+		var out []lint.Finding
+		seen := map[token.Pos]bool{}
+		for _, fn := range functions(ctx.Pkg) {
+			g := cfg.Build(fn.body)
+			a := &viewAnalysis{ctx: ctx}
+			res := dataflow.Forward(g, a)
+
+			a.report = func(pos token.Pos, msg string) {
+				if seen[pos] {
+					return
+				}
+				seen[pos] = true
+				out = append(out, lint.Finding{
+					Pos:  ctx.Pkg.Fset.Position(pos),
+					Rule: "view-refcount",
+					Msg:  msg,
+				})
+			}
+			for _, b := range g.Blocks {
+				if in, ok := res.In[b]; ok {
+					a.Transfer(b, in)
+				}
+			}
+			if exitIn, ok := res.In[g.Exit]; ok {
+				for _, st := range exitIn.(viewFact) {
+					a.report(st.pos, "view acquired here may not be released on every path; release it (or defer the release) before returning")
+				}
+			}
+			a.report = nil
+		}
+		return out
+	},
+}

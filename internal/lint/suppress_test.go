@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseForSuppression(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestSuppression(t *testing.T) {
+	// Line numbers:           1          2 3
+	p := parseForSuppression(t, `package p
+
+func f() {
+	//lint:ignore some-rule the reason
+	g()
+	//lint:ignore other-rule
+	h()
+}
+
+func g() {}
+func h() {}
+`)
+	at := func(line int, rule string) Finding {
+		return Finding{Pos: token.Position{Filename: "s.go", Line: line}, Rule: rule}
+	}
+	in := []Finding{
+		at(5, "some-rule"),  // suppressed: directive on line 4 covers line 5
+		at(5, "other-rule"), // kept: directive names a different rule
+		at(7, "other-rule"), // kept: the line-6 directive is malformed (no reason)
+	}
+	out := applySuppressions(p, in)
+
+	var rules []string
+	for _, f := range out {
+		rules = append(rules, f.Rule)
+	}
+	want := map[string]bool{"other-rule": true, "lint-ignore": true}
+	if len(out) != 3 {
+		t.Fatalf("got %d findings (%v), want 3 (two kept + malformed directive)", len(out), rules)
+	}
+	for _, f := range out {
+		if !want[f.Rule] {
+			t.Errorf("unexpected surviving rule %q (suppression failed)", f.Rule)
+		}
+	}
+	var sawMalformed bool
+	for _, f := range out {
+		if f.Rule == "lint-ignore" && f.Pos.Line == 6 {
+			sawMalformed = true
+		}
+	}
+	if !sawMalformed {
+		t.Error("malformed directive on line 6 not reported as lint-ignore")
+	}
+}

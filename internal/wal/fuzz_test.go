@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// encodeRawFrame renders a frame the way Log.encodeFrame does, for
+// seeding the fuzzer and for the round-trip check below.
+func encodeRawFrame(seq uint64, ops []Op) []byte {
+	n := payloadLen(ops)
+	buf := make([]byte, frameHeader+n)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(n))
+	p := buf[frameHeader:]
+	binary.LittleEndian.PutUint64(p[0:8], seq)
+	binary.LittleEndian.PutUint32(p[8:12], uint32(len(ops)))
+	off := 12
+	for _, op := range ops {
+		kind, val := byte(opPut), op.Value
+		if op.Delete {
+			kind, val = opDelete, nil
+		}
+		p[off] = kind
+		off++
+		binary.LittleEndian.PutUint64(p[off:], op.Key)
+		off += 8
+		binary.LittleEndian.PutUint32(p[off:], uint32(len(val)))
+		off += 4
+		copy(p[off:], val)
+		off += len(val)
+	}
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(p))
+	return buf
+}
+
+// FuzzWALDecode throws arbitrary bytes at the replay-side frame decoder.
+// Recovery reads these bytes straight off a crashed log file, so the
+// decoder must classify every input — torn tail, bit rot, hostile
+// lengths — as either a clean rejection or a frame that re-encodes to the
+// exact bytes it was decoded from. A panic or a non-canonical decode here
+// is a recovery bug.
+func FuzzWALDecode(f *testing.F) {
+	f.Add(encodeRawFrame(1, []Op{{Key: 7, Value: []byte("v")}}))
+	f.Add(encodeRawFrame(42, []Op{{Key: 1, Delete: true}, {Key: 2, Value: []byte("payload")}}))
+	valid := encodeRawFrame(3, []Op{{Key: 9}})
+	f.Add(valid[:len(valid)-3]) // torn tail
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-1] ^= 0x80 // payload bit flip: the CRC must catch it
+	f.Add(corrupt)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // implausible length field
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frameLen, payload, ok := parseFrame(data)
+		if !ok {
+			// Rejected at the frame layer. The payload decoder only ever
+			// sees CRC-verified bytes in production, but it must not
+			// depend on that for memory safety.
+			_, _, _ = decodePayload(data)
+			return
+		}
+		if frameLen < frameHeader || frameLen > len(data) {
+			t.Fatalf("accepted frame length %d outside [%d, %d]", frameLen, frameHeader, len(data))
+		}
+		seq, ops, err := decodePayload(payload)
+		if err != nil {
+			return // CRC-valid but semantically malformed: rejected, not decoded
+		}
+		if len(ops) < 1 || len(ops) > maxFrameOps {
+			t.Fatalf("decoded %d ops, outside [1, %d]", len(ops), maxFrameOps)
+		}
+		for i, op := range ops {
+			if op.Delete && len(op.Value) != 0 {
+				t.Fatalf("op %d: delete carries a %d-byte value", i, len(op.Value))
+			}
+		}
+		// The codec is canonical: every accepted frame re-encodes to the
+		// byte string it was decoded from. Divergence would mean two
+		// distinct byte strings replay to the same operations.
+		if re := encodeRawFrame(seq, ops); !bytes.Equal(re, data[:frameLen]) {
+			t.Fatalf("decode/encode round trip diverged:\n in: %x\nout: %x", data[:frameLen], re)
+		}
+	})
+}
