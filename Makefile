@@ -19,9 +19,10 @@ vet:
 
 # Repo-specific static analysis: the eight syntactic rules (device-io,
 # global-rand, unchecked-err, layering, tree-state, obs-event,
-# compaction-step, wal-frame) plus the five CFG/dataflow rules
+# compaction-step, wal-frame) plus the six CFG/dataflow rules
 # (lock-discipline, view-refcount, sentinel-error-flow, wal-ordering,
-# goroutine-shutdown). See internal/lint and DESIGN.md §6, §12.
+# goroutine-shutdown, shard-lock-order). See internal/lint and
+# DESIGN.md §6, §12.
 lint:
 	$(GO) run ./cmd/lsmlint ./...
 
@@ -52,10 +53,11 @@ bench-read:
 # Concurrent write throughput and put-latency tail, sync vs background
 # compaction. Background should collapse the p99/max tail (the inline
 # cascade) into scheduler backpressure. Also emits BENCH_write.json via
-# cmd/benchjson (see bench-read).
+# cmd/benchjson: a shard sweep (1,2,4,8) whose ops/s curve should scale
+# near-linearly while each entry's blocks_written stays policy-determined.
 bench-write:
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentWrites|BenchmarkPutLatencyTail' -benchtime 2s .
-	$(GO) run ./cmd/benchjson -mode write -out BENCH_write.json
+	$(GO) run ./cmd/benchjson -mode write -goroutines 8 -sweep 1,2,4,8 -out BENCH_write.json
 
 # End-to-end observability smoke: open a store with the /metrics endpoint
 # on an ephemeral port, drive writes, scrape it, and require the core
@@ -71,5 +73,6 @@ crash:
 	$(GO) run ./cmd/crashloop -iters 60 -ops 100 -sync every
 	$(GO) run ./cmd/crashloop -iters 30 -ops 100 -sync interval -interval 1ms
 	$(GO) run ./cmd/crashloop -iters 30 -ops 100 -sync never
+	$(GO) run ./cmd/crashloop -iters 50 -ops 100 -sync every -shards 4
 
 ci: fmt vet lint test race fuzz obs-smoke crash

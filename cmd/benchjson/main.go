@@ -12,6 +12,11 @@
 //
 //	go run ./cmd/benchjson -mode write -out BENCH_write.json
 //	go run ./cmd/benchjson -mode read  -out BENCH_read.json
+//	go run ./cmd/benchjson -mode write -sweep 1,2,4,8 -out BENCH_write.json
+//
+// -shards runs the workload against a sharded engine (Options.Shards);
+// -sweep repeats the run once per listed shard count and emits a JSON
+// array, the shard-scaling curve the sharding work is judged by.
 package main
 
 import (
@@ -21,14 +26,18 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"lsmssd"
 )
 
-// result is the JSON document benchjson emits.
+// result is the JSON document benchjson emits (one element of the array
+// under -sweep).
 type result struct {
 	Mode          string  `json:"mode"`
+	Shards        int     `json:"shards"`
 	Ops           int     `json:"ops"`
 	Goroutines    int     `json:"goroutines"`
 	ElapsedNS     int64   `json:"elapsed_ns"`
@@ -45,19 +54,46 @@ func main() {
 	ops := flag.Int("ops", 200_000, "operations to run (measured phase)")
 	goroutines := flag.Int("goroutines", 4, "concurrent workers")
 	seed := flag.Int64("seed", 1, "key-stream seed")
+	shards := flag.Int("shards", 1, "Options.Shards for the engine under test (power of two)")
+	sweep := flag.String("sweep", "", "comma-separated shard counts; runs once per count and emits a JSON array (overrides -shards)")
 	out := flag.String("out", "", "output path (default BENCH_<mode>.json)")
 	flag.Parse()
 
-	res, err := run(*mode, *ops, *goroutines, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	counts := []int{*shards}
+	if *sweep != "" {
+		counts = counts[:0]
+		for _, f := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -sweep entry %q: %v\n", f, err)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
 	}
+
+	results := make([]*result, 0, len(counts))
+	for _, n := range counts {
+		res, err := run(*mode, *ops, *goroutines, *seed, n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %s shards=%d: %d ops, %.0f ops/s, p50 %s p99 %s, %d blocks written\n",
+			res.Mode, res.Shards, res.Ops, res.OpsPerSec,
+			time.Duration(res.P50NS), time.Duration(res.P99NS), res.BlocksWritten)
+		results = append(results, res)
+	}
+
 	path := *out
 	if path == "" {
 		path = "BENCH_" + *mode + ".json"
 	}
-	buf, err := json.MarshalIndent(res, "", "  ")
+	var doc any = results[0]
+	if *sweep != "" {
+		doc = results
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -67,16 +103,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("benchjson: %s: %d ops, %.0f ops/s, p50 %s p99 %s, %d blocks written → %s\n",
-		res.Mode, res.Ops, res.OpsPerSec,
-		time.Duration(res.P50NS), time.Duration(res.P99NS), res.BlocksWritten, path)
+	fmt.Println("benchjson: wrote", path)
 }
 
-func run(mode string, ops, goroutines int, seed int64) (*result, error) {
+func run(mode string, ops, goroutines int, seed int64, shards int) (*result, error) {
 	if goroutines < 1 || ops < goroutines {
 		return nil, fmt.Errorf("need goroutines >= 1 and ops >= goroutines (got %d, %d)", ops, goroutines)
 	}
-	db, err := lsmssd.Open(lsmssd.Options{CompactionMode: lsmssd.BackgroundCompaction})
+	db, err := lsmssd.Open(lsmssd.Options{
+		Shards:         shards,
+		CompactionMode: lsmssd.BackgroundCompaction,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -157,6 +194,7 @@ func run(mode string, ops, goroutines int, seed int64) (*result, error) {
 	cur := db.Stats()
 	return &result{
 		Mode:          mode,
+		Shards:        shards,
 		Ops:           len(all),
 		Goroutines:    goroutines,
 		ElapsedNS:     int64(elapsed),

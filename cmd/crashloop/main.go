@@ -7,7 +7,7 @@
 //
 //	crashloop [-dir DIR] [-iters 50] [-ops 200] [-seed 1] \
 //	          [-sync every|interval|never] [-interval 2ms] \
-//	          [-keyspace 512] [-torn] [-paranoid] [-v]
+//	          [-keyspace 512] [-shards 1] [-torn] [-paranoid] [-v]
 //
 // The process exits non-zero if any recovery violates the durability
 // contract (lost acked writes under -sync every, a non-prefix state under
@@ -33,6 +33,7 @@ func main() {
 		syncMode = flag.String("sync", "every", "WAL sync policy: every, interval, or never")
 		interval = flag.Duration("interval", 2*time.Millisecond, "sync period for -sync interval")
 		keySpace = flag.Uint64("keyspace", 512, "keys drawn from [0, keyspace)")
+		shards   = flag.Int("shards", 1, "Options.Shards for the store under test (power of two)")
 		torn     = flag.Bool("torn", true, "append garbage to the last WAL segment after some crashes")
 		paranoid = flag.Bool("paranoid", false, "run the store with Options.Paranoid")
 		verbose  = flag.Bool("v", false, "log each cycle")
@@ -69,6 +70,7 @@ func main() {
 		MaxOps:   *ops,
 		Seed:     *seed,
 		KeySpace: *keySpace,
+		Shards:   *shards,
 		Sync:     policy,
 		Interval: *interval,
 		TornTail: *torn,

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lsmkv [-path file.blk] [-policy ChooseBest] [-preserve=true] [-compaction sync] [-wal] [-sync every] [-metrics 127.0.0.1:8080]
+//	lsmkv [-path file.blk] [-shards 1] [-policy ChooseBest] [-preserve=true] [-compaction sync] [-wal] [-sync every] [-metrics 127.0.0.1:8080]
 //
 // Commands (one per line on stdin):
 //
@@ -39,6 +39,7 @@ import (
 func main() {
 	var (
 		path       = flag.String("path", "", "file-backed device path (default: in-memory)")
+		shards     = flag.Int("shards", 1, "split the key space across this many independent trees (power of two)")
 		policy     = flag.String("policy", "ChooseBest", "merge policy: Full, RR, ChooseBest, TestMixed, Mixed")
 		preserve   = flag.Bool("preserve", true, "enable block-preserving merges")
 		k0         = flag.Int("k0", 64, "memtable capacity in blocks")
@@ -74,6 +75,7 @@ func main() {
 	}
 	db, err := lsmssd.Open(lsmssd.Options{
 		Path:            *path,
+		Shards:          *shards,
 		MergePolicy:     pol,
 		DisablePreserve: !*preserve,
 		MemtableBlocks:  *k0,

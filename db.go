@@ -2,20 +2,12 @@ package lsmssd
 
 import (
 	"errors"
-	"fmt"
-	"sync"
 	"sync/atomic"
-	"time"
 
 	"lsmssd/internal/block"
-	"lsmssd/internal/compaction"
-	"lsmssd/internal/core"
 	"lsmssd/internal/histogram"
-	"lsmssd/internal/invariant"
-	"lsmssd/internal/manifest"
 	"lsmssd/internal/obs"
 	"lsmssd/internal/storage"
-	"lsmssd/internal/wal"
 )
 
 // ErrClosed is returned by every DB operation issued after Close.
@@ -31,39 +23,44 @@ var ErrCorrupt = storage.ErrCorrupt
 // DB is a key-value store backed by the paper's LSM-tree. All methods are
 // safe for concurrent use.
 //
-// Concurrency model: mutations (Put, Delete, Apply, Checkpoint, TuneMixed)
-// are serialized by an internal writer lock, while reads (Get, Scan,
-// NewIterator, Stats, Histogram, Validate) run lock-free against an
-// immutable snapshot of the tree published after every mutation and every
-// merge. Readers therefore never wait for a merge cascade, and an
-// in-progress Scan or Iterator observes a frozen, consistent state no
-// matter how many merges complete meanwhile.
+// Sharding: with Options.Shards = N > 1 the DB is a router over N
+// independent LSM trees. Each key belongs to exactly one shard — chosen
+// by key & (N-1) — which owns its own memtable, storage levels, device
+// file, write-ahead log, and compaction scheduler. Point operations touch
+// only the owning shard; Scan and NewIterator merge per-shard snapshots
+// into one globally ordered stream; Stats, Validate, Checkpoint, Close
+// fan out and aggregate. With the default Shards = 1 the DB is exactly
+// the single-tree engine, byte-for-byte on disk.
 //
-// Merge scheduling: mutations land records in L0 and hand overflow work
-// to the compaction scheduler (internal/compaction) — inline in the
-// mutating call under SyncCompaction (the default), or on a background
-// goroutine under BackgroundCompaction, with write-stall backpressure
-// when compaction falls behind. No merge is ever initiated from this
-// layer directly.
+// Concurrency model: mutations (Put, Delete, Apply, Checkpoint, TuneMixed)
+// are serialized by a per-shard writer lock — writes to different shards
+// proceed in parallel — while reads (Get, Scan, NewIterator, Stats,
+// Histogram, Validate) run lock-free against immutable per-shard
+// snapshots published after every mutation and every merge. Readers
+// therefore never wait for a merge cascade, and an in-progress Scan or
+// Iterator observes a frozen, consistent state no matter how many merges
+// complete meanwhile.
+//
+// Merge scheduling: mutations land records in the owning shard's L0 and
+// hand overflow work to that shard's compaction scheduler
+// (internal/compaction) — inline in the mutating call under
+// SyncCompaction (the default), or on a background goroutine under
+// BackgroundCompaction, with write-stall backpressure when compaction
+// falls behind. No merge is ever initiated from this layer directly.
 type DB struct {
-	writerMu sync.Mutex // serializes mutations, checkpoints, tuning
-	closed   atomic.Bool
-	opts     Options
-	tree     *core.Tree
-	sched    *compaction.Scheduler
-	raw      storage.Device // the unwrapped device, for Close
+	closed atomic.Bool
+	opts   Options
 
-	// Write-ahead log state (nil/zero unless Options.WAL.Enabled). lastSeq
-	// is the sequence of the newest logged frame, guarded by writerMu; the
-	// checkpoint manifest records it as the replay cutoff. recovery
-	// captures what Open's replay did, for Stats.
-	wal      *wal.Log
-	lastSeq  uint64
-	recovery WALRecoveryStats
+	// shards holds the per-key-partition engines; len(shards) is a power
+	// of two and mask is len(shards)-1, so shardFor is a single AND.
+	shards []*shard
+	mask   uint64
 
-	// Observability (see metrics.go). bus and lat always exist; lat records
-	// only when MetricsAddr enabled it, and the bus constructs no events
-	// until a sink subscribes. metrics is the HTTP endpoint, nil unless
+	// Observability (see metrics.go), shared by every shard so one bus
+	// subscription and one metrics endpoint observe the whole DB (events
+	// carry a Shard field). bus and lat always exist; lat records only
+	// when MetricsAddr enabled it, and the bus constructs no events until
+	// a sink subscribes. metrics is the HTTP endpoint, nil unless
 	// Options.MetricsAddr is set.
 	bus     *obs.Bus
 	lat     *obs.LatencySet
@@ -87,387 +84,102 @@ type DB struct {
 // checkpoint — and Open refuses to run if it finds unreplayed WAL frames
 // from an earlier WAL-enabled incarnation, rather than silently dropping
 // acknowledged writes.
+//
+// With Shards > 1, every per-shard step above runs once per shard over
+// that shard's files (shard 0 owns the Path-named files, shard i the
+// ".shard<i>" variants). The shard count is recorded in each manifest;
+// reopening an existing store with a different Options.Shards fails
+// rather than routing keys to the wrong trees.
 func Open(opts Options) (*DB, error) {
 	opts = opts.withDefaults()
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	bus := obs.NewBus(0)
-	lat := &obs.LatencySet{}
-	lat.Enable(opts.MetricsAddr != "")
-	cfg := core.Config{
-		Policy:          opts.buildPolicy(),
-		BlockCapacity:   opts.RecordsPerBlock,
-		K0:              opts.MemtableBlocks,
-		Gamma:           opts.Gamma,
-		Epsilon:         opts.Epsilon,
-		CacheBlocks:     opts.CacheBlocks,
-		BloomBitsPerKey: opts.BloomBitsPerKey,
-		Seed:            opts.Seed,
-		Bus:             bus,
-		Lat:             lat,
-	}
-	if opts.Paranoid {
-		// Mid-cascade audits tolerate in-flight records: a merge may land
-		// in a level whose own overflow the cascade has not reached yet.
-		// Under background compaction the audit runs on the scheduler
-		// goroutine between concurrently admitted writes, so L0's bound is
-		// the stall gate's StopTrigger rather than K0.
-		audit := invariant.Options{MidCascade: true}
-		if opts.CompactionMode == BackgroundCompaction {
-			audit.L0CapacityBlocks = opts.StopTrigger
-		}
-		cfg.Auditor = func(t *core.Tree) error {
-			return invariant.Check(t, audit)
-		}
-	}
-
-	if opts.Path != "" {
-		st, err := manifest.Load(manifestPath(opts.Path))
-		switch {
-		case err == nil:
-			db, err := reopen(opts, cfg, st)
-			if err != nil {
-				return nil, err
-			}
-			return db.finishOpen()
-		case errors.Is(err, manifest.ErrNoManifest):
-			// fresh store below
-		default:
-			return nil, err
-		}
-	}
-
-	var dev storage.Device
-	if opts.Path != "" {
-		fd, err := storage.OpenFileDevice(opts.Path, opts.BlockSize)
+	db := &DB{opts: opts, bus: obs.NewBus(0), lat: &obs.LatencySet{}}
+	db.lat.Enable(opts.MetricsAddr != "")
+	db.mask = uint64(opts.Shards - 1)
+	db.shards = make([]*shard, 0, opts.Shards)
+	for i := 0; i < opts.Shards; i++ {
+		s, err := db.openShard(i)
 		if err != nil {
-			return nil, err
+			return nil, errors.Join(err, db.abortOpen())
 		}
-		if opts.WAL.Enabled {
-			fd.SetDeferRecycle(true)
-		}
-		dev = fd
-	} else {
-		dev = storage.NewMemDevice()
-	}
-	cfg.Device = dev
-	tree, err := core.New(cfg)
-	if err != nil {
-		return nil, errors.Join(err, dev.Close())
-	}
-	db := &DB{opts: opts, tree: tree, raw: dev, bus: cfg.Bus, lat: cfg.Lat}
-	return db.finishOpen()
-}
-
-// finishOpen wires the pieces that need the assembled DB: the compaction
-// scheduler (whose per-step lock is the DB's writer lock), write-ahead
-// log recovery, and the observability endpoint. WAL replay must run after
-// the scheduler exists — replayed frames go through the normal admission
-// and cascade path — and before the metrics endpoint serves state.
-func (db *DB) finishOpen() (*DB, error) {
-	mode := compaction.Sync
-	if db.opts.CompactionMode == BackgroundCompaction {
-		mode = compaction.Background
-	}
-	sched, err := compaction.New(compaction.Config{
-		Tree:           db.tree,
-		Mu:             &db.writerMu,
-		Mode:           mode,
-		SlowdownBlocks: db.opts.SlowdownTrigger,
-		StopBlocks:     db.opts.StopTrigger,
-		Bus:            db.bus,
-		Lat:            db.lat,
-	})
-	if err != nil {
-		return nil, errors.Join(err, db.raw.Close())
-	}
-	db.sched = sched
-	if err := db.openWAL(); err != nil {
-		db.sched.Stop()
-		db.bus.Close()
-		return nil, errors.Join(err, db.raw.Close())
+		db.shards = append(db.shards, s)
 	}
 	return db.startObs()
+}
+
+// abortOpen tears down the shards a failed Open managed to bring up, in
+// the same order Close would: schedulers first (their goroutines need the
+// writer locks), then WALs and devices, then the bus.
+func (db *DB) abortOpen() error {
+	var errs []error
+	for _, s := range db.shards {
+		s.sched.Stop()
+	}
+	for _, s := range db.shards {
+		s.writerMu.Lock()
+		if s.wal != nil {
+			errs = append(errs, s.wal.Close())
+		}
+		s.tree.MarkClosed()
+		errs = append(errs, s.raw.Close())
+		s.writerMu.Unlock()
+	}
+	db.bus.Close()
+	return errors.Join(errs...)
 }
 
 func manifestPath(path string) string { return path + ".manifest" }
 func walBase(path string) string      { return path + ".wal" }
 
-// openWAL performs crash recovery and positions the log for appending.
-// With the WAL disabled it only verifies that no unreplayed frames exist
-// on disk — Open must never silently orphan acknowledged writes.
-func (db *DB) openWAL() error {
-	if db.opts.Path == "" {
-		return nil
-	}
-	base := walBase(db.opts.Path)
-	if !db.opts.WAL.Enabled {
-		has, err := wal.HasFramesAfter(base, db.lastSeq)
-		if err != nil {
-			return fmt.Errorf("lsmssd: inspecting write-ahead log: %w", err)
-		}
-		if has {
-			return fmt.Errorf("lsmssd: %s holds write-ahead log frames beyond the last checkpoint, but Options.WAL is disabled; reopen with the WAL enabled to recover them (or delete the segment files to discard them)", base)
-		}
-		return nil
-	}
-
-	start := time.Now()
-	info, err := wal.Replay(base, db.lastSeq, func(seq uint64, ops []wal.Op) error {
-		return db.applyReplayed(ops)
-	})
-	if err != nil {
-		return fmt.Errorf("lsmssd: write-ahead log replay: %w", err)
-	}
-	if info.LastSeq > db.lastSeq {
-		db.lastSeq = info.LastSeq
-	}
-	log, err := wal.Open(base, db.lastSeq+1, wal.Options{
-		Policy:       wal.SyncPolicy(db.opts.WAL.Sync),
-		Interval:     db.opts.WAL.Interval,
-		SegmentBytes: db.opts.WAL.SegmentBytes,
-	})
-	if err != nil {
-		return fmt.Errorf("lsmssd: write-ahead log open: %w", err)
-	}
-	db.wal = log
-	db.recovery = WALRecoveryStats{
-		Recovered: info.Frames > 0 || info.TornBytes > 0,
-		Segments:  info.Segments,
-		Frames:    info.Frames,
-		Ops:       info.Ops,
-		TornBytes: info.TornBytes,
-	}
-	if info.Frames > 0 {
-		// Fold the replayed state into a fresh checkpoint immediately:
-		// recovery converges instead of replaying an ever-longer log, and
-		// the covered segments are garbage-collected.
-		db.writerMu.Lock()
-		err := db.checkpointLocked()
-		db.writerMu.Unlock()
-		if err != nil {
-			return errors.Join(fmt.Errorf("lsmssd: post-recovery checkpoint: %w", err), db.wal.Close())
-		}
-	}
-	if db.bus.Enabled() {
-		db.bus.Publish(obs.RecoveryEvent{
-			Segments:  info.Segments,
-			Frames:    info.Frames,
-			Ops:       info.Ops,
-			TornBytes: info.TornBytes,
-			Duration:  time.Since(start),
-		})
-	}
-	return nil
+// shardFor routes a key to its owning shard: the low bits of the key
+// select one of the power-of-two shards.
+func (db *DB) shardFor(key uint64) *shard {
+	return db.shards[key&db.mask]
 }
 
-// applyReplayed pushes one recovered WAL frame through the normal write
-// path — admission, the writer lock, a batched apply, and the cascade
-// notification — so recovery exercises exactly the machinery of live
-// traffic.
-func (db *DB) applyReplayed(ops []wal.Op) error {
-	batch := make([]core.BatchOp, len(ops))
-	for i, op := range ops {
-		batch[i] = core.BatchOp{Key: block.Key(op.Key), Payload: op.Value, Delete: op.Delete}
+// lockAllShards acquires every shard's writer lock in ascending shard
+// order — the one sanctioned way to hold more than one (the
+// shard-lock-order lint rule enforces both the ordering here and the
+// absence of nesting everywhere else). The returned unlock releases them
+// all; callers must not interleave other lock acquisitions.
+func (db *DB) lockAllShards() (unlock func()) {
+	unlocks := make([]func(), len(db.shards))
+	for i, s := range db.shards {
+		s.writerMu.Lock()
+		unlocks[i] = s.writerMu.Unlock
 	}
-	if err := db.sched.Admit(); err != nil {
-		return err
-	}
-	db.writerMu.Lock()
-	defer db.writerMu.Unlock()
-	if err := db.tree.ApplyBatch(batch); err != nil {
-		return err
-	}
-	if err := db.sched.Notify(); err != nil {
-		return err
-	}
-	return db.paranoidSteadyCheck()
-}
-
-// reopen restores a DB from a manifest over the existing device file.
-func reopen(opts Options, cfg core.Config, st manifest.State) (*DB, error) {
-	want := manifest.Config{
-		BlockCapacity: cfg.BlockCapacity,
-		K0:            cfg.K0,
-		Gamma:         cfg.Gamma,
-		Epsilon:       cfg.Epsilon,
-		Seed:          cfg.Seed,
-	}
-	if st.Config.BlockCapacity != want.BlockCapacity || st.Config.K0 != want.K0 ||
-		st.Config.Gamma != want.Gamma || st.Config.Epsilon != want.Epsilon {
-		return nil, fmt.Errorf("lsmssd: options (B=%d K0=%d Γ=%d ε=%g) do not match manifest (B=%d K0=%d Γ=%d ε=%g)",
-			want.BlockCapacity, want.K0, want.Gamma, want.Epsilon,
-			st.Config.BlockCapacity, st.Config.K0, st.Config.Gamma, st.Config.Epsilon)
-	}
-	var live []storage.BlockID
-	for _, metas := range st.Levels {
-		for _, m := range metas {
-			live = append(live, m.ID)
+	return func() {
+		for _, u := range unlocks {
+			u()
 		}
 	}
-	fd, err := storage.ReopenFileDevice(opts.Path, opts.BlockSize, live)
-	if err != nil {
-		return nil, err
-	}
-	if opts.WAL.Enabled {
-		fd.SetDeferRecycle(true)
-	}
-	cfg.Device = fd
-	tree, err := core.Restore(cfg, core.ExportedState{Levels: st.Levels, Memtable: st.Memtable})
-	if err != nil {
-		return nil, errors.Join(err, fd.Close())
-	}
-	if opts.Paranoid {
-		if err := invariant.CheckTree(tree); err != nil {
-			return nil, errors.Join(fmt.Errorf("lsmssd: restored state: %w", err), fd.Close())
-		}
-	}
-	return &DB{opts: opts, tree: tree, raw: fd, bus: cfg.Bus, lat: cfg.Lat, lastSeq: st.WALSeq}, nil
-}
-
-// acquireView pins the current read snapshot, translating a closed engine
-// into the public sentinel. Callers must Release the returned view.
-func (db *DB) acquireView() (*core.View, error) {
-	if db.closed.Load() {
-		return nil, ErrClosed
-	}
-	v, err := db.tree.AcquireView()
-	if err != nil {
-		return nil, ErrClosed
-	}
-	return v, nil
 }
 
 // Checkpoint atomically persists the store's metadata (level indexes and
-// memtable contents) to the manifest, so a subsequent Open restores the
-// current state. Only meaningful for file-backed stores; a no-op without
-// Path.
+// memtable contents) to the per-shard manifests, so a subsequent Open
+// restores the current state. Shards checkpoint one at a time — each
+// shard's checkpoint is atomic for its own keys, and WAL replay covers
+// any shard that crashes between its siblings' checkpoints. Only
+// meaningful for file-backed stores; a no-op without Path.
 func (db *DB) Checkpoint() error {
-	db.writerMu.Lock()
-	defer db.writerMu.Unlock()
-	if db.closed.Load() {
-		return ErrClosed
-	}
-	return db.checkpointLocked()
-}
-
-// checkpointLocked persists the current state under the writer lock. With
-// the WAL enabled it also advances the durability horizon, in a fixed
-// order: the device is synced first (the manifest must never reference a
-// block the device could still lose), the manifest then records lastSeq
-// as the replay cutoff, and only after that checkpoint is durable do
-// freed block slots become reusable and fully covered WAL segments get
-// deleted.
-func (db *DB) checkpointLocked() error {
-	if db.opts.Path == "" {
-		return nil
-	}
-	if db.wal != nil {
-		if s, ok := db.raw.(storage.Syncer); ok {
-			if err := s.Sync(); err != nil {
-				return fmt.Errorf("lsmssd: syncing device before checkpoint: %w", err)
-			}
+	for _, s := range db.shards {
+		if err := s.checkpoint(); err != nil {
+			return err
 		}
-	}
-	st := db.tree.Export()
-	cfg := db.tree.Config()
-	if err := manifest.Save(manifestPath(db.opts.Path), manifest.State{
-		Config: manifest.Config{
-			BlockCapacity: cfg.BlockCapacity,
-			K0:            cfg.K0,
-			Gamma:         cfg.Gamma,
-			Epsilon:       cfg.Epsilon,
-			Seed:          cfg.Seed,
-		},
-		WALSeq:   db.lastSeq,
-		Levels:   st.Levels,
-		Memtable: st.Memtable,
-	}); err != nil {
-		return err
-	}
-	if db.wal == nil {
-		return nil
-	}
-	if fd, ok := db.raw.(*storage.FileDevice); ok {
-		fd.ReclaimFreed()
-	}
-	removed, err := db.wal.GC(db.lastSeq)
-	if err != nil {
-		return fmt.Errorf("lsmssd: write-ahead log gc: %w", err)
-	}
-	if removed > 0 && db.bus.Enabled() {
-		s := db.wal.Stats()
-		db.bus.Publish(obs.WALEvent{Kind: "gc", Segments: s.Segments, Removed: removed, LastSeq: db.lastSeq})
 	}
 	return nil
 }
 
-// logMutation appends ops to the write-ahead log as a single frame —
-// group commit: one frame, and under SyncEvery one fsync, per request
-// regardless of batch size. A logging failure means the request was never
-// made durable, so the caller must fail it without touching the tree.
-// When the append sealed a segment the caller checkpoints after applying
-// the ops (after, because the checkpoint's WALSeq covers this frame — the
-// manifest state must include it). Caller holds writerMu.
-func (db *DB) logMutation(ops []wal.Op) (rotated bool, err error) {
-	if db.wal == nil {
-		return false, nil
-	}
-	start := db.lat.Start()
-	seq, rotated, err := db.wal.Append(ops)
-	db.lat.Done(obs.OpWALAppend, start)
-	if err != nil {
-		// rotated can be true even on error: the rotation succeeded before
-		// the frame write failed. Checkpoint now anyway, so the sealed
-		// segment is covered and GC'd instead of lingering until the next
-		// rotation.
-		if rotated {
-			if cerr := db.checkpointLocked(); cerr != nil {
-				err = errors.Join(err, cerr)
-			}
-		}
-		return false, fmt.Errorf("lsmssd: write-ahead log append: %w", err)
-	}
-	db.lastSeq = seq
-	if rotated && db.bus.Enabled() {
-		s := db.wal.Stats()
-		db.bus.Publish(obs.WALEvent{Kind: "rotate", Segments: s.Segments, LastSeq: seq})
-	}
-	return rotated, nil
-}
-
 // Put inserts or updates the value stored for key. Under background
-// compaction Put may pace or stall when L0 reaches the configured
-// triggers, and reports any merge error the scheduler parked since the
-// previous write.
+// compaction Put may pace or stall when the owning shard's L0 reaches the
+// configured triggers, and reports any merge error that shard's scheduler
+// parked since the previous write.
 func (db *DB) Put(key uint64, value []byte) error {
 	start := db.lat.Start()
 	defer db.lat.Done(obs.OpPut, start)
-	if err := db.sched.Admit(); err != nil {
-		return err
-	}
-	db.writerMu.Lock()
-	defer db.writerMu.Unlock()
-	if db.closed.Load() {
-		return ErrClosed
-	}
-	rotated, err := db.logMutation([]wal.Op{{Key: key, Value: value}})
-	if err != nil {
-		return err
-	}
-	if err := db.tree.Put(block.Key(key), value); err != nil {
-		return err
-	}
-	if err := db.sched.Notify(); err != nil {
-		return err
-	}
-	if rotated {
-		if err := db.checkpointLocked(); err != nil {
-			return err
-		}
-	}
-	return db.paranoidSteadyCheck()
+	return db.shardFor(key).put(key, value)
 }
 
 // Delete removes key. Deleting an absent key is a no-op that still costs a
@@ -475,56 +187,16 @@ func (db *DB) Put(key uint64, value []byte) error {
 func (db *DB) Delete(key uint64) error {
 	start := db.lat.Start()
 	defer db.lat.Done(obs.OpDelete, start)
-	if err := db.sched.Admit(); err != nil {
-		return err
-	}
-	db.writerMu.Lock()
-	defer db.writerMu.Unlock()
-	if db.closed.Load() {
-		return ErrClosed
-	}
-	rotated, err := db.logMutation([]wal.Op{{Key: key, Delete: true}})
-	if err != nil {
-		return err
-	}
-	if err := db.tree.Delete(block.Key(key)); err != nil {
-		return err
-	}
-	if err := db.sched.Notify(); err != nil {
-		return err
-	}
-	if rotated {
-		if err := db.checkpointLocked(); err != nil {
-			return err
-		}
-	}
-	return db.paranoidSteadyCheck()
+	return db.shardFor(key).delete(key)
 }
 
-// paranoidSteadyCheck asserts the strict (post-cascade) bounds after a
-// mutating request when Paranoid is set. Metadata only: the per-merge
-// auditor already verified block contents. The strictness is keyed off
-// the scheduler's state, not the call position: with the background
-// cascade still draining, the relaxed mid-cascade bounds apply.
-func (db *DB) paranoidSteadyCheck() error {
-	if !db.opts.Paranoid {
-		return nil
-	}
-	o := invariant.Options{SkipContents: true}
-	if db.sched.Pending() {
-		o.MidCascade = true
-		o.L0CapacityBlocks = db.opts.StopTrigger
-	}
-	return invariant.Check(db.tree, o)
-}
-
-// Get returns the value stored for key. It runs against the current
-// snapshot without taking the writer lock, so concurrent Gets scale across
-// cores even while merges run.
+// Get returns the value stored for key. It runs against the owning
+// shard's current snapshot without taking any writer lock, so concurrent
+// Gets scale across cores even while merges run.
 func (db *DB) Get(key uint64) (value []byte, found bool, err error) {
 	start := db.lat.Start()
 	defer db.lat.Done(obs.OpGet, start)
-	v, err := db.acquireView()
+	v, err := db.shardFor(key).acquireView()
 	if err != nil {
 		return nil, false, err
 	}
@@ -533,20 +205,23 @@ func (db *DB) Get(key uint64) (value []byte, found bool, err error) {
 }
 
 // Scan calls fn for each key in [lo, hi] in ascending order until fn
-// returns false. The whole scan observes one snapshot: a merge or write
-// that completes mid-scan does not change what the scan sees. Scan is a
-// thin wrapper over the Iterator API.
+// returns false. The whole scan observes one snapshot per shard, acquired
+// together up front: a merge or write that completes mid-scan does not
+// change what the scan sees. Scan is a thin wrapper over the Iterator
+// API, which merges the per-shard snapshots into one ordered stream.
 func (db *DB) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error {
 	start := db.lat.Start()
 	defer db.lat.Done(obs.OpScan, start)
-	v, err := db.acquireView()
+	it, err := db.NewIterator(lo, hi)
 	if err != nil {
 		return err
 	}
-	defer v.Release()
-	return v.Scan(block.Key(lo), block.Key(hi), func(k block.Key, val []byte) bool {
-		return fn(uint64(k), val)
-	})
+	for it.Next() {
+		if !fn(it.Key(), it.Value()) {
+			break
+		}
+	}
+	return it.Close()
 }
 
 // Close checkpoints a file-backed store and releases the DB's resources,
@@ -554,122 +229,123 @@ func (db *DB) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error 
 // delivered to subscribed sinks before Close returns). Every operation
 // issued after Close returns ErrClosed.
 //
-// Ordering: the compaction scheduler is stopped first, before the writer
-// lock is taken — its goroutine needs the lock to finish an in-flight
-// merge step, and it must be quiescent before the device and event bus go
-// away. A cascade interrupted mid-way is completed on the next Open (the
-// manifest round-trips over-capacity levels; Restore drains them). Any
-// background merge error the scheduler parked is folded into Close's
-// return.
+// Ordering: every shard's compaction scheduler is stopped first, before
+// any writer lock is taken — the scheduler goroutines need their shard's
+// lock to finish an in-flight merge step, and they must be quiescent
+// before the devices and event bus go away. A cascade interrupted mid-way
+// is completed on the next Open (the manifest round-trips over-capacity
+// levels; Restore drains them). Any background merge error a scheduler
+// parked is folded into Close's return.
 func (db *DB) Close() error {
-	db.sched.Stop()
-	db.writerMu.Lock()
-	defer db.writerMu.Unlock()
+	for _, s := range db.shards {
+		s.sched.Stop()
+	}
+	unlock := db.lockAllShards()
+	defer unlock()
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	var merr error
+	var errs []error
 	if db.metrics != nil {
-		merr = db.metrics.Close()
+		errs = append(errs, db.metrics.Close())
 		db.metrics = nil
 	}
 	db.bus.Close()
-	err := db.checkpointLocked()
-	var werr error
-	if db.wal != nil {
-		werr = db.wal.Close()
-		db.wal = nil
-	}
 	db.closed.Store(true)
-	db.tree.MarkClosed()
-	return errors.Join(db.sched.Err(), merr, err, werr, db.raw.Close())
+	for _, s := range db.shards {
+		errs = append(errs, s.sched.Err(), s.closeLocked())
+	}
+	return errors.Join(errs...)
 }
 
 // Crash abandons the DB as a power cut would: no checkpoint, no device
 // sync, and write-ahead log frames buffered past the last policy-driven
 // fsync are truncated, exactly as an OS page cache would lose them. A
 // subsequent Open performs crash recovery from the last checkpoint plus
-// the surviving WAL prefix. Crash exists for durability testing (the
-// crash-loop harness drives it); production code wants Close. The
-// returned error reports teardown problems only.
+// the surviving WAL prefix, shard by shard. Crash exists for durability
+// testing (the crash-loop harness drives it); production code wants
+// Close. The returned error reports teardown problems only.
 func (db *DB) Crash() error {
-	db.sched.Stop()
-	db.writerMu.Lock()
-	defer db.writerMu.Unlock()
+	for _, s := range db.shards {
+		s.sched.Stop()
+	}
+	unlock := db.lockAllShards()
+	defer unlock()
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	var merr error
+	var errs []error
 	if db.metrics != nil {
-		merr = db.metrics.Close()
+		errs = append(errs, db.metrics.Close())
 		db.metrics = nil
 	}
 	db.bus.Close()
-	var werr error
-	if db.wal != nil {
-		werr = db.wal.Crash()
-		db.wal = nil
-	}
 	db.closed.Store(true)
-	db.tree.MarkClosed()
-	return errors.Join(merr, werr, db.raw.Close())
+	for _, s := range db.shards {
+		errs = append(errs, s.crashLocked())
+	}
+	return errors.Join(errs...)
 }
 
-// Validate checks every internal invariant (level ordering, waste
-// constraints, storage accounting). The structural checks run lock-free
-// against the current snapshot; only the device-accounting cross-check
-// briefly takes the writer lock. It does not perturb the I/O statistics.
+// Validate checks every internal invariant of every shard (level
+// ordering, waste constraints, storage accounting). The structural checks
+// run lock-free against each shard's current snapshot; only the
+// device-accounting cross-check briefly takes that shard's writer lock.
+// It does not perturb the I/O statistics.
 func (db *DB) Validate() error {
-	v, err := db.acquireView()
-	if err != nil {
-		return err
+	for _, s := range db.shards {
+		if err := s.validate(); err != nil {
+			return err
+		}
 	}
-	defer v.Release()
-	if err := v.Validate(); err != nil {
-		return err
-	}
-	db.writerMu.Lock()
-	defer db.writerMu.Unlock()
-	if db.closed.Load() {
-		return ErrClosed
-	}
-	return db.tree.ValidateAccounting()
+	return nil
 }
 
-// ForceGrow adds a storage level ahead of the bottom level's natural
-// overflow. The paper notes that a relatively empty bottom level makes
-// merges into it unusually cheap and leaves strategic level growth as an
-// open direction; this exposes the experiment. Most applications should
-// let the tree grow on its own.
+// ForceGrow adds a storage level to every shard ahead of the bottom
+// level's natural overflow. The paper notes that a relatively empty
+// bottom level makes merges into it unusually cheap and leaves strategic
+// level growth as an open direction; this exposes the experiment. Most
+// applications should let the tree grow on its own.
 func (db *DB) ForceGrow() {
-	db.writerMu.Lock()
-	defer db.writerMu.Unlock()
-	if db.closed.Load() {
-		return
+	for _, s := range db.shards {
+		s.forceGrow()
 	}
-	db.tree.ForceGrow()
 }
 
 // Histogram returns the normalized key-frequency histogram of storage
 // level (1-based) over buckets equal subdivisions of [0, keySpace) — the
-// paper's Figure 1 diagnostic. It reads from the current snapshot without
-// blocking writers.
+// paper's Figure 1 diagnostic, summed across shards. It reads from the
+// current per-shard snapshots without blocking writers. Shards whose tree
+// has not grown the requested level yet contribute nothing; the error is
+// returned only if no shard has it.
 func (db *DB) Histogram(level int, keySpace uint64, buckets int) ([]float64, error) {
-	v, err := db.acquireView()
-	if err != nil {
-		return nil, err
+	var total []int
+	var firstErr error
+	ok := false
+	for _, s := range db.shards {
+		v, err := s.acquireView()
+		if err != nil {
+			return nil, err
+		}
+		counts, err := histogram.ViewLevel(v, level, keySpace, buckets)
+		v.Release()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ok = true
+		if total == nil {
+			total = counts
+		} else {
+			for i, c := range counts {
+				total[i] += c
+			}
+		}
 	}
-	defer v.Release()
-	counts, err := histogram.ViewLevel(v, level, keySpace, buckets)
-	if err != nil {
-		return nil, err
+	if !ok {
+		return nil, firstErr
 	}
-	return histogram.Normalize(counts), nil
-}
-
-// lockedTree exposes the engine under the writer lock to sibling files
-// (stats reset, tuning — operations that drive or reset the live tree).
-func (db *DB) lockedTree() (*core.Tree, func()) {
-	db.writerMu.Lock()
-	return db.tree, db.writerMu.Unlock
+	return histogram.Normalize(total), nil
 }

@@ -39,6 +39,11 @@ type Config struct {
 	// Seed drives the memtable's skiplist randomness; runs with equal
 	// configs and workloads are bit-for-bit reproducible.
 	Seed int64
+	// Shard is the index of the shard this tree serves in a sharded DB
+	// (0 for a single-tree engine). Purely descriptive: it is stamped on
+	// the tree's MergeEvent/FlushEvent emissions so traces from sibling
+	// trees sharing one Bus stay attributable.
+	Shard int
 	// Auditor, when non-nil, runs after every merge and level growth (the
 	// paranoid hook; see internal/invariant). A non-nil return aborts the
 	// mutating operation with that error.

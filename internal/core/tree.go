@@ -258,6 +258,7 @@ func (t *Tree) mergeFromMem() error {
 	t.emitMerge(0, full, src.NumBlocks(), res, 0, 0, tr)
 	if tr.traced && t.bus.Enabled() {
 		t.bus.Publish(obs.FlushEvent{
+			Shard:        t.cfg.Shard,
 			Records:      len(recs),
 			RecordsAfter: t.mem.Len(),
 			Full:         full,
@@ -375,6 +376,7 @@ func (t *Tree) emitMerge(from int, full bool, xBlocks int, res merge.Result, src
 		cases |= obs.Case(4)
 	}
 	t.bus.Publish(obs.MergeEvent{
+		Shard:               t.cfg.Shard,
 		From:                from,
 		To:                  from + 1,
 		Policy:              t.cfg.Policy.Name(),

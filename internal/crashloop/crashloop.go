@@ -12,11 +12,16 @@
 //   - Validate passes after every reopen.
 //
 // The prefix check is exact, not probabilistic: each acknowledged request
-// is one WAL frame, so the recovered frame count K (read back from
-// Stats().WAL.LastSeq) pins down precisely which history prefix must
-// equal the reopened store's contents. A torn tail can optionally be
-// simulated by appending garbage to the last segment after a crash; the
-// harness then requires recovery to truncate it.
+// is one WAL frame per touched shard, so the recovered frame count K_i of
+// every shard (read back from Stats().Shards[i].WAL.LastSeq) pins down
+// precisely which per-shard history prefix must equal the reopened
+// store's contents. On a sharded store (Config.Shards > 1) the contract
+// holds shard-wise: each shard recovers a consistent prefix of the frames
+// routed to it — the hash partition makes the per-shard key sets
+// disjoint, so the shard prefixes compose into one well-defined model
+// state. A torn tail can optionally be simulated by appending garbage to
+// a random shard's last segment after a crash; the harness then requires
+// recovery to truncate it.
 package crashloop
 
 import (
@@ -39,6 +44,7 @@ type Config struct {
 	MaxOps   int    // max mutations per cycle (default 200)
 	Seed     int64  // RNG seed; equal seeds replay the same schedule
 	KeySpace uint64 // keys drawn from [0, KeySpace) (default 512)
+	Shards   int    // Options.Shards for the store under test (default 1)
 
 	Sync     lsmssd.SyncPolicy // WAL sync policy under test
 	Interval time.Duration     // SyncInterval period (default 2ms)
@@ -63,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Interval <= 0 {
 		c.Interval = 2 * time.Millisecond
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	if c.CrashProb == 0 {
 		c.CrashProb = 0.85
@@ -124,6 +133,7 @@ func Run(cfg Config) (Report, error) {
 	path := filepath.Join(cfg.Dir, "store.db")
 	opts := lsmssd.Options{
 		Path:     path,
+		Shards:   cfg.Shards,
 		Paranoid: cfg.Paranoid,
 		WAL: lsmssd.WALOptions{
 			Enabled:      true,
@@ -132,63 +142,83 @@ func Run(cfg Config) (Report, error) {
 			SegmentBytes: 16 << 10, // small segments so rotation+GC happen often
 		},
 	}
+	mask := uint64(cfg.Shards - 1)
 
 	// model is the durable state at the last verification; history the
-	// acknowledged frames since. wantAll forces K == len(history) at the
+	// acknowledged per-shard frames since (a batch that touches several
+	// shards contributes one frame to each, mirroring the DB's per-shard
+	// group commit). wantAll forces every K_i == len(history_i) at the
 	// next verification (clean close, or SyncEvery always).
 	model := make(map[uint64][]byte)
-	var history []frame
-	var seqBase uint64
-	minFrames := 0 // checkpoint floor: recovery may not land below this
+	history := make([][]frame, cfg.Shards)
+	seqBase := make([]uint64, cfg.Shards)
+	minFrames := make([]int, cfg.Shards) // checkpoint floors: recovery may not land below
 	wantAll := false
 
-	for it := 0; it < cfg.Iters; it++ {
-		db, err := lsmssd.Open(opts)
-		if err != nil {
-			return r, fmt.Errorf("crashloop: cycle %d: reopen: %w", it, err)
-		}
+	// verify checks one reopened store against the acked history: every
+	// shard's recovered frame count K_i must sit inside [floor_i, acked_i],
+	// and the store contents must equal the model advanced by exactly
+	// those per-shard prefixes. On success the history windows reset.
+	verify := func(db *lsmssd.DB, it int) error {
 		s := db.Stats()
 		if s.WAL.Recovery.Recovered {
 			r.Recoveries++
 			r.ReplayedOps += s.WAL.Recovery.Ops
 			r.TornBytes += s.WAL.Recovery.TornBytes
 		}
-
-		// Recovery verification: the surviving frame count K determines
-		// exactly which history prefix the store must now equal.
-		k := int(s.WAL.LastSeq - seqBase)
-		if k < 0 || k > len(history) {
-			_ = db.Close()
-			return r, fmt.Errorf("crashloop: cycle %d: recovered sequence %d is outside the acked window [%d, %d]",
-				it, s.WAL.LastSeq, seqBase, seqBase+uint64(len(history)))
+		if len(s.Shards) != cfg.Shards {
+			return fmt.Errorf("crashloop: cycle %d: store reports %d shards, config has %d", it, len(s.Shards), cfg.Shards)
 		}
-		if k < minFrames {
-			_ = db.Close()
-			return r, fmt.Errorf("crashloop: cycle %d: recovery kept %d of %d acked frames, below the checkpoint floor %d",
-				it, k, len(history), minFrames)
-		}
-		if (wantAll || cfg.Sync == lsmssd.SyncEvery) && k != len(history) {
-			_ = db.Close()
-			return r, fmt.Errorf("crashloop: cycle %d: ACKED WRITE LOSS: recovery kept %d of %d acked frames (sync policy %v)",
-				it, k, len(history), cfg.Sync)
-		}
-		r.LostFrames += len(history) - k
-		for _, fr := range history[:k] {
-			applyFrame(model, fr)
+		kept := 0
+		for i, ss := range s.Shards {
+			k := int(ss.WAL.LastSeq - seqBase[i])
+			if k < 0 || k > len(history[i]) {
+				return fmt.Errorf("crashloop: cycle %d: shard %d recovered sequence %d is outside the acked window [%d, %d]",
+					it, i, ss.WAL.LastSeq, seqBase[i], seqBase[i]+uint64(len(history[i])))
+			}
+			if k < minFrames[i] {
+				return fmt.Errorf("crashloop: cycle %d: shard %d recovery kept %d of %d acked frames, below the checkpoint floor %d",
+					it, i, k, len(history[i]), minFrames[i])
+			}
+			if (wantAll || cfg.Sync == lsmssd.SyncEvery) && k != len(history[i]) {
+				return fmt.Errorf("crashloop: cycle %d: ACKED WRITE LOSS: shard %d recovery kept %d of %d acked frames (sync policy %v)",
+					it, i, k, len(history[i]), cfg.Sync)
+			}
+			r.LostFrames += len(history[i]) - k
+			// Disjoint key sets: per-shard prefixes apply in any order.
+			for _, fr := range history[i][:k] {
+				applyFrame(model, fr)
+			}
+			kept += k
 		}
 		if err := verifyState(db, model, cfg.KeySpace); err != nil {
-			_ = db.Close()
-			return r, fmt.Errorf("crashloop: cycle %d: recovered state does not match the %d-frame acked prefix: %w", it, k, err)
+			return fmt.Errorf("crashloop: cycle %d: recovered state does not match the acked per-shard prefixes (%d frames kept): %w", it, kept, err)
 		}
 		if err := db.Validate(); err != nil {
-			_ = db.Close()
-			return r, fmt.Errorf("crashloop: cycle %d: validate after recovery: %w", it, err)
+			return fmt.Errorf("crashloop: cycle %d: validate after recovery: %w", it, err)
 		}
-		history = history[:0]
-		seqBase = s.WAL.LastSeq
-		minFrames = 0
+		acked := 0
+		for i, ss := range s.Shards {
+			acked += len(history[i])
+			history[i] = history[i][:0]
+			seqBase[i] = ss.WAL.LastSeq
+			minFrames[i] = 0
+		}
 		wantAll = false
-		logf("cycle %d: recovered %d/%d frames, state verified (%d keys)", it, k, k+r.LostFrames, len(model))
+		logf("cycle %d: recovered %d/%d frames across %d shards, state verified (%d keys)",
+			it, kept, acked, cfg.Shards, len(model))
+		return nil
+	}
+
+	for it := 0; it < cfg.Iters; it++ {
+		db, err := lsmssd.Open(opts)
+		if err != nil {
+			return r, fmt.Errorf("crashloop: cycle %d: reopen: %w", it, err)
+		}
+		if err := verify(db, it); err != nil {
+			_ = db.Close()
+			return r, err
+		}
 
 		// Mutate: a random mix of puts, deletes, and batches, with an
 		// optional explicit checkpoint somewhere in the middle.
@@ -204,16 +234,25 @@ func Run(cfg Config) (Report, error) {
 					return r, fmt.Errorf("crashloop: cycle %d: checkpoint: %w", it, err)
 				}
 				r.Checkpoints++
-				minFrames = len(history)
+				for sh := range minFrames {
+					minFrames[sh] = len(history[sh])
+				}
 			}
 			fr := randFrame(rng, cfg.KeySpace)
 			if err := applyToDB(db, fr); err != nil {
 				_ = db.Close()
 				return r, fmt.Errorf("crashloop: cycle %d: mutation %d: %w", it, i, err)
 			}
-			history = append(history, fr)
+			// Split the request into the per-shard frames the DB logged:
+			// one frame per touched shard, ops in request order.
+			for sh, sub := range splitFrame(fr, mask, cfg.Shards) {
+				if len(sub) == 0 {
+					continue
+				}
+				history[sh] = append(history[sh], sub)
+				r.Frames++
+			}
 			r.Acked += len(fr)
-			r.Frames++
 		}
 
 		// End the cycle: power cut (usually) or clean shutdown.
@@ -223,7 +262,7 @@ func Run(cfg Config) (Report, error) {
 			}
 			r.Crashes++
 			if cfg.TornTail && rng.Intn(2) == 0 {
-				n, err := tearTail(path, rng)
+				n, err := tearTail(shardFilePath(path, rng.Intn(cfg.Shards)), rng)
 				if err != nil {
 					return r, fmt.Errorf("crashloop: cycle %d: injecting torn tail: %w", it, err)
 				}
@@ -247,24 +286,30 @@ func Run(cfg Config) (Report, error) {
 		return r, fmt.Errorf("crashloop: final reopen: %w", err)
 	}
 	defer db.Close()
-	s := db.Stats()
-	k := int(s.WAL.LastSeq - seqBase)
-	if k < 0 || k > len(history) || k < minFrames ||
-		((wantAll || cfg.Sync == lsmssd.SyncEvery) && k != len(history)) {
-		return r, fmt.Errorf("crashloop: final recovery kept %d of %d acked frames (floor %d, sync policy %v)",
-			k, len(history), minFrames, cfg.Sync)
-	}
-	r.LostFrames += len(history) - k
-	for _, fr := range history[:k] {
-		applyFrame(model, fr)
-	}
-	if err := verifyState(db, model, cfg.KeySpace); err != nil {
-		return r, fmt.Errorf("crashloop: final recovered state mismatch: %w", err)
-	}
-	if err := db.Validate(); err != nil {
-		return r, fmt.Errorf("crashloop: final validate: %w", err)
+	if err := verify(db, cfg.Iters); err != nil {
+		return r, fmt.Errorf("crashloop: final reopen: %w", err)
 	}
 	return r, nil
+}
+
+// splitFrame partitions a request's ops by owning shard, preserving
+// order, mirroring WriteBatch's routing (key & mask).
+func splitFrame(fr frame, mask uint64, shards int) []frame {
+	out := make([]frame, shards)
+	for _, op := range fr {
+		sh := op.key & mask
+		out[sh] = append(out[sh], op)
+	}
+	return out
+}
+
+// shardFilePath mirrors the DB's per-shard file layout: shard 0 owns the
+// base path, shard i the ".shard<i>" variant.
+func shardFilePath(path string, id int) string {
+	if id == 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.shard%d", path, id)
 }
 
 // randFrame draws one request: usually a single put or delete, sometimes

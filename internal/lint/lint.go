@@ -117,6 +117,14 @@ type Config struct {
 	// the lock-discipline rule guards.
 	TreeMutateMethods []string
 
+	// ShardLockPkgs lists the packages where the shard-lock-order rule
+	// applies: no function may acquire a second shard writer lock while
+	// one may already be held, except the ShardFanoutFuncs, which must
+	// take them by ranging over the shard slice (ascending order).
+	ShardLockPkgs []string
+	// ShardFanoutFuncs are the sanctioned all-shard lock fan-out helpers.
+	ShardFanoutFuncs []string
+
 	// SentinelPkgs lists the packages whose returned errors carry sentinel
 	// identity (wal, storage): the sentinel-error-flow rule forbids
 	// blank-discarding them, rewrapping them without %w, or dropping them
@@ -219,11 +227,14 @@ func DefaultConfig() Config {
 
 		LockCheckedPkgs:    []string{"lsmssd"},
 		LockName:           "writerMu",
-		LockAcquireHelpers: []string{"lockedTree"},
+		LockAcquireHelpers: []string{"lockedTree", "lockAllShards"},
 		TreeMutateMethods: []string{
 			"Put", "Delete", "ApplyBatch", "ForceGrow",
 			"MarkClosed", "ResetStats", "Export",
 		},
+
+		ShardLockPkgs:    []string{"lsmssd"},
+		ShardFanoutFuncs: []string{"lockAllShards"},
 
 		SentinelPkgs: []string{
 			"lsmssd/internal/wal",

@@ -29,6 +29,10 @@ func fixtureConfig() lint.Config {
 	cfg.LockCheckedPkgs = []string{fixturePrefix + "lockdiscipline"}
 	cfg.WALOrderPkgs = []string{fixturePrefix + "walordering"}
 	cfg.GoShutdownPkgs = []string{fixturePrefix + "goshutdown"}
+	cfg.ShardLockPkgs = []string{fixturePrefix + "shardlockorder"}
+	// The fixture needs a second fan-out name so a failing fan-out shape
+	// can coexist with the fixed lockAllShards.
+	cfg.ShardFanoutFuncs = append(cfg.ShardFanoutFuncs, "lockAllShardsDesc")
 	return cfg
 }
 
@@ -86,6 +90,7 @@ func TestFixturesDetected(t *testing.T) {
 		"treestate", "obsevent", "compactionstep", "walframe",
 		// v2 path-sensitive rules.
 		"lockdiscipline", "viewrefcount", "errflow", "walordering", "goshutdown",
+		"shardlockorder",
 		// Driver mechanism.
 		"suppress",
 	}

@@ -9,7 +9,7 @@ import (
 )
 
 // All returns every lsmlint rule: the eight syntactic restrictions and
-// the five path-sensitive dataflow rules.
+// the six path-sensitive dataflow rules.
 func All() []lint.Rule {
 	return []lint.Rule{
 		// Syntactic (v1).
@@ -27,6 +27,7 @@ func All() []lint.Rule {
 		sentinelErrorFlow,
 		walOrdering,
 		goroutineShutdown,
+		shardLockOrder,
 	}
 }
 

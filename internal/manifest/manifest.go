@@ -32,8 +32,9 @@ import (
 // Format (little endian):
 //
 //	magic   "LSMM"            4 bytes
-//	version uint32            currently 2 (v2 added walseq)
-//	config  5 × uint64        blockCapacity, k0, gamma, epsilon(bits), seed
+//	version uint32            currently 3 (v2 added walseq, v3 shard identity)
+//	config  7 × uint64        blockCapacity, k0, gamma, epsilon(bits), seed,
+//	                          shards, shardID
 //	walseq  uint64            last WAL frame sequence this checkpoint covers
 //	levels  uint64
 //	per level:
@@ -46,7 +47,7 @@ import (
 
 const (
 	magic   = "LSMM"
-	version = 2
+	version = 3
 )
 
 // ErrNoManifest is returned by Load when the manifest file does not exist.
@@ -76,6 +77,13 @@ type Config struct {
 	Gamma         int
 	Epsilon       float64
 	Seed          int64
+	// Shards is the total shard count of the DB this checkpoint belongs
+	// to, and ShardID this manifest's index within it (0/… of Shards).
+	// A reopen with a different shard count must be rejected — hash
+	// routing would send keys to the wrong trees — so the identity is
+	// part of the config-match check.
+	Shards  int
+	ShardID int
 }
 
 // State is everything needed to reconstruct a tree over an existing
@@ -114,6 +122,8 @@ func Save(path string, st State) error {
 		uint64(st.Config.Gamma),
 		floatBits(st.Config.Epsilon),
 		uint64(st.Config.Seed),
+		uint64(st.Config.Shards),
+		uint64(st.Config.ShardID),
 		st.WALSeq,
 		uint64(len(st.Levels)),
 	)
@@ -209,6 +219,8 @@ func Load(path string) (State, error) {
 		Gamma:         int(r.u64()),
 		Epsilon:       bitsFloat(r.u64()),
 		Seed:          int64(r.u64()),
+		Shards:        int(r.u64()),
+		ShardID:       int(r.u64()),
 	}
 	st.WALSeq = r.u64()
 	levels := int(r.u64())

@@ -68,6 +68,7 @@ func (c RepairCases) String() string {
 // met, the preservation and repair outcome, and the I/O and wall-clock
 // cost of the step.
 type MergeEvent struct {
+	Shard    int // index of the shard whose tree merged (0 unless sharded)
 	From, To int
 	Policy   string // policy name as reported ("ChooseBest", "RR-P", ...)
 	Full     bool   // whole source level merged
@@ -110,6 +111,7 @@ func (e MergeEvent) TotalWrites() int {
 // FlushEvent describes one drain of the memtable (a merge out of L0),
 // emitted alongside the corresponding MergeEvent.
 type FlushEvent struct {
+	Shard        int // index of the shard whose memtable drained (0 unless sharded)
 	Records      int // records taken out of the memtable
 	RecordsAfter int // records remaining in the memtable
 	Full         bool

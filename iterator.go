@@ -7,7 +7,10 @@ import (
 
 // Iterator streams the keys in [lo, hi] in ascending order, pinned to the
 // snapshot that was current when NewIterator was called: writes and merges
-// that complete during the iteration do not change what it returns.
+// that complete during the iteration do not change what it returns. On a
+// sharded DB the per-shard snapshots are acquired together and merged into
+// one globally ordered stream; the hash partition guarantees the streams
+// are disjoint, so the merge is a pure k-way interleave.
 //
 // The usage pattern is the standard one:
 //
@@ -20,25 +23,102 @@ import (
 //	if err := it.Err(); err != nil { ... }
 //
 // An Iterator must be used from one goroutine at a time, and Close must be
-// called to release its snapshot — a forgotten iterator pins device blocks
+// called to release its snapshots — a forgotten iterator pins device blocks
 // the engine would otherwise recycle. Iterators from different goroutines
 // are independent.
 type Iterator struct {
 	db     *DB
-	view   *core.View
-	it     *core.Iter
+	views  []*core.View
 	err    error
 	closed bool
+
+	// heap is a min-heap of the per-shard cursors that still have a
+	// current entry, ordered by that entry's key. cur is the cursor whose
+	// entry Next most recently surfaced (nil before the first Next).
+	heap []*shardCursor
+	cur  *shardCursor
+}
+
+// shardCursor is one shard's stream positioned at its current entry.
+type shardCursor struct {
+	it  *core.Iter
+	key block.Key
+	val []byte
 }
 
 // NewIterator returns an iterator over the keys in [lo, hi] as of the
 // current snapshot. The full key space is [0, ^uint64(0)].
 func (db *DB) NewIterator(lo, hi uint64) (*Iterator, error) {
-	v, err := db.acquireView()
-	if err != nil {
-		return nil, err
+	it := &Iterator{db: db, views: make([]*core.View, 0, len(db.shards))}
+	for _, s := range db.shards {
+		v, err := s.acquireView()
+		if err != nil {
+			for _, held := range it.views {
+				held.Release()
+			}
+			return nil, err
+		}
+		it.views = append(it.views, v)
 	}
-	return &Iterator{db: db, view: v, it: v.Iter(block.Key(lo), block.Key(hi))}, nil
+	for _, v := range it.views {
+		c := &shardCursor{it: v.Iter(block.Key(lo), block.Key(hi))}
+		if c.advance() {
+			it.push(c)
+		} else if err := c.it.Err(); err != nil && it.err == nil {
+			it.err = err
+		}
+	}
+	return it, nil
+}
+
+// advance moves the cursor to its stream's next entry, reporting whether
+// one exists.
+func (c *shardCursor) advance() bool {
+	if !c.it.Next() {
+		return false
+	}
+	c.key, c.val = c.it.Key(), c.it.Value()
+	return true
+}
+
+// push inserts a cursor into the min-heap.
+func (it *Iterator) push(c *shardCursor) {
+	it.heap = append(it.heap, c)
+	i := len(it.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if it.heap[parent].key <= it.heap[i].key {
+			break
+		}
+		it.heap[parent], it.heap[i] = it.heap[i], it.heap[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the cursor with the smallest current key.
+func (it *Iterator) pop() *shardCursor {
+	top := it.heap[0]
+	last := len(it.heap) - 1
+	it.heap[0] = it.heap[last]
+	it.heap[last] = nil
+	it.heap = it.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(it.heap) && it.heap[l].key < it.heap[min].key {
+			min = l
+		}
+		if r < len(it.heap) && it.heap[r].key < it.heap[min].key {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		it.heap[i], it.heap[min] = it.heap[min], it.heap[i]
+		i = min
+	}
+	return top
 }
 
 // Next advances to the next key, reporting whether one exists. It returns
@@ -49,36 +129,47 @@ func (it *Iterator) Next() bool {
 		return false
 	}
 	if it.db.closed.Load() {
-		// The snapshot itself is still pinned, but its device may be
-		// gone; fail deterministically rather than surface an I/O error.
+		// The snapshots themselves are still pinned, but their devices may
+		// be gone; fail deterministically rather than surface an I/O error.
 		it.err = ErrClosed
 		return false
 	}
-	return it.it.Next()
+	if it.cur != nil {
+		if it.cur.advance() {
+			it.push(it.cur)
+		} else if err := it.cur.it.Err(); err != nil {
+			it.err = err
+			it.cur = nil
+			return false
+		}
+		it.cur = nil
+	}
+	if len(it.heap) == 0 {
+		return false
+	}
+	it.cur = it.pop()
+	return true
 }
 
 // Key returns the current key. Valid only after Next returned true.
-func (it *Iterator) Key() uint64 { return uint64(it.it.Key()) }
+func (it *Iterator) Key() uint64 { return uint64(it.cur.key) }
 
 // Value returns the current value. Valid only after Next returned true;
 // the slice must not be modified.
-func (it *Iterator) Value() []byte { return it.it.Value() }
+func (it *Iterator) Value() []byte { return it.cur.val }
 
 // Err returns the first error the iteration hit, if any. Exhausting the
 // range is not an error.
-func (it *Iterator) Err() error {
-	if it.err != nil {
-		return it.err
-	}
-	return it.it.Err()
-}
+func (it *Iterator) Err() error { return it.err }
 
-// Close releases the iterator's snapshot and returns Err. Closing an
+// Close releases the iterator's snapshots and returns Err. Closing an
 // already-closed iterator is a no-op returning the same error.
 func (it *Iterator) Close() error {
 	if !it.closed {
 		it.closed = true
-		it.view.Release()
+		for _, v := range it.views {
+			v.Release()
+		}
 	}
 	return it.Err()
 }

@@ -125,7 +125,34 @@ func (db *DB) metricFamilies() []obs.Family {
 		counter("lsmssd_bloom_passed_total", "Lookups Bloom filters could not rule out.", s.BloomPassed),
 		counter("lsmssd_event_drops_total", "Observability events dropped because sinks lagged.", db.bus.Drops()),
 		gauge("lsmssd_compaction_queue_depth", "Overflowing merge sources (memtable and full levels) awaiting compaction; always 0 in sync mode.", float64(s.Compaction.QueueDepth)),
-		counter("lsmssd_compaction_steps_total", "Cascade steps executed by the background compaction scheduler.", s.Compaction.Steps),
+		counter("lsmssd_compaction_steps_total", "Cascade steps executed by the background compaction schedulers.", s.Compaction.Steps),
+		gauge("lsmssd_shards", "Number of key-space shards (independent LSM trees) behind this DB.", float64(len(db.shards))),
+	}
+	if len(db.shards) > 1 {
+		shardLabel := func(n int) []obs.Label {
+			return []obs.Label{{Name: "shard", Value: strconv.Itoa(n)}}
+		}
+		perShard := []struct {
+			name, help string
+			typ        obs.FamilyType
+			value      func(ShardStats) float64
+		}{
+			{"lsmssd_shard_blocks_written_total", "Data blocks written by the shard's tree.", obs.TypeCounter,
+				func(ss ShardStats) float64 { return float64(ss.BlocksWritten) }},
+			{"lsmssd_shard_requests_total", "Modification requests routed to the shard.", obs.TypeCounter,
+				func(ss ShardStats) float64 { return float64(ss.Requests) }},
+			{"lsmssd_shard_records", "Records stored in the shard, including shadowed versions and tombstones.", obs.TypeGauge,
+				func(ss ShardStats) float64 { return float64(ss.Records) }},
+			{"lsmssd_shard_height", "Shard tree height including the memtable level.", obs.TypeGauge,
+				func(ss ShardStats) float64 { return float64(ss.Height) }},
+		}
+		for _, m := range perShard {
+			f := obs.Family{Name: m.name, Help: m.help, Type: m.typ}
+			for _, ss := range s.Shards {
+				f.Samples = append(f.Samples, obs.Sample{Labels: shardLabel(ss.Shard), Value: m.value(ss)})
+			}
+			fams = append(fams, f)
+		}
 	}
 	if s.WAL.Enabled {
 		fams = append(fams,
@@ -228,6 +255,7 @@ type debugLevelJSON struct {
 // does not expose.
 type debugStateJSON struct {
 	Policy          string           `json:"policy"`
+	Shards          int              `json:"shards"`
 	Height          int              `json:"height"`
 	Records         int              `json:"records"`
 	MemtableRecords int              `json:"memtable_records"`
@@ -247,16 +275,22 @@ type debugStateJSON struct {
 
 func (db *DB) debugState() debugStateJSON {
 	s := db.Stats()
+	liveViews, deferredFrees := 0, int64(0)
+	for _, sh := range db.shards {
+		liveViews += sh.tree.LiveViews()
+		deferredFrees += sh.tree.DeferredFrees()
+	}
 	d := debugStateJSON{
 		Policy:          db.opts.MergePolicy.String(),
+		Shards:          len(db.shards),
 		Height:          s.Height,
 		Records:         s.Records,
 		MemtableRecords: s.MemtableRecords,
 		BlocksWritten:   s.BlocksWritten,
 		BlocksRead:      s.BlocksRead,
 		LiveBlocks:      s.LiveBlocks,
-		LiveViews:       db.tree.LiveViews(),
-		DeferredFrees:   db.tree.DeferredFrees(),
+		LiveViews:       liveViews,
+		DeferredFrees:   deferredFrees,
 		EventDrops:      db.bus.Drops(),
 		CompactionMode:  s.Compaction.Mode,
 		CompactionQueue: s.Compaction.QueueDepth,

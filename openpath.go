@@ -1,0 +1,111 @@
+package lsmssd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Option is a functional configuration knob for OpenPath. Each Option
+// edits the Options value OpenPath assembles; validation happens once,
+// in Open, so an Option can never bypass Options.Validate.
+type Option func(*Options)
+
+// WithShards splits the key space across n independent LSM trees; see
+// Options.Shards for routing and layout. n must be a power of two.
+func WithShards(n int) Option {
+	return func(o *Options) { o.Shards = n }
+}
+
+// WithSync enables the write-ahead log with the given fsync cadence; see
+// Options.WAL and SyncPolicy. Without this Option the store persists
+// clean shutdowns only.
+func WithSync(p SyncPolicy) Option {
+	return func(o *Options) { o.WAL.Enabled = true; o.WAL.Sync = p }
+}
+
+// WithCompactionMode selects synchronous or background merge scheduling;
+// see Options.CompactionMode.
+func WithCompactionMode(m CompactionMode) Option {
+	return func(o *Options) { o.CompactionMode = m }
+}
+
+// WithMergePolicy selects the merge policy; see Options.MergePolicy.
+func WithMergePolicy(p Policy) Option {
+	return func(o *Options) { o.MergePolicy = p }
+}
+
+// WithMemtableBlocks sets K0, the in-memory level's capacity in blocks
+// (per shard); see Options.MemtableBlocks.
+func WithMemtableBlocks(k0 int) Option {
+	return func(o *Options) { o.MemtableBlocks = k0 }
+}
+
+// WithCacheBlocks sizes the LRU buffer cache in blocks (negative
+// disables caching); see Options.CacheBlocks.
+func WithCacheBlocks(n int) Option {
+	return func(o *Options) { o.CacheBlocks = n }
+}
+
+// WithBloomBitsPerKey enables per-block Bloom filters; see
+// Options.BloomBitsPerKey.
+func WithBloomBitsPerKey(bits float64) Option {
+	return func(o *Options) { o.BloomBitsPerKey = bits }
+}
+
+// WithMetricsAddr serves the observability endpoint on addr; see
+// Options.MetricsAddr for the security caveats.
+func WithMetricsAddr(addr string) Option {
+	return func(o *Options) { o.MetricsAddr = addr }
+}
+
+// WithSeed fixes the engine's internal randomness; see Options.Seed.
+func WithSeed(seed int64) Option {
+	return func(o *Options) { o.Seed = seed }
+}
+
+// WithParanoid turns on the structural invariant audits; see
+// Options.Paranoid. Far too expensive for production traffic.
+func WithParanoid() Option {
+	return func(o *Options) { o.Paranoid = true }
+}
+
+// WithOptions replaces the assembled Options wholesale (Path excepted —
+// OpenPath owns it) before the remaining Option functions apply. It is
+// the bridge for configurations the dedicated Options above do not
+// cover.
+func WithOptions(opts Options) Option {
+	return func(o *Options) {
+		path := o.Path
+		*o = opts
+		o.Path = path
+	}
+}
+
+// OpenPath opens a file-backed store rooted at directory dir, creating
+// the directory if needed, with the configuration assembled from opts in
+// order. It is the convenience constructor over Open: the device file is
+// dir/store.blk and the manifest and WAL segments live alongside it
+// (shard i > 0 adds its ".shard<i>" suffix), so one directory is one
+// store.
+//
+//	db, err := lsmssd.OpenPath("/data/kv",
+//		lsmssd.WithShards(4),
+//		lsmssd.WithSync(lsmssd.SyncEvery),
+//		lsmssd.WithCompactionMode(lsmssd.BackgroundCompaction))
+//
+// All range checking happens in Options.Validate via Open — OpenPath
+// adds no constraints of its own beyond dir being usable as a directory.
+func OpenPath(dir string, opts ...Option) (*DB, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("lsmssd: OpenPath requires a directory (use Open for an in-memory store)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsmssd: creating store directory: %w", err)
+	}
+	o := Options{Path: filepath.Join(dir, "store.blk")}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return Open(o)
+}

@@ -179,8 +179,19 @@ type Options struct {
 	// Path, when set, stores data blocks in a file at this location,
 	// checkpointed through a manifest at Path + ".manifest". On its own
 	// this persists clean shutdowns only (L0 lives in memory); enable WAL
-	// for crash durability of every acknowledged write.
+	// for crash durability of every acknowledged write. With Shards > 1,
+	// shard 0 keeps this exact layout and shard i adds ".shard<i>" to
+	// every file it owns (device, manifest, WAL segments).
 	Path string
+	// Shards splits the key space across this many independent LSM trees
+	// (hash routing by key & (Shards-1)), each with its own memtable,
+	// levels, WAL, and compaction scheduler, so writers to different
+	// shards never contend on one writer lock. Must be a power of two;
+	// default 1, which is byte-identical to the unsharded engine. The
+	// shard count is recorded in the manifest and a store must be
+	// reopened with the count it was created with. Note that MemtableBlocks
+	// is per shard: total memtable memory scales with Shards.
+	Shards int
 	// WAL configures the write-ahead log; see WALOptions. Disabled by
 	// default, which keeps the engine's device write counts byte-identical
 	// to the paper's cost model.
@@ -260,6 +271,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
 	if o.BlockSize == 0 {
 		o.BlockSize = 4096
 	}
@@ -319,6 +333,9 @@ func (o Options) withDefaults() Options {
 // setup.
 func (o Options) Validate() error {
 	o = o.withDefaults()
+	if o.Shards < 1 || o.Shards > 1024 || o.Shards&(o.Shards-1) != 0 {
+		return fmt.Errorf("lsmssd: Options.Shards %d must be a power of two in [1, 1024]: keys route by key & (Shards-1)", o.Shards)
+	}
 	if o.BlockSize < 0 {
 		return fmt.Errorf("lsmssd: Options.BlockSize %d is negative", o.BlockSize)
 	}

@@ -1,0 +1,594 @@
+package lsmssd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/compaction"
+	"lsmssd/internal/core"
+	"lsmssd/internal/invariant"
+	"lsmssd/internal/manifest"
+	"lsmssd/internal/obs"
+	"lsmssd/internal/storage"
+	"lsmssd/internal/wal"
+)
+
+// shard is one of the DB's independent LSM trees: its own memtable and
+// storage levels (core.Tree), device file, write-ahead log, compaction
+// scheduler, and writer lock. The router (db.go) hash-partitions the key
+// space across shards, so two shards never store the same key and their
+// writer locks are never needed together — except by the sanctioned
+// fan-out helper DB.lockAllShards, which acquires them in ascending shard
+// order (the shard-lock-order lint rule checks both properties).
+//
+// Everything below is a per-shard port of the pre-sharding DB internals;
+// the durability protocol (log → apply → checkpoint-on-rotation) is
+// unchanged, it just runs once per shard over per-shard files.
+type shard struct {
+	id   int
+	db   *DB
+	path string // device file path; "" for an in-memory shard
+
+	writerMu sync.Mutex // serializes this shard's mutations, checkpoints, tuning
+	tree     *core.Tree
+	sched    *compaction.Scheduler
+	raw      storage.Device // the unwrapped device, for Close
+
+	// Write-ahead log state (nil/zero unless Options.WAL.Enabled). lastSeq
+	// is the sequence of the newest frame logged by this shard, guarded by
+	// writerMu; the shard's checkpoint manifest records it as the replay
+	// cutoff. recovery captures what Open's replay did, for Stats.
+	wal      *wal.Log
+	lastSeq  uint64
+	recovery WALRecoveryStats
+}
+
+// shardPath derives shard id's device file path. Shard 0 keeps the
+// user-visible Options.Path byte-for-byte — a single-shard store's file
+// layout is exactly the unsharded engine's — and every further shard
+// appends its index. Manifest and WAL paths derive from this one as
+// before (path+".manifest", path+".wal.*").
+func shardPath(path string, id int) string {
+	if path == "" || id == 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.shard%d", path, id)
+}
+
+// openShard builds one fully-operational shard: tree (fresh or restored
+// from its manifest), compaction scheduler, and recovered write-ahead
+// log. On error the shard's own resources are released; the caller
+// tears down previously opened shards.
+func (db *DB) openShard(id int) (*shard, error) {
+	opts := db.opts
+	cfg := core.Config{
+		// One policy instance per shard: policies carry mutable state (RR
+		// cursors, Mixed thresholds) and each shard's merges run on its own
+		// goroutines.
+		Policy:          opts.buildPolicy(),
+		BlockCapacity:   opts.RecordsPerBlock,
+		K0:              opts.MemtableBlocks,
+		Gamma:           opts.Gamma,
+		Epsilon:         opts.Epsilon,
+		CacheBlocks:     opts.CacheBlocks,
+		BloomBitsPerKey: opts.BloomBitsPerKey,
+		Seed:            opts.Seed,
+		Shard:           id,
+		Bus:             db.bus,
+		Lat:             db.lat,
+	}
+	if opts.Paranoid {
+		// Mid-cascade audits tolerate in-flight records: a merge may land
+		// in a level whose own overflow the cascade has not reached yet.
+		// Under background compaction the audit runs on the scheduler
+		// goroutine between concurrently admitted writes, so L0's bound is
+		// the stall gate's StopTrigger rather than K0.
+		audit := invariant.Options{MidCascade: true}
+		if opts.CompactionMode == BackgroundCompaction {
+			audit.L0CapacityBlocks = opts.StopTrigger
+		}
+		cfg.Auditor = func(t *core.Tree) error {
+			return invariant.Check(t, audit)
+		}
+	}
+
+	s := &shard{id: id, db: db, path: shardPath(opts.Path, id)}
+	restored := false
+	if s.path != "" {
+		st, err := manifest.Load(manifestPath(s.path))
+		switch {
+		case err == nil:
+			if err := s.restore(cfg, st); err != nil {
+				return nil, err
+			}
+			restored = true
+		case errors.Is(err, manifest.ErrNoManifest):
+			// fresh shard below
+		default:
+			return nil, err
+		}
+	}
+	if !restored {
+		if err := s.create(cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	mode := compaction.Sync
+	if opts.CompactionMode == BackgroundCompaction {
+		mode = compaction.Background
+	}
+	sched, err := compaction.New(compaction.Config{
+		Tree:           s.tree,
+		Mu:             &s.writerMu,
+		Mode:           mode,
+		SlowdownBlocks: opts.SlowdownTrigger,
+		StopBlocks:     opts.StopTrigger,
+		Bus:            db.bus,
+		Lat:            db.lat,
+	})
+	if err != nil {
+		return nil, errors.Join(err, s.raw.Close())
+	}
+	s.sched = sched
+	if err := s.openWAL(); err != nil {
+		s.sched.Stop()
+		return nil, errors.Join(err, s.raw.Close())
+	}
+	return s, nil
+}
+
+// create sets the shard up over a fresh device.
+func (s *shard) create(cfg core.Config) error {
+	var dev storage.Device
+	if s.path != "" {
+		fd, err := storage.OpenFileDevice(s.path, s.db.opts.BlockSize)
+		if err != nil {
+			return err
+		}
+		if s.db.opts.WAL.Enabled {
+			fd.SetDeferRecycle(true)
+		}
+		dev = fd
+	} else {
+		dev = storage.NewMemDevice()
+	}
+	cfg.Device = dev
+	tree, err := core.New(cfg)
+	if err != nil {
+		return errors.Join(err, dev.Close())
+	}
+	s.tree, s.raw = tree, dev
+	return nil
+}
+
+// restore rebuilds the shard from its manifest over the existing device
+// file, first checking that the on-disk shard identity and tree
+// parameters match the requested options.
+func (s *shard) restore(cfg core.Config, st manifest.State) error {
+	opts := s.db.opts
+	if st.Config.Shards != opts.Shards || st.Config.ShardID != s.id {
+		return fmt.Errorf("lsmssd: %s was written as shard %d of a %d-shard store, but Options.Shards is %d (opening as shard %d); reopen with the shard count the store was created with",
+			s.path, st.Config.ShardID, st.Config.Shards, opts.Shards, s.id)
+	}
+	want := manifest.Config{
+		BlockCapacity: cfg.BlockCapacity,
+		K0:            cfg.K0,
+		Gamma:         cfg.Gamma,
+		Epsilon:       cfg.Epsilon,
+		Seed:          cfg.Seed,
+	}
+	if st.Config.BlockCapacity != want.BlockCapacity || st.Config.K0 != want.K0 ||
+		st.Config.Gamma != want.Gamma || st.Config.Epsilon != want.Epsilon {
+		return fmt.Errorf("lsmssd: options (B=%d K0=%d Γ=%d ε=%g) do not match manifest (B=%d K0=%d Γ=%d ε=%g)",
+			want.BlockCapacity, want.K0, want.Gamma, want.Epsilon,
+			st.Config.BlockCapacity, st.Config.K0, st.Config.Gamma, st.Config.Epsilon)
+	}
+	var live []storage.BlockID
+	for _, metas := range st.Levels {
+		for _, m := range metas {
+			live = append(live, m.ID)
+		}
+	}
+	fd, err := storage.ReopenFileDevice(s.path, opts.BlockSize, live)
+	if err != nil {
+		return err
+	}
+	if opts.WAL.Enabled {
+		fd.SetDeferRecycle(true)
+	}
+	cfg.Device = fd
+	tree, err := core.Restore(cfg, core.ExportedState{Levels: st.Levels, Memtable: st.Memtable})
+	if err != nil {
+		return errors.Join(err, fd.Close())
+	}
+	if opts.Paranoid {
+		if err := invariant.CheckTree(tree); err != nil {
+			return errors.Join(fmt.Errorf("lsmssd: restored state: %w", err), fd.Close())
+		}
+	}
+	s.tree, s.raw, s.lastSeq = tree, fd, st.WALSeq
+	return nil
+}
+
+// openWAL performs crash recovery and positions the shard's log for
+// appending. With the WAL disabled it only verifies that no unreplayed
+// frames exist on disk — Open must never silently orphan acknowledged
+// writes.
+func (s *shard) openWAL() error {
+	if s.path == "" {
+		return nil
+	}
+	opts := s.db.opts
+	base := walBase(s.path)
+	if !opts.WAL.Enabled {
+		has, err := wal.HasFramesAfter(base, s.lastSeq)
+		if err != nil {
+			return fmt.Errorf("lsmssd: inspecting write-ahead log: %w", err)
+		}
+		if has {
+			return fmt.Errorf("lsmssd: %s holds write-ahead log frames beyond the last checkpoint, but Options.WAL is disabled; reopen with the WAL enabled to recover them (or delete the segment files to discard them)", base)
+		}
+		return nil
+	}
+
+	start := time.Now()
+	info, err := wal.Replay(base, s.lastSeq, func(seq uint64, ops []wal.Op) error {
+		return s.applyReplayed(ops)
+	})
+	if err != nil {
+		return fmt.Errorf("lsmssd: write-ahead log replay: %w", err)
+	}
+	if info.LastSeq > s.lastSeq {
+		s.lastSeq = info.LastSeq
+	}
+	log, err := wal.Open(base, s.lastSeq+1, wal.Options{
+		Policy:       wal.SyncPolicy(opts.WAL.Sync),
+		Interval:     opts.WAL.Interval,
+		SegmentBytes: opts.WAL.SegmentBytes,
+	})
+	if err != nil {
+		return fmt.Errorf("lsmssd: write-ahead log open: %w", err)
+	}
+	s.wal = log
+	s.recovery = WALRecoveryStats{
+		Recovered: info.Frames > 0 || info.TornBytes > 0,
+		Segments:  info.Segments,
+		Frames:    info.Frames,
+		Ops:       info.Ops,
+		TornBytes: info.TornBytes,
+	}
+	if info.Frames > 0 {
+		// Fold the replayed state into a fresh checkpoint immediately:
+		// recovery converges instead of replaying an ever-longer log, and
+		// the covered segments are garbage-collected.
+		s.writerMu.Lock()
+		err := s.checkpointLocked()
+		s.writerMu.Unlock()
+		if err != nil {
+			return errors.Join(fmt.Errorf("lsmssd: post-recovery checkpoint: %w", err), s.wal.Close())
+		}
+	}
+	if s.db.bus.Enabled() {
+		s.db.bus.Publish(obs.RecoveryEvent{
+			Segments:  info.Segments,
+			Frames:    info.Frames,
+			Ops:       info.Ops,
+			TornBytes: info.TornBytes,
+			Duration:  time.Since(start),
+		})
+	}
+	return nil
+}
+
+// applyReplayed pushes one recovered WAL frame through the normal write
+// path — admission, the writer lock, a batched apply, and the cascade
+// notification — so recovery exercises exactly the machinery of live
+// traffic.
+func (s *shard) applyReplayed(ops []wal.Op) error {
+	batch := make([]core.BatchOp, len(ops))
+	for i, op := range ops {
+		batch[i] = core.BatchOp{Key: block.Key(op.Key), Payload: op.Value, Delete: op.Delete}
+	}
+	if err := s.sched.Admit(); err != nil {
+		return err
+	}
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	if err := s.tree.ApplyBatch(batch); err != nil {
+		return err
+	}
+	if err := s.sched.Notify(); err != nil {
+		return err
+	}
+	return s.paranoidSteadyCheck()
+}
+
+// checkpointLocked persists the shard's current state under its writer
+// lock. With the WAL enabled it also advances the durability horizon, in
+// a fixed order: the device is synced first (the manifest must never
+// reference a block the device could still lose), the manifest then
+// records lastSeq as the replay cutoff, and only after that checkpoint
+// is durable do freed block slots become reusable and fully covered WAL
+// segments get deleted.
+func (s *shard) checkpointLocked() error {
+	if s.path == "" {
+		return nil
+	}
+	if s.wal != nil {
+		if sy, ok := s.raw.(storage.Syncer); ok {
+			if err := sy.Sync(); err != nil {
+				return fmt.Errorf("lsmssd: syncing device before checkpoint: %w", err)
+			}
+		}
+	}
+	st := s.tree.Export()
+	cfg := s.tree.Config()
+	if err := manifest.Save(manifestPath(s.path), manifest.State{
+		Config: manifest.Config{
+			BlockCapacity: cfg.BlockCapacity,
+			K0:            cfg.K0,
+			Gamma:         cfg.Gamma,
+			Epsilon:       cfg.Epsilon,
+			Seed:          cfg.Seed,
+			Shards:        s.db.opts.Shards,
+			ShardID:       s.id,
+		},
+		WALSeq:   s.lastSeq,
+		Levels:   st.Levels,
+		Memtable: st.Memtable,
+	}); err != nil {
+		return err
+	}
+	if s.wal == nil {
+		return nil
+	}
+	if fd, ok := s.raw.(*storage.FileDevice); ok {
+		fd.ReclaimFreed()
+	}
+	removed, err := s.wal.GC(s.lastSeq)
+	if err != nil {
+		return fmt.Errorf("lsmssd: write-ahead log gc: %w", err)
+	}
+	if removed > 0 && s.db.bus.Enabled() {
+		ws := s.wal.Stats()
+		s.db.bus.Publish(obs.WALEvent{Kind: "gc", Segments: ws.Segments, Removed: removed, LastSeq: s.lastSeq})
+	}
+	return nil
+}
+
+// checkpoint takes the shard's writer lock and persists its state.
+func (s *shard) checkpoint() error {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	if s.db.closed.Load() {
+		return ErrClosed
+	}
+	return s.checkpointLocked()
+}
+
+// logMutation appends ops to the shard's write-ahead log as a single
+// frame — group commit: one frame, and under SyncEvery one fsync, per
+// request regardless of batch size. A logging failure means the request
+// was never made durable, so the caller must fail it without touching
+// the tree. When the append sealed a segment the caller checkpoints
+// after applying the ops (after, because the checkpoint's WALSeq covers
+// this frame — the manifest state must include it). Caller holds
+// writerMu.
+func (s *shard) logMutation(ops []wal.Op) (rotated bool, err error) {
+	if s.wal == nil {
+		return false, nil
+	}
+	start := s.db.lat.Start()
+	seq, rotated, err := s.wal.Append(ops)
+	s.db.lat.Done(obs.OpWALAppend, start)
+	if err != nil {
+		// rotated can be true even on error: the rotation succeeded before
+		// the frame write failed. Checkpoint now anyway, so the sealed
+		// segment is covered and GC'd instead of lingering until the next
+		// rotation.
+		if rotated {
+			if cerr := s.checkpointLocked(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+		}
+		return false, fmt.Errorf("lsmssd: write-ahead log append: %w", err)
+	}
+	s.lastSeq = seq
+	if rotated && s.db.bus.Enabled() {
+		ws := s.wal.Stats()
+		s.db.bus.Publish(obs.WALEvent{Kind: "rotate", Segments: ws.Segments, LastSeq: seq})
+	}
+	return rotated, nil
+}
+
+// put is Put for the keys this shard owns.
+func (s *shard) put(key uint64, value []byte) error {
+	if err := s.sched.Admit(); err != nil {
+		return err
+	}
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	if s.db.closed.Load() {
+		return ErrClosed
+	}
+	rotated, err := s.logMutation([]wal.Op{{Key: key, Value: value}})
+	if err != nil {
+		return err
+	}
+	if err := s.tree.Put(block.Key(key), value); err != nil {
+		return err
+	}
+	if err := s.sched.Notify(); err != nil {
+		return err
+	}
+	if rotated {
+		if err := s.checkpointLocked(); err != nil {
+			return err
+		}
+	}
+	return s.paranoidSteadyCheck()
+}
+
+// delete is Delete for the keys this shard owns.
+func (s *shard) delete(key uint64) error {
+	if err := s.sched.Admit(); err != nil {
+		return err
+	}
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	if s.db.closed.Load() {
+		return ErrClosed
+	}
+	rotated, err := s.logMutation([]wal.Op{{Key: key, Delete: true}})
+	if err != nil {
+		return err
+	}
+	if err := s.tree.Delete(block.Key(key)); err != nil {
+		return err
+	}
+	if err := s.sched.Notify(); err != nil {
+		return err
+	}
+	if rotated {
+		if err := s.checkpointLocked(); err != nil {
+			return err
+		}
+	}
+	return s.paranoidSteadyCheck()
+}
+
+// applyOps executes one shard's slice of a WriteBatch as a single atomic
+// writer step: one admission, one writer-lock acquisition, one WAL frame
+// (group commit), one batched apply.
+func (s *shard) applyOps(ops []core.BatchOp) error {
+	if err := s.sched.Admit(); err != nil {
+		return err
+	}
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	if s.db.closed.Load() {
+		return ErrClosed
+	}
+	var rotated bool
+	if s.wal != nil && len(ops) > 0 {
+		wops := make([]wal.Op, len(ops))
+		for i, op := range ops {
+			wops[i] = wal.Op{Key: uint64(op.Key), Value: op.Payload, Delete: op.Delete}
+		}
+		var err error
+		rotated, err = s.logMutation(wops)
+		if err != nil {
+			return err
+		}
+	}
+	if err := s.tree.ApplyBatch(ops); err != nil {
+		return err
+	}
+	if err := s.sched.Notify(); err != nil {
+		return err
+	}
+	if rotated {
+		if err := s.checkpointLocked(); err != nil {
+			return err
+		}
+	}
+	return s.paranoidSteadyCheck()
+}
+
+// paranoidSteadyCheck asserts the strict (post-cascade) bounds after a
+// mutating request when Paranoid is set. Metadata only: the per-merge
+// auditor already verified block contents. The strictness is keyed off
+// the scheduler's state, not the call position: with the background
+// cascade still draining, the relaxed mid-cascade bounds apply.
+func (s *shard) paranoidSteadyCheck() error {
+	if !s.db.opts.Paranoid {
+		return nil
+	}
+	o := invariant.Options{SkipContents: true}
+	if s.sched.Pending() {
+		o.MidCascade = true
+		o.L0CapacityBlocks = s.db.opts.StopTrigger
+	}
+	return invariant.Check(s.tree, o)
+}
+
+// acquireView pins the shard's current read snapshot, translating a
+// closed engine into the public sentinel. Callers must Release the
+// returned view.
+func (s *shard) acquireView() (*core.View, error) {
+	if s.db.closed.Load() {
+		return nil, ErrClosed
+	}
+	v, err := s.tree.AcquireView()
+	if err != nil {
+		return nil, ErrClosed
+	}
+	return v, nil
+}
+
+// validate checks the shard's structural invariants against its current
+// snapshot, then the device-accounting cross-check under its writer lock.
+func (s *shard) validate() error {
+	v, err := s.acquireView()
+	if err != nil {
+		return err
+	}
+	defer v.Release()
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	if s.db.closed.Load() {
+		return ErrClosed
+	}
+	return s.tree.ValidateAccounting()
+}
+
+// forceGrow adds a storage level to this shard's tree.
+func (s *shard) forceGrow() {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	if s.db.closed.Load() {
+		return
+	}
+	s.tree.ForceGrow()
+}
+
+// closeLocked checkpoints and releases the shard's resources. The caller
+// holds the shard's writer lock (via lockAllShards) and has stopped the
+// scheduler.
+func (s *shard) closeLocked() error {
+	err := s.checkpointLocked()
+	var werr error
+	if s.wal != nil {
+		werr = s.wal.Close()
+		s.wal = nil
+	}
+	s.tree.MarkClosed()
+	return errors.Join(err, werr, s.raw.Close())
+}
+
+// crashLocked abandons the shard as a power cut would: no checkpoint, no
+// device sync, buffered WAL frames truncated. Caller holds the shard's
+// writer lock and has stopped the scheduler.
+func (s *shard) crashLocked() error {
+	var werr error
+	if s.wal != nil {
+		werr = s.wal.Crash()
+		s.wal = nil
+	}
+	s.tree.MarkClosed()
+	return errors.Join(werr, s.raw.Close())
+}
+
+// lockedTree exposes the shard's engine under its writer lock to sibling
+// files (tuning — operations that drive the live tree).
+func (s *shard) lockedTree() (*core.Tree, func()) {
+	s.writerMu.Lock()
+	return s.tree, s.writerMu.Unlock
+}

@@ -13,6 +13,12 @@ import (
 // SSDs writes dominate cost and wear, so merge policies are compared by
 // this number, typically normalized per megabyte of requests.
 //
+// On a sharded DB (Options.Shards > 1) the top-level fields aggregate
+// across shards — counters sum, Height is the maximum, per-level rows
+// with the same level number combine — and Shards carries the per-shard
+// breakdown. With the default single shard the aggregate fields are
+// exactly the one shard's, unchanged from the unsharded engine.
+//
 // Reset semantics: every cumulative counter in Stats — device traffic,
 // request accounting, merge counts, the per-level write series, cache and
 // Bloom statistics, and Latencies — covers the same window, from Open or
@@ -36,7 +42,7 @@ type Stats struct {
 	RequestBytes int64
 
 	// Structure.
-	Height          int
+	Height          int // tallest shard's height
 	Records         int // records stored, including shadowed versions and tombstones
 	MemtableRecords int
 
@@ -53,30 +59,72 @@ type Stats struct {
 
 	// Latencies summarizes the per-operation latency histograms, one entry
 	// per operation that recorded at least one observation. Empty unless
-	// Options.MetricsAddr enabled latency recording.
+	// Options.MetricsAddr enabled latency recording. Latency is recorded
+	// once per request at the router, so there is no per-shard breakdown.
 	Latencies []LatencyStats
 
-	// Compaction reports the merge scheduler's state and write-stall
-	// accounting; its counters participate in the uniform reset window.
+	// Compaction reports the merge schedulers' state and write-stall
+	// accounting, summed across shards; its counters participate in the
+	// uniform reset window.
 	Compaction CompactionStats
 
 	// WAL reports write-ahead log traffic and the recovery Open performed,
-	// if any. Zero value when Options.WAL is disabled. The traffic counters
-	// (Appends through Rotations) participate in the uniform reset window;
-	// Segments, LastSeq, and Recovery describe the present.
+	// if any, summed across shards; LastSeq is the sum of the per-shard
+	// sequences (the total number of frames ever logged). Zero value when
+	// Options.WAL is disabled. The traffic counters (Appends through
+	// Rotations) participate in the uniform reset window; Segments,
+	// LastSeq, and Recovery describe the present.
 	WAL WALStats
+
+	// Shards holds the per-shard breakdown, one entry per shard in shard
+	// order — always populated, a single entry for an unsharded DB.
+	Shards []ShardStats
+}
+
+// ShardStats is one shard's share of the Stats snapshot: the same
+// counters and structure as the aggregate, scoped to the shard's own
+// tree, device, scheduler, and write-ahead log.
+type ShardStats struct {
+	Shard int // shard index; keys route here when key & (Shards-1) == Shard
+
+	BlocksWritten int64
+	BlocksRead    int64
+	LiveBlocks    int64
+
+	Requests     int64
+	Inserts      int64
+	Deletes      int64
+	Lookups      int64
+	Scans        int64
+	RequestBytes int64
+
+	Height          int
+	Records         int
+	MemtableRecords int
+
+	Merges     int64
+	FullMerges int64
+	Levels     []LevelStats
+
+	CacheHits    int64
+	CacheMisses  int64
+	BloomSkipped int64
+	BloomPassed  int64
+
+	Compaction CompactionStats
+	WAL        WALStats
 }
 
 // WALStats describes the write-ahead log (see Options.WAL).
 type WALStats struct {
 	Enabled   bool
-	Appends   int64  // frames appended (one per Put/Delete/Apply)
+	Appends   int64  // frames appended (one per Put/Delete, one per touched shard per Apply)
 	Ops       int64  // operations inside appended frames
 	Bytes     int64  // frame bytes written, headers included
 	Syncs     int64  // fsyncs issued by the sync policy or Checkpoint
 	Rotations int64  // segments sealed (each triggers a checkpoint)
 	Segments  int    // segment files currently on disk
-	LastSeq   uint64 // sequence of the newest logged frame
+	LastSeq   uint64 // sequence of the newest logged frame (summed across shards)
 
 	// Recovery is what Open's replay did for this DB instance; it never
 	// changes afterwards and does not reset.
@@ -84,9 +132,9 @@ type WALStats struct {
 }
 
 // WALRecoveryStats summarizes the crash recovery Open performed: the WAL
-// frames it replayed over the checkpoint manifest and any torn tail it
-// truncated. Recovered is false when the log was already empty beyond the
-// checkpoint (a clean shutdown).
+// frames it replayed over the checkpoint manifests and any torn tails it
+// truncated. Recovered is false when every shard's log was already empty
+// beyond its checkpoint (a clean shutdown).
 type WALRecoveryStats struct {
 	Recovered bool
 	Segments  int   // segment files scanned
@@ -96,9 +144,10 @@ type WALRecoveryStats struct {
 }
 
 // CompactionStats describes the compaction scheduler (see
-// Options.CompactionMode). In sync mode only Mode is meaningful: the
-// cascade completes inside each mutating call, so the queue is always
-// empty and no write ever stalls.
+// Options.CompactionMode); on a sharded DB the counters sum over the
+// per-shard schedulers. In sync mode only Mode is meaningful: the cascade
+// completes inside each mutating call, so the queue is always empty and
+// no write ever stalls.
 type CompactionStats struct {
 	Mode       string // "sync" or "background"
 	QueueDepth int    // overflowing merge sources awaiting background work
@@ -125,7 +174,9 @@ type LatencyStats struct {
 	Max   time.Duration
 }
 
-// LevelStats describes one storage level.
+// LevelStats describes one storage level. In the aggregate view, rows
+// with the same level number across shards combine: counts sum and
+// WasteFactor is the block-weighted mean.
 type LevelStats struct {
 	Level          int // 1-based level number
 	Blocks         int
@@ -137,18 +188,139 @@ type LevelStats struct {
 }
 
 // Stats returns the current snapshot. It is lock-free: counters are read
-// from atomics and the structural fields from the current read snapshot,
-// so Stats can be polled while writers and merges run. On a closed DB it
-// returns the zero Stats.
+// from atomics and the structural fields from the current per-shard read
+// snapshots, so Stats can be polled while writers and merges run. On a
+// closed DB it returns the zero Stats.
 func (db *DB) Stats() Stats {
-	v, err := db.acquireView()
+	per := make([]ShardStats, 0, len(db.shards))
+	for _, sh := range db.shards {
+		ss, ok := sh.stats()
+		if !ok {
+			return Stats{}
+		}
+		per = append(per, ss)
+	}
+
+	s := Stats{Shards: per}
+	for _, ss := range per {
+		s.BlocksWritten += ss.BlocksWritten
+		s.BlocksRead += ss.BlocksRead
+		s.LiveBlocks += ss.LiveBlocks
+		s.Requests += ss.Requests
+		s.Inserts += ss.Inserts
+		s.Deletes += ss.Deletes
+		s.Lookups += ss.Lookups
+		s.Scans += ss.Scans
+		s.RequestBytes += ss.RequestBytes
+		if ss.Height > s.Height {
+			s.Height = ss.Height
+		}
+		s.Records += ss.Records
+		s.MemtableRecords += ss.MemtableRecords
+		s.Merges += ss.Merges
+		s.FullMerges += ss.FullMerges
+		s.CacheHits += ss.CacheHits
+		s.CacheMisses += ss.CacheMisses
+		s.BloomSkipped += ss.BloomSkipped
+		s.BloomPassed += ss.BloomPassed
+
+		s.Compaction.QueueDepth += ss.Compaction.QueueDepth
+		s.Compaction.L0Blocks += ss.Compaction.L0Blocks
+		s.Compaction.Steps += ss.Compaction.Steps
+		s.Compaction.Slowdowns += ss.Compaction.Slowdowns
+		s.Compaction.Stops += ss.Compaction.Stops
+		s.Compaction.SlowdownTime += ss.Compaction.SlowdownTime
+		s.Compaction.StopTime += ss.Compaction.StopTime
+
+		if ss.WAL.Enabled {
+			s.WAL.Enabled = true
+			s.WAL.Appends += ss.WAL.Appends
+			s.WAL.Ops += ss.WAL.Ops
+			s.WAL.Bytes += ss.WAL.Bytes
+			s.WAL.Syncs += ss.WAL.Syncs
+			s.WAL.Rotations += ss.WAL.Rotations
+			s.WAL.Segments += ss.WAL.Segments
+			s.WAL.LastSeq += ss.WAL.LastSeq
+			s.WAL.Recovery.Recovered = s.WAL.Recovery.Recovered || ss.WAL.Recovery.Recovered
+			s.WAL.Recovery.Segments += ss.WAL.Recovery.Segments
+			s.WAL.Recovery.Frames += ss.WAL.Recovery.Frames
+			s.WAL.Recovery.Ops += ss.WAL.Recovery.Ops
+			s.WAL.Recovery.TornBytes += ss.WAL.Recovery.TornBytes
+		}
+	}
+	s.Compaction.Mode = per[0].Compaction.Mode
+	s.Levels = mergeLevels(per)
+	s.Latencies = db.latencyStats()
+	return s
+}
+
+// mergeLevels combines the per-shard level rows by level number: counts
+// sum, WasteFactor is the block-weighted mean (plain mean when the level
+// is empty everywhere). For one shard this reproduces its rows exactly.
+func mergeLevels(per []ShardStats) []LevelStats {
+	maxLevel := 0
+	for _, ss := range per {
+		for _, lv := range ss.Levels {
+			if lv.Level > maxLevel {
+				maxLevel = lv.Level
+			}
+		}
+	}
+	if maxLevel == 0 {
+		return nil
+	}
+	out := make([]LevelStats, maxLevel)
+	wasteBlocks := make([]float64, maxLevel)
+	wasteSum := make([]float64, maxLevel)
+	wasteN := make([]int, maxLevel)
+	for _, ss := range per {
+		for _, lv := range ss.Levels {
+			row := &out[lv.Level-1]
+			row.Level = lv.Level
+			row.Blocks += lv.Blocks
+			row.Records += lv.Records
+			row.CapacityBlocks += lv.CapacityBlocks
+			row.BlocksWritten += lv.BlocksWritten
+			row.Compactions += lv.Compactions
+			wasteBlocks[lv.Level-1] += float64(lv.Blocks)
+			wasteSum[lv.Level-1] += lv.WasteFactor * float64(lv.Blocks)
+			wasteN[lv.Level-1]++
+		}
+	}
+	for i := range out {
+		if out[i].Level == 0 {
+			// No shard has this level (cannot happen with contiguous
+			// growth, but keep the row well-formed).
+			out[i].Level = i + 1
+		}
+		switch {
+		case wasteBlocks[i] > 0:
+			out[i].WasteFactor = wasteSum[i] / wasteBlocks[i]
+		case wasteN[i] == 1:
+			// A single empty level row: pass its factor through unchanged.
+			for _, ss := range per {
+				for _, lv := range ss.Levels {
+					if lv.Level == i+1 {
+						out[i].WasteFactor = lv.WasteFactor
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// stats gathers one shard's snapshot; ok is false if the DB closed.
+func (s *shard) stats() (ShardStats, bool) {
+	v, err := s.acquireView()
 	if err != nil {
-		return Stats{}
+		return ShardStats{}, false
 	}
 	defer v.Release()
-	ts := db.tree.Stats()
-	dc := db.tree.Device().Counters()
-	s := Stats{
+	ts := s.tree.Stats()
+	dc := s.tree.Device().Counters()
+	ss := ShardStats{
+		Shard:           s.id,
 		BlocksWritten:   dc.Writes,
 		BlocksRead:      dc.Reads,
 		LiveBlocks:      dc.Live,
@@ -165,7 +337,7 @@ func (db *DB) Stats() Stats {
 		FullMerges:      ts.FullMerges,
 	}
 	for _, lv := range v.Levels() {
-		s.Levels = append(s.Levels, LevelStats{
+		ss.Levels = append(ss.Levels, LevelStats{
 			Level:          lv.Number,
 			Blocks:         lv.Blocks(),
 			Records:        lv.Records,
@@ -175,16 +347,15 @@ func (db *DB) Stats() Stats {
 			Compactions:    lv.Compactions,
 		})
 	}
-	if c := db.tree.Cache(); c != nil {
+	if c := s.tree.Cache(); c != nil {
 		cs := c.Stats()
-		s.CacheHits, s.CacheMisses = cs.Hits, cs.Misses
+		ss.CacheHits, ss.CacheMisses = cs.Hits, cs.Misses
 	}
-	if b := db.tree.Blooms(); b != nil {
-		s.BloomSkipped, s.BloomPassed = b.Counts()
+	if b := s.tree.Blooms(); b != nil {
+		ss.BloomSkipped, ss.BloomPassed = b.Counts()
 	}
-	s.Latencies = db.latencyStats()
-	cs := db.sched.Snapshot()
-	s.Compaction = CompactionStats{
+	cs := s.sched.Snapshot()
+	ss.Compaction = CompactionStats{
 		Mode:         cs.Mode.String(),
 		QueueDepth:   cs.QueueDepth,
 		L0Blocks:     cs.L0Blocks,
@@ -194,9 +365,9 @@ func (db *DB) Stats() Stats {
 		SlowdownTime: cs.SlowdownTime,
 		StopTime:     cs.StopTime,
 	}
-	if db.wal != nil {
-		ws := db.wal.Stats()
-		s.WAL = WALStats{
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		ss.WAL = WALStats{
 			Enabled:   true,
 			Appends:   ws.Appends,
 			Ops:       ws.Ops,
@@ -205,10 +376,10 @@ func (db *DB) Stats() Stats {
 			Rotations: ws.Rotations,
 			Segments:  ws.Segments,
 			LastSeq:   ws.NextSeq - 1,
-			Recovery:  db.recovery,
+			Recovery:  s.recovery,
 		}
 	}
-	return s
+	return ss, true
 }
 
 // latencyStats materializes the non-empty latency histograms.
@@ -239,15 +410,17 @@ func (db *DB) latencyStats() []LatencyStats {
 // cumulative counter reported by Stats — device read/write traffic,
 // request accounting, merge and growth counts, the per-level
 // BlocksWritten/Compactions series, cache and Bloom statistics, and the
-// latency histograms. Structural state (Height, Records, LiveBlocks,
-// level contents) is unaffected. See the Stats documentation for the
-// uniform-window guarantee this provides.
+// latency histograms — across every shard. Structural state (Height,
+// Records, LiveBlocks, level contents) is unaffected. See the Stats
+// documentation for the uniform-window guarantee this provides.
 func (db *DB) ResetIOStats() {
-	tree, unlock := db.lockedTree()
+	unlock := db.lockAllShards()
 	defer unlock()
-	tree.ResetStats()
-	db.sched.ResetCounters()
-	if db.wal != nil {
-		db.wal.ResetCounters()
+	for _, s := range db.shards {
+		s.tree.ResetStats()
+		s.sched.ResetCounters()
+		if s.wal != nil {
+			s.wal.ResetCounters()
+		}
 	}
 }

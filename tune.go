@@ -44,6 +44,14 @@ type TuneResult struct {
 // policy.
 var ErrNotMixed = errors.New("lsmssd: TuneMixed requires MergePolicy == Mixed")
 
+// ErrSharded is returned by TuneMixed on a multi-shard DB. Learning
+// drives a sample workload through one tree and measures its merges; a
+// hash-partitioned store would need per-shard workload splits and
+// per-shard learned parameters, which the tuner does not model yet. Tune
+// on a single-shard stand-in and open the sharded store with the learned
+// parameters instead.
+var ErrSharded = errors.New("lsmssd: TuneMixed supports single-shard DBs only (Options.Shards == 1)")
+
 // TuneMixed learns the Mixed policy's per-level thresholds and bottom
 // decision for the workload produced by next, applying them to the DB
 // (Section IV-C of the paper). The sample workload is driven through the
@@ -55,7 +63,10 @@ var ErrNotMixed = errors.New("lsmssd: TuneMixed requires MergePolicy == Mixed")
 // real merges, so it costs real writes; the paper finds the cost is small
 // compared with the steady-state savings.
 func (db *DB) TuneMixed(next func() (Request, bool), opts TuneOptions) (TuneResult, error) {
-	tree, unlock := db.lockedTree()
+	if len(db.shards) > 1 {
+		return TuneResult{}, ErrSharded
+	}
+	tree, unlock := db.shards[0].lockedTree()
 	defer unlock()
 	m, ok := tree.Policy().(*policy.Mixed)
 	if !ok {
@@ -79,9 +90,11 @@ func (db *DB) TuneMixed(next func() (Request, bool), opts TuneOptions) (TuneResu
 }
 
 // MixedParams returns the Mixed policy's current parameters, or ok=false
-// if the DB uses another policy.
+// if the DB uses another policy. On a sharded DB it reports shard 0 —
+// shards start from identical configurations, and TuneMixed (the only
+// way they diverge) refuses to run sharded.
 func (db *DB) MixedParams() (taus map[int]float64, beta bool, ok bool) {
-	tree, unlock := db.lockedTree()
+	tree, unlock := db.shards[0].lockedTree()
 	defer unlock()
 	m, isMixed := tree.Policy().(*policy.Mixed)
 	if !isMixed {
