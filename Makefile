@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race fuzz bench-read bench-write obs-smoke crash ci
+.PHONY: all build fmt vet lint test race fuzz bench-read bench-write bench-timeline obs-smoke crash ci
 
 all: build
 
@@ -19,10 +19,10 @@ vet:
 
 # Repo-specific static analysis: the eight syntactic rules (device-io,
 # global-rand, unchecked-err, layering, tree-state, obs-event,
-# compaction-step, wal-frame) plus the six CFG/dataflow rules
+# compaction-step, wal-frame) plus the seven CFG/dataflow rules
 # (lock-discipline, view-refcount, sentinel-error-flow, wal-ordering,
-# goroutine-shutdown, shard-lock-order). See internal/lint and
-# DESIGN.md §6, §12.
+# goroutine-shutdown, shard-lock-order, span-finish). See internal/lint
+# and DESIGN.md §6, §12.
 lint:
 	$(GO) run ./cmd/lsmlint ./...
 
@@ -59,11 +59,24 @@ bench-write:
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentWrites|BenchmarkPutLatencyTail' -benchtime 2s .
 	$(GO) run ./cmd/benchjson -mode write -goroutines 8 -sweep 1,2,4,8 -out BENCH_write.json
 
+# Sustained-load latency-over-time artifact: 8s of mixed writer/reader
+# load against a WAL-synced background-compaction store with phase
+# tracing and the flight recorder on. BENCH_timeline.json carries the
+# per-shard timeline (ops/s, put/get p99, stall windows, L0 depth, WAL
+# sync latency, phase deltas) plus the slow-op span dumps — the evidence
+# file the paced-compaction work is gated on.
+bench-timeline:
+	$(GO) run ./cmd/lsmbench -timeline BENCH_timeline.json -timeline-dur 8s
+
 # End-to-end observability smoke: open a store with the /metrics endpoint
 # on an ephemeral port, drive writes, scrape it, and require the core
-# metric families plus a parseable /debug/lsm dump.
+# metric families plus a parseable /debug/lsm dump. Then a short
+# -timeline run to prove the phase-span / flight-recorder path end to
+# end (artifact is discarded; bench-timeline emits the committed one).
 obs-smoke:
 	$(GO) run ./cmd/obssmoke
+	$(GO) run ./cmd/lsmbench -timeline /tmp/lsmssd_timeline_smoke.json -timeline-dur 2s
+	rm -f /tmp/lsmssd_timeline_smoke.json
 
 # Power-cut recovery harness (internal/crashloop via cmd/crashloop): all
 # three WAL sync policies, randomized crashes and torn tails, acked-write

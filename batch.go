@@ -5,6 +5,7 @@ import (
 
 	"lsmssd/internal/block"
 	"lsmssd/internal/core"
+	"lsmssd/internal/obs"
 )
 
 // ErrBatchDB is returned by Apply when a batch created by one DB's
@@ -120,7 +121,7 @@ func (db *DB) Apply(b *WriteBatch) error {
 		// An empty batch still goes through one shard's admission and
 		// cascade check, preserving the pre-sharding semantics (a stalled
 		// or failed engine reports it).
-		return db.shards[0].applyOps(nil)
+		return db.applyShard(db.shards[0], nil)
 	}
 	for i, ops := range b.perShard {
 		if len(ops) == 0 {
@@ -130,9 +131,22 @@ func (db *DB) Apply(b *WriteBatch) error {
 		if b.db != nil {
 			s = db.shards[i]
 		}
-		if err := s.applyOps(ops); err != nil {
+		if err := db.applyShard(s, ops); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// applyShard runs one shard's slice of a batch under its own latency
+// series and phase span: each touched shard is a separate atomic writer
+// step, so each gets its own OpApply observation — a stall on shard 2
+// shows up on shard 2's timeline, not smeared across the batch.
+func (db *DB) applyShard(s *shard, ops []core.BatchOp) error {
+	start := s.lat.Start()
+	sp := db.tracer.Start(obs.OpApply, s.id)
+	err := s.applyOps(ops, sp)
+	sp.Finish()
+	s.lat.Done(obs.OpApply, start)
+	return err
 }

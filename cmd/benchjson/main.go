@@ -186,6 +186,11 @@ func run(mode string, ops, goroutines int, seed int64, shards int) (*result, err
 	for _, l := range lats {
 		all = append(all, l...)
 	}
+	// A run that measured fewer ops than requested without reporting an
+	// error would silently publish a bogus trajectory point; refuse it.
+	if len(all) != ops {
+		return nil, fmt.Errorf("%s run measured %d of %d requested ops with no error; refusing to emit a partial result", mode, len(all), ops)
+	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	pct := func(p float64) int64 {
 		i := int(p * float64(len(all)-1))

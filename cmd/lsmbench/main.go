@@ -42,12 +42,23 @@ func main() {
 		csv   = flag.String("csv", "", "write CSV files into this directory instead of text to stdout")
 		quick = flag.Bool("quick", false, "fewer sizes per figure (smoke pass)")
 		trace = flag.String("trace", "", "append the per-merge JSONL event trace to this file")
+
+		timeline = flag.String("timeline", "", "instead of a figure, drive the sustained-load latency-attribution workload and write its JSON artifact here (e.g. BENCH_timeline.json)")
+		tdur     = flag.Duration("timeline-dur", 8*time.Second, "measured duration of the -timeline workload")
 	)
 	flag.Parse()
 
 	// The harness allocates heavily but briefly (merge outputs, payload
 	// buffers); a relaxed GC target trades memory for wall-clock time.
 	debug.SetGCPercent(400)
+
+	if *timeline != "" {
+		if err := runTimeline(*timeline, *tdur, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "lsmbench: timeline: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	p := experiments.Params{Scale: *scale, Seed: *seed}.WithDefaults()
 	if *trace != "" {

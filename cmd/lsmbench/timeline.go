@@ -1,0 +1,215 @@
+package main
+
+// The -timeline mode drives sustained mixed load against a file-backed,
+// WAL-synced, background-compaction store with phase tracing and the
+// flight recorder on, then dumps the per-shard timeline, the slow-op
+// ring, and end-of-run totals as one JSON artifact (BENCH_timeline.json
+// via the Makefile). This is the latency-over-time evidence the
+// paced-compaction work is gated on: stall windows in the timeline
+// should visibly align with put p99 spikes, the way Luo & Carey's
+// stability study reads LSM write cliffs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsmssd"
+	"lsmssd/internal/obs"
+)
+
+// timelineDoc is the JSON document -timeline emits.
+type timelineDoc struct {
+	Params   timelineParams            `json:"params"`
+	Totals   timelineTotals            `json:"totals"`
+	Timeline [][]lsmssd.TimelineSample `json:"timeline"`
+	SlowOps  []slowOp                  `json:"slow_ops"`
+}
+
+type timelineParams struct {
+	Shards          int   `json:"shards"`
+	Writers         int   `json:"writers"`
+	Readers         int   `json:"readers"`
+	DurationNS      int64 `json:"duration_ns"`
+	Seed            int64 `json:"seed"`
+	TraceSampleRate int   `json:"trace_sample_rate"`
+	SlowThresholdNS int64 `json:"slow_threshold_ns"`
+	IntervalNS      int64 `json:"interval_ns"`
+}
+
+type timelineTotals struct {
+	Ops           int64 `json:"ops"`
+	Ticks         int   `json:"ticks"`
+	StallTicks    int   `json:"stall_ticks"`    // ticks with at least one stall event
+	MaxPutP99NS   int64 `json:"max_put_p99_ns"` // worst per-tick put p99 across shards
+	SlowOps       int   `json:"slow_ops"`
+	BlocksWritten int64 `json:"blocks_written"`
+}
+
+// slowOp is a SpanEvent rendered with string labels for the artifact.
+type slowOp struct {
+	Op             string           `json:"op"`
+	Shard          int              `json:"shard"`
+	StartUnixNanos int64            `json:"start_unix_nanos"`
+	TotalNS        int64            `json:"total_ns"`
+	PhasesNS       map[string]int64 `json:"phases_ns"`
+}
+
+// runTimeline executes the sustained-load workload for dur and writes the
+// artifact to path.
+func runTimeline(path string, dur time.Duration, seed int64) error {
+	dir, err := os.MkdirTemp("", "lsmbench-timeline-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	const (
+		writers  = 6
+		readers  = 2
+		keySpace = 1 << 20
+		interval = 250 * time.Millisecond
+	)
+	opts := lsmssd.Options{
+		Path:             filepath.Join(dir, "store.db"),
+		Shards:           2,
+		RecordsPerBlock:  32,
+		MemtableBlocks:   8,
+		CompactionMode:   lsmssd.BackgroundCompaction,
+		WAL:              lsmssd.WALOptions{Enabled: true, Sync: lsmssd.SyncEvery},
+		Metrics:          true,
+		TraceSampleRate:  64,
+		SlowOpThreshold:  5 * time.Millisecond,
+		TimelineInterval: interval,
+	}
+	db, err := lsmssd.Open(opts)
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if closed {
+			return
+		}
+		if cerr := db.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "lsmbench: timeline: close:", cerr)
+		}
+	}()
+
+	payload := make([]byte, 100)
+	var stop atomic.Bool
+	var ops atomic.Int64
+	errs := make([]error, writers+readers)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(g)*7919))
+			for !stop.Load() {
+				if err := db.Put(uint64(rng.Intn(keySpace)), payload); err != nil {
+					errs[g] = err
+					return
+				}
+				ops.Add(1)
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(writers+g)*7919))
+			for !stop.Load() {
+				if _, _, err := db.Get(uint64(rng.Intn(keySpace))); err != nil {
+					errs[writers+g] = err
+					return
+				}
+				ops.Add(1)
+			}
+		}(g)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Let the recorder take one more tick so the tail of the run is in the
+	// timeline, then read everything before Close stops the recorder.
+	time.Sleep(interval + interval/2)
+	timeline := db.Timeline()
+	slow := db.SlowOps()
+	stats := db.Stats()
+	closed = true
+	if err := db.Close(); err != nil {
+		return err
+	}
+
+	totals := timelineTotals{
+		Ops:           ops.Load(),
+		SlowOps:       len(slow),
+		BlocksWritten: stats.BlocksWritten,
+	}
+	for _, shardLine := range timeline {
+		totals.Ticks += len(shardLine)
+		for _, s := range shardLine {
+			if s.Stalls > 0 {
+				totals.StallTicks++
+			}
+			if s.PutP99NS > totals.MaxPutP99NS {
+				totals.MaxPutP99NS = s.PutP99NS
+			}
+		}
+	}
+	slowOut := make([]slowOp, 0, len(slow))
+	for _, ev := range slow {
+		phases := make(map[string]int64, len(ev.Phases))
+		for p, d := range ev.Phases {
+			if d > 0 {
+				phases[obs.Phase(p).String()] = int64(d)
+			}
+		}
+		slowOut = append(slowOut, slowOp{
+			Op:             ev.Op.String(),
+			Shard:          ev.Shard,
+			StartUnixNanos: ev.Start.UnixNano(),
+			TotalNS:        int64(ev.Total),
+			PhasesNS:       phases,
+		})
+	}
+	doc := timelineDoc{
+		Params: timelineParams{
+			Shards:          opts.Shards,
+			Writers:         writers,
+			Readers:         readers,
+			DurationNS:      int64(dur),
+			Seed:            seed,
+			TraceSampleRate: opts.TraceSampleRate,
+			SlowThresholdNS: int64(opts.SlowOpThreshold),
+			IntervalNS:      int64(interval),
+		},
+		Totals:   totals,
+		Timeline: timeline,
+		SlowOps:  slowOut,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lsmbench: timeline: %d ops, %d ticks (%d with stalls), max put p99 %s, %d slow ops -> %s\n",
+		totals.Ops, totals.Ticks, totals.StallTicks,
+		time.Duration(totals.MaxPutP99NS).Round(time.Microsecond), totals.SlowOps, path)
+	return nil
+}

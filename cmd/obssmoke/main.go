@@ -121,6 +121,35 @@ func run() error {
 	if dump.Height < 3 || len(dump.Levels) < 2 {
 		return fmt.Errorf("/debug/lsm implausible: height=%d levels=%d", dump.Height, len(dump.Levels))
 	}
+
+	// The latency-attribution endpoints must serve valid JSON even on a
+	// store with tracing off: an empty slow ring and a (possibly still
+	// empty) flight-recorder timeline. The full traced path is exercised
+	// by `lsmbench -timeline` in the same make target.
+	resp, err = http.Get("http://" + addr + "/debug/lsm/timeline")
+	if err != nil {
+		return err
+	}
+	var timeline [][]lsmssd.TimelineSample
+	err = json.NewDecoder(resp.Body).Decode(&timeline)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("/debug/lsm/timeline: %w", err)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/lsm/slow")
+	if err != nil {
+		return err
+	}
+	var slow []lsmssd.SpanEvent
+	err = json.NewDecoder(resp.Body).Decode(&slow)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("/debug/lsm/slow: %w", err)
+	}
 	if merges.Load() == 0 {
 		return fmt.Errorf("no merge events observed over 20k inserts")
 	}

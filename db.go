@@ -2,6 +2,7 @@ package lsmssd
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 
 	"lsmssd/internal/block"
@@ -58,13 +59,22 @@ type DB struct {
 
 	// Observability (see metrics.go), shared by every shard so one bus
 	// subscription and one metrics endpoint observe the whole DB (events
-	// carry a Shard field). bus and lat always exist; lat records only
-	// when MetricsAddr enabled it, and the bus constructs no events until
-	// a sink subscribes. metrics is the HTTP endpoint, nil unless
-	// Options.MetricsAddr is set.
-	bus     *obs.Bus
-	lat     *obs.LatencySet
-	metrics *obs.Server
+	// carry a Shard field). bus, lat, and tracer always exist; lat records
+	// only when Options.Metrics (or MetricsAddr) enabled it, the tracer is
+	// inert unless TraceSampleRate or SlowOpThreshold is set, and the bus
+	// constructs no events until a sink subscribes. lat holds the
+	// router-level series (multi-shard ops like Scan); point ops record
+	// into the owning shard's set and Stats merges them. metrics is the
+	// HTTP endpoint, nil unless Options.MetricsAddr is set; recorder is
+	// the flight recorder's ticker goroutine, nil unless Metrics is on,
+	// stopped exactly once (recOnce) before shard teardown so its
+	// collector never observes a half-closed shard.
+	bus      *obs.Bus
+	lat      *obs.LatencySet
+	tracer   *obs.Tracer
+	metrics  *obs.Server
+	recorder *obs.Recorder
+	recOnce  sync.Once
 }
 
 // Open creates or reopens a DB with the given options. An empty Options
@@ -96,7 +106,8 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{opts: opts, bus: obs.NewBus(0), lat: &obs.LatencySet{}}
-	db.lat.Enable(opts.MetricsAddr != "")
+	db.lat.Enable(opts.Metrics)
+	db.tracer = obs.NewTracer(db.bus, opts.Shards, opts.TraceSampleRate, opts.SlowOpThreshold)
 	db.mask = uint64(opts.Shards - 1)
 	db.shards = make([]*shard, 0, opts.Shards)
 	for i := 0; i < opts.Shards; i++ {
@@ -177,31 +188,44 @@ func (db *DB) Checkpoint() error {
 // configured triggers, and reports any merge error that shard's scheduler
 // parked since the previous write.
 func (db *DB) Put(key uint64, value []byte) error {
-	start := db.lat.Start()
-	defer db.lat.Done(obs.OpPut, start)
-	return db.shardFor(key).put(key, value)
+	s := db.shardFor(key)
+	start := s.lat.Start()
+	sp := db.tracer.Start(obs.OpPut, s.id)
+	err := s.put(key, value, sp)
+	sp.Finish()
+	s.lat.Done(obs.OpPut, start)
+	return err
 }
 
 // Delete removes key. Deleting an absent key is a no-op that still costs a
 // logged tombstone, as in any LSM store.
 func (db *DB) Delete(key uint64) error {
-	start := db.lat.Start()
-	defer db.lat.Done(obs.OpDelete, start)
-	return db.shardFor(key).delete(key)
+	s := db.shardFor(key)
+	start := s.lat.Start()
+	sp := db.tracer.Start(obs.OpDelete, s.id)
+	err := s.delete(key, sp)
+	sp.Finish()
+	s.lat.Done(obs.OpDelete, start)
+	return err
 }
 
 // Get returns the value stored for key. It runs against the owning
 // shard's current snapshot without taking any writer lock, so concurrent
 // Gets scale across cores even while merges run.
 func (db *DB) Get(key uint64) (value []byte, found bool, err error) {
-	start := db.lat.Start()
-	defer db.lat.Done(obs.OpGet, start)
-	v, err := db.shardFor(key).acquireView()
+	s := db.shardFor(key)
+	start := s.lat.Start()
+	sp := db.tracer.Start(obs.OpGet, s.id)
+	defer func() {
+		sp.Finish()
+		s.lat.Done(obs.OpGet, start)
+	}()
+	v, err := s.acquireView()
 	if err != nil {
 		return nil, false, err
 	}
 	defer v.Release()
-	return v.Get(block.Key(key))
+	return v.GetTraced(block.Key(key), sp)
 }
 
 // Scan calls fn for each key in [lo, hi] in ascending order until fn
@@ -212,12 +236,22 @@ func (db *DB) Get(key uint64) (value []byte, found bool, err error) {
 func (db *DB) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error {
 	start := db.lat.Start()
 	defer db.lat.Done(obs.OpScan, start)
+	// A scan crosses shards, so its span carries shard -1 and its phase
+	// histograms are not shard-attributed; heap interleaving and block
+	// fetches land in PhaseKWayMerge / PhaseCacheRead / PhaseDevRead, the
+	// caller's fn in PhaseOther.
+	sp := db.tracer.Start(obs.OpScan, -1)
+	defer sp.Finish()
 	it, err := db.NewIterator(lo, hi)
 	if err != nil {
 		return err
 	}
-	for it.Next() {
-		if !fn(it.Key(), it.Value()) {
+	it.setSpan(sp)
+	for {
+		sp.To(obs.PhaseKWayMerge)
+		ok := it.Next()
+		sp.To(obs.PhaseOther)
+		if !ok || !fn(it.Key(), it.Value()) {
 			break
 		}
 	}
@@ -240,6 +274,7 @@ func (db *DB) Close() error {
 	for _, s := range db.shards {
 		s.sched.Stop()
 	}
+	db.stopRecorder()
 	unlock := db.lockAllShards()
 	defer unlock()
 	if db.closed.Load() {
@@ -269,6 +304,7 @@ func (db *DB) Crash() error {
 	for _, s := range db.shards {
 		s.sched.Stop()
 	}
+	db.stopRecorder()
 	unlock := db.lockAllShards()
 	defer unlock()
 	if db.closed.Load() {
@@ -285,6 +321,14 @@ func (db *DB) Crash() error {
 		errs = append(errs, s.crashLocked())
 	}
 	return errors.Join(errs...)
+}
+
+// stopRecorder shuts the flight recorder's ticker goroutine down, once,
+// before any shard teardown: the collector reads per-shard state (WAL
+// statistics, scheduler snapshots) that closeLocked releases, so it must
+// be quiescent first. Safe when the recorder never started.
+func (db *DB) stopRecorder() {
+	db.recOnce.Do(func() { db.recorder.Close() })
 }
 
 // Validate checks every internal invariant of every shard (level

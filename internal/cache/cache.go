@@ -105,6 +105,23 @@ func (c *Cache) Write(id storage.BlockID, b *block.Block) error {
 	return nil
 }
 
+// Contains reports whether id is currently cached, without promoting the
+// entry or touching the hit/miss counters. The read path's span
+// instrumentation uses it to classify the upcoming Read as a cache hit
+// or a device pread; the classification is advisory (the entry can be
+// evicted between Contains and Read) and never perturbs LRU order or
+// cache statistics.
+func (c *Cache) Contains(id storage.BlockID) bool {
+	if c == nil || c.capacity == 0 {
+		return false
+	}
+	s := c.shardFor(id)
+	s.mu.Lock()
+	_, ok := s.index[id]
+	s.mu.Unlock()
+	return ok
+}
+
 // Read returns the cached block if present; otherwise it reads through and
 // caches the result. Only cache misses reach the device's read counter.
 func (c *Cache) Read(id storage.BlockID) (*block.Block, error) {

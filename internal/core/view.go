@@ -6,7 +6,9 @@ import (
 
 	"lsmssd/internal/block"
 	"lsmssd/internal/btree"
+	"lsmssd/internal/cache"
 	"lsmssd/internal/memtable"
+	"lsmssd/internal/obs"
 	"lsmssd/internal/storage"
 )
 
@@ -263,23 +265,49 @@ func (v *View) PeekBlock(id storage.BlockID) (*block.Block, error) {
 // starts at L0 and descends level by level until a match — normal or
 // tombstone — decides the answer (Section II-A).
 func (v *View) Get(k block.Key) ([]byte, bool, error) {
+	return v.GetTraced(k, nil)
+}
+
+// GetTraced is Get with latency attribution: when sp is non-nil the
+// lookup's wall time is split into the memtable probe, Bloom checks, and
+// block fetches classified as cache hits or device preads (via a
+// non-promoting cache presence check). A nil span makes every
+// instrumentation point a no-op nil check, so the plain Get path stays
+// allocation-free.
+func (v *View) GetTraced(k block.Key, sp *obs.Span) ([]byte, bool, error) {
 	t := v.tree
 	t.cnt.lookups.Add(1)
+	sp.To(obs.PhaseMemtable)
 	if r, ok := v.mem.Get(k); ok {
+		sp.To(obs.PhaseOther)
 		if r.Tombstone {
 			return nil, false, nil
 		}
 		return r.Payload, true, nil
 	}
+	sp.To(obs.PhaseOther)
 	for i := range v.levels {
 		m, ok := findBlock(v.levels[i].Metas, k)
 		if !ok {
 			continue
 		}
-		if t.blooms != nil && !t.blooms.MayContain(m.ID, k) {
-			continue
+		if t.blooms != nil {
+			sp.To(obs.PhaseBloom)
+			may := t.blooms.MayContain(m.ID, k)
+			sp.To(obs.PhaseOther)
+			if !may {
+				continue
+			}
+		}
+		if sp != nil {
+			if t.cache.Contains(m.ID) {
+				sp.To(obs.PhaseCacheRead)
+			} else {
+				sp.To(obs.PhaseDevRead)
+			}
 		}
 		blk, err := t.dev.Read(m.ID)
+		sp.To(obs.PhaseOther)
 		if err != nil {
 			return nil, false, err
 		}
@@ -336,11 +364,22 @@ func (v *View) Iter(lo, hi block.Key) *Iter {
 		metas := v.levels[i].Metas
 		start, end := btree.OverlapIn(metas, lo, hi)
 		streams = append(streams, &iterStream{
-			dev: v.tree.dev, metas: metas,
+			dev: v.tree.dev, cache: v.tree.cache, metas: metas,
 			blk: start, blkEnd: end, lo: lo, hi: hi,
 		})
 	}
 	return &Iter{streams: streams}
+}
+
+// SetSpan attaches a latency-attribution span to the iterator: block
+// loads triggered by Next are then classified as cache hits or device
+// preads against the span, with the surrounding heap work attributed to
+// the k-way merge phase by the caller. A nil span (the default) keeps
+// iteration untraced.
+func (it *Iter) SetSpan(sp *obs.Span) {
+	for _, s := range it.streams {
+		s.sp = sp
+	}
 }
 
 // Iter streams the live records of one snapshot in ascending key order.
@@ -410,6 +449,8 @@ type iterStream struct {
 	pos  int
 	// Level mode: walk metas[blk:blkEnd), loading lazily; reads count.
 	dev         storage.Device
+	cache       *cache.Cache // classification only; may be nil
+	sp          *obs.Span    // latency attribution; may be nil
 	metas       []btree.BlockMeta
 	blk, blkEnd int
 	cur         []block.Record
@@ -439,7 +480,17 @@ func (s *iterStream) peek() (block.Record, bool, error) {
 		if s.blk >= s.blkEnd {
 			return block.Record{}, false, nil
 		}
+		if s.sp != nil {
+			if s.cache.Contains(s.metas[s.blk].ID) {
+				s.sp.To(obs.PhaseCacheRead)
+			} else {
+				s.sp.To(obs.PhaseDevRead)
+			}
+		}
 		b, err := s.dev.Read(s.metas[s.blk].ID)
+		if s.sp != nil {
+			s.sp.To(obs.PhaseKWayMerge)
+		}
 		if err != nil {
 			return block.Record{}, false, err
 		}

@@ -90,7 +90,7 @@ func TestFixturesDetected(t *testing.T) {
 		"treestate", "obsevent", "compactionstep", "walframe",
 		// v2 path-sensitive rules.
 		"lockdiscipline", "viewrefcount", "errflow", "walordering", "goshutdown",
-		"shardlockorder",
+		"shardlockorder", "spanfinish",
 		// Driver mechanism.
 		"suppress",
 	}

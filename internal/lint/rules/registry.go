@@ -9,7 +9,7 @@ import (
 )
 
 // All returns every lsmlint rule: the eight syntactic restrictions and
-// the six path-sensitive dataflow rules.
+// the seven path-sensitive dataflow rules.
 func All() []lint.Rule {
 	return []lint.Rule{
 		// Syntactic (v1).
@@ -28,6 +28,7 @@ func All() []lint.Rule {
 		walOrdering,
 		goroutineShutdown,
 		shardLockOrder,
+		spanFinish,
 	}
 }
 

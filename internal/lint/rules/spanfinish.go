@@ -1,0 +1,275 @@
+package rules
+
+// span-finish: every *obs.Span obtained from a tracer must reach Finish
+// on every path. An unfinished span never publishes its event, never
+// feeds the phase histograms, and leaks its pooled buffer — the op
+// silently vanishes from the latency attribution it was started for. An
+// acquisition is any call whose (first) result is *obs.Span; the
+// obligation is discharged by sp.Finish() (direct or deferred, including
+// inside a deferred closure) or by the span escaping the function —
+// returned, passed as an argument, stored, or captured — in which case
+// the receiver owns the finish.
+//
+// Unlike view-refcount there is no paired error result: Start returns a
+// single pointer that is nil when the op is not traced. The analysis is
+// therefore edge-sensitive on the span variable itself: the `sp == nil`
+// branch kills the obligation (nothing was started), the non-nil branch
+// keeps it live. Finish is nil-safe, so code that never checks is fine
+// too — the obligation simply follows both branches.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lsmssd/internal/lint"
+	"lsmssd/internal/lint/cfg"
+	"lsmssd/internal/lint/dataflow"
+)
+
+// spanFact maps a span variable to its acquisition site. Facts are
+// immutable: every transfer copies.
+type spanFact map[types.Object]token.Pos
+
+func (f spanFact) clone() spanFact {
+	out := make(spanFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+type spanAnalysis struct {
+	ctx    *lint.Context
+	report func(pos token.Pos, msg string)
+}
+
+func (a *spanAnalysis) Boundary() dataflow.Fact { return spanFact{} }
+
+func (a *spanAnalysis) Meet(x, y dataflow.Fact) dataflow.Fact {
+	fx, fy := x.(spanFact), y.(spanFact)
+	out := fx.clone()
+	for k, v := range fy {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (a *spanAnalysis) Equal(x, y dataflow.Fact) bool {
+	fx, fy := x.(spanFact), y.(spanFact)
+	if len(fx) != len(fy) {
+		return false
+	}
+	for k := range fx {
+		if _, ok := fy[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterEdge kills the obligation along the span's own nil branch: a nil
+// span was never started, so there is nothing to finish there.
+func (a *spanAnalysis) FilterEdge(from *cfg.Block, e cfg.Edge, f dataflow.Fact) dataflow.Fact {
+	if e.Cond == nil {
+		return f
+	}
+	obj, neq, ok := nilCheck(a.ctx.Pkg.Info, e.Cond)
+	if !ok {
+		return f
+	}
+	fact := f.(spanFact)
+	if _, tracked := fact[obj]; !tracked {
+		return f
+	}
+	nilBranch := (!neq && e.Kind == cfg.True) || (neq && e.Kind == cfg.False)
+	if !nilBranch {
+		return f
+	}
+	out := fact.clone()
+	delete(out, obj)
+	return out
+}
+
+func (a *spanAnalysis) Transfer(b *cfg.Block, in dataflow.Fact) dataflow.Fact {
+	f := in.(spanFact).clone()
+	for _, n := range b.Nodes {
+		a.node(n, f)
+	}
+	return f
+}
+
+// isSpanAcquire reports whether call's (first) result is *obs.Span.
+func (a *spanAnalysis) isSpanAcquire(call *ast.CallExpr) bool {
+	tv, ok := a.ctx.Pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	first := tv.Type
+	if tup, ok := first.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		first = tup.At(0).Type()
+	}
+	ptr, ok := first.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == a.ctx.Cfg.ObsPkg
+}
+
+func (a *spanAnalysis) node(n ast.Node, f spanFact) {
+	info := a.ctx.Pkg.Info
+
+	// Acquisition: sp := tracer.Start(op, shard).
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && a.isSpanAcquire(call) {
+			a.scanUses(n, f) // call args may mention tracked spans
+			vid, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return
+			}
+			if vid.Name == "_" {
+				if a.report != nil {
+					a.report(call.Pos(), "started span is discarded; an unfinished span never publishes and leaks its pooled buffer")
+				}
+				return
+			}
+			obj := identObj(info, vid)
+			if obj == nil {
+				return
+			}
+			f[obj] = call.Pos()
+			return
+		}
+	}
+
+	// Bare statement dropping the result: tracer.Start(op, shard).
+	if es, ok := n.(*ast.ExprStmt); ok {
+		if call, ok := es.X.(*ast.CallExpr); ok && a.isSpanAcquire(call) {
+			if a.report != nil {
+				a.report(call.Pos(), "started span is discarded; an unfinished span never publishes and leaks its pooled buffer")
+			}
+			a.scanUses(n, f)
+			return
+		}
+	}
+
+	// defer sp.Finish() discharges; so does a deferred closure that
+	// finishes the span (scanUses walks into the closure body).
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		if obj := a.finishTarget(ds.Call); obj != nil {
+			delete(f, obj)
+			return
+		}
+	}
+
+	a.scanUses(n, f)
+}
+
+// finishTarget returns the tracked object when call is sp.Finish().
+func (a *spanAnalysis) finishTarget(call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Finish" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return a.ctx.Pkg.Info.Uses[id]
+}
+
+// scanUses walks a node: Finish calls discharge, method-call receivers
+// (sp.To, sp.Shift) and nil-comparison operands (`sp != nil` — that is
+// FilterEdge's business, not an escape) keep the obligation, and any
+// other mention of a tracked span (return, argument, field store,
+// closure capture, reassignment) discharges it as an escape —
+// responsibility moves with the value.
+func (a *spanAnalysis) scanUses(n ast.Node, f spanFact) {
+	info := a.ctx.Pkg.Info
+	receiverIdents := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					receiverIdents[id] = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if _, _, ok := nilCheck(info, x); ok {
+				if id, isID := x.X.(*ast.Ident); isID {
+					receiverIdents[id] = true
+				}
+				if id, isID := x.Y.(*ast.Ident); isID {
+					receiverIdents[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if obj := a.finishTarget(x); obj != nil {
+				delete(f, obj)
+			}
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				return true
+			}
+			if _, tracked := f[obj]; tracked && !receiverIdents[x] {
+				delete(f, obj) // escape: the receiver owns the finish
+			}
+		}
+		return true
+	})
+}
+
+var spanFinish = lint.Rule{
+	Name: "span-finish",
+	Doc:  "every span from Tracer.Start reaches Finish (or escapes) on all paths",
+	Run: func(ctx *lint.Context) []lint.Finding {
+		if ctx.Cfg.ObsPkg == "" {
+			return nil
+		}
+		var out []lint.Finding
+		seen := map[token.Pos]bool{}
+		for _, fn := range functions(ctx.Pkg) {
+			g := cfg.Build(fn.body)
+			a := &spanAnalysis{ctx: ctx}
+			res := dataflow.Forward(g, a)
+
+			a.report = func(pos token.Pos, msg string) {
+				if seen[pos] {
+					return
+				}
+				seen[pos] = true
+				out = append(out, lint.Finding{
+					Pos:  ctx.Pkg.Fset.Position(pos),
+					Rule: "span-finish",
+					Msg:  msg,
+				})
+			}
+			for _, b := range g.Blocks {
+				if in, ok := res.In[b]; ok {
+					a.Transfer(b, in)
+				}
+			}
+			if exitIn, ok := res.In[g.Exit]; ok {
+				for _, pos := range exitIn.(spanFact) {
+					a.report(pos, "span started here may not be finished on every path; call Finish (or defer it) before returning")
+				}
+			}
+			a.report = nil
+		}
+		return out
+	},
+}

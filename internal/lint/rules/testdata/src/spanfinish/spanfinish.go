@@ -1,0 +1,90 @@
+// Package spanfinish seeds violations of the span-finish rule: spans
+// started from a tracer that miss their Finish on some path, or are
+// discarded outright. The fixed shapes (direct finish, deferred finish,
+// deferred closure, finish on every path, nil-guarded finish, escape to
+// the caller) ride along as negatives.
+package spanfinish
+
+import "lsmssd/internal/obs"
+
+func leakOnEarlyReturn(t *obs.Tracer, skip bool) {
+	sp := t.Start(obs.OpGet, 0) // want span-finish
+	if skip {
+		return
+	}
+	sp.Finish()
+}
+
+func neverFinished(t *obs.Tracer) {
+	sp := t.Start(obs.OpPut, 1) // want span-finish
+	sp.To(obs.PhaseMemtable)
+}
+
+func discarded(t *obs.Tracer) {
+	_ = t.Start(obs.OpGet, 0) // want span-finish
+}
+
+func dropped(t *obs.Tracer) {
+	t.Start(obs.OpDelete, 0) // want span-finish
+}
+
+func nilCheckedButLeaks(t *obs.Tracer, skip bool) {
+	sp := t.Start(obs.OpGet, 0) // want span-finish
+	if sp != nil {
+		if skip {
+			return
+		}
+		sp.Finish()
+	}
+}
+
+func directFinish(t *obs.Tracer) {
+	sp := t.Start(obs.OpPut, 0)
+	sp.To(obs.PhaseWALAppend)
+	sp.Finish()
+}
+
+func deferredFinish(t *obs.Tracer) {
+	sp := t.Start(obs.OpGet, 0)
+	defer sp.Finish()
+	sp.To(obs.PhaseMemtable)
+}
+
+func deferredClosureFinish(t *obs.Tracer) {
+	sp := t.Start(obs.OpGet, 0)
+	defer func() {
+		sp.Finish()
+	}()
+	sp.To(obs.PhaseDevRead)
+}
+
+func finishOnEveryPath(t *obs.Tracer, fast bool) {
+	sp := t.Start(obs.OpScan, -1)
+	if fast {
+		sp.Finish()
+		return
+	}
+	sp.To(obs.PhaseKWayMerge)
+	sp.Finish()
+}
+
+func nilGuarded(t *obs.Tracer) {
+	sp := t.Start(obs.OpGet, 0)
+	if sp == nil {
+		return // nothing was started; nothing to finish
+	}
+	sp.Finish()
+}
+
+// escapes returns the span to the caller, who owns the finish.
+func escapes(t *obs.Tracer) *obs.Span {
+	sp := t.Start(obs.OpApply, 2)
+	sp.To(obs.PhaseStallWait)
+	return sp
+}
+
+// escapesAsArg hands the span to a helper, which owns the finish.
+func escapesAsArg(t *obs.Tracer, helper func(*obs.Span) error) error {
+	sp := t.Start(obs.OpPut, 0)
+	return helper(sp)
+}

@@ -89,6 +89,24 @@ func (s *HistSnapshot) Merge(o HistSnapshot) {
 	}
 }
 
+// Sub returns s − o elementwise: the histogram of observations made
+// between o's snapshot time and s's. Meaningful only when o is an
+// earlier snapshot of the same histogram (no reset in between); the
+// flight recorder uses it to turn cumulative histograms into per-tick
+// deltas. Negative counts (from a concurrent reset) clamp to zero.
+func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count - o.Count, Sum: s.Sum - o.Sum}
+	if out.Count < 0 {
+		return HistSnapshot{}
+	}
+	for i := range s.Buckets {
+		if d := s.Buckets[i] - o.Buckets[i]; d > 0 {
+			out.Buckets[i] = d
+		}
+	}
+	return out
+}
+
 // Mean returns the average observed duration, or 0 when empty.
 func (s HistSnapshot) Mean() time.Duration {
 	if s.Count == 0 {
@@ -147,6 +165,7 @@ const (
 	OpMerge     // one merge step, timed inside the engine
 	OpStall     // time a write spent in backpressure (sleep or stall gate)
 	OpWALAppend // a write-ahead log frame append, including any policy fsync
+	OpApply     // one shard's slice of a WriteBatch
 	NumOps
 )
 
@@ -167,6 +186,8 @@ func (o Op) String() string {
 		return "stall"
 	case OpWALAppend:
 		return "wal_append"
+	case OpApply:
+		return "apply"
 	}
 	return "unknown"
 }

@@ -22,14 +22,22 @@ type ServerConfig struct {
 	Metrics func() []Family
 	// Debug produces the value rendered as JSON at /debug/lsm.
 	Debug func() any
+	// Timeline produces the value rendered as JSON at /debug/lsm/timeline
+	// (the flight recorder's per-shard sample rings). Optional.
+	Timeline func() any
+	// Slow produces the value rendered as JSON at /debug/lsm/slow (the
+	// captured slow-op spans, newest first). Optional.
+	Slow func() any
 }
 
 // Server is the stdlib-only observability endpoint:
 //
-//	/metrics       Prometheus text exposition
-//	/debug/lsm     engine-state JSON (per-level state, waste, views)
-//	/debug/vars    expvar
-//	/debug/pprof/  runtime profiles
+//	/metrics            Prometheus text exposition
+//	/debug/lsm          engine-state JSON (per-level state, waste, views)
+//	/debug/lsm/timeline flight-recorder timeline JSON
+//	/debug/lsm/slow     slow-op span dumps JSON
+//	/debug/vars         expvar
+//	/debug/pprof/       runtime profiles
 //
 // Security note: the endpoint is unauthenticated and pprof can reveal
 // heap contents — bind it to loopback (or a firewalled interface) in
@@ -59,18 +67,23 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 			return
 		}
 	})
-	mux.HandleFunc("/debug/lsm", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if cfg.Debug == nil {
-			fmt.Fprintln(w, "{}")
-			return
+	jsonHandler := func(source func() any) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if source == nil {
+				fmt.Fprintln(w, "{}")
+				return
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(source()); err != nil {
+				return
+			}
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(cfg.Debug()); err != nil {
-			return
-		}
-	})
+	}
+	mux.HandleFunc("/debug/lsm", jsonHandler(cfg.Debug))
+	mux.HandleFunc("/debug/lsm/timeline", jsonHandler(cfg.Timeline))
+	mux.HandleFunc("/debug/lsm/slow", jsonHandler(cfg.Slow))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRecorderDeltas drives tick directly with a scripted collector and
+// checks the per-tick delta arithmetic.
+func TestRecorderDeltas(t *testing.T) {
+	var step atomic.Int64
+	collect := func() []ShardCounters {
+		n := step.Load()
+		var put Histogram
+		for i := int64(0); i < n*10; i++ {
+			put.Observe(time.Millisecond)
+		}
+		return []ShardCounters{{
+			Ops:          n * 100,
+			Put:          put.Snapshot(),
+			Stalls:       n * 2,
+			StallNanos:   n * int64(time.Millisecond),
+			QueueDepth:   int(n),
+			WALSyncs:     n * 4,
+			WALSyncNanos: n * 4 * 1000,
+			CacheHits:    n * 9,
+			CacheMisses:  n * 1,
+		}}
+	}
+	r := StartRecorder(RecorderConfig{Shards: 1, Interval: time.Hour, Capacity: 8, Collect: collect})
+	defer r.Close()
+
+	step.Store(1)
+	r.tick(time.Now())
+	step.Store(3)
+	r.tick(time.Now())
+
+	tl := r.Timeline()
+	if len(tl) != 1 || len(tl[0]) != 2 {
+		t.Fatalf("timeline shape: %d shards, %d samples", len(tl), len(tl[0]))
+	}
+	s := tl[0][1] // second tick: step 1 → 3
+	if s.Ops != 200 {
+		t.Errorf("ops delta = %d, want 200", s.Ops)
+	}
+	if s.Stalls != 4 || s.StallNanos != int64(2*time.Millisecond) {
+		t.Errorf("stall delta = %d/%dns, want 4/%dns", s.Stalls, s.StallNanos, 2*time.Millisecond)
+	}
+	if s.QueueDepth != 3 {
+		t.Errorf("queue depth gauge = %d, want 3", s.QueueDepth)
+	}
+	if s.WALSyncs != 8 || s.WALSyncMeanNS != 1000 {
+		t.Errorf("wal sync delta = %d mean %d, want 8 mean 1000", s.WALSyncs, s.WALSyncMeanNS)
+	}
+	if s.CacheHitRate != 0.9 {
+		t.Errorf("cache hit rate = %v, want 0.9", s.CacheHitRate)
+	}
+	if s.PutP99NS == 0 {
+		t.Error("put p99 delta empty despite 20 fresh observations")
+	}
+	if s.Seq != 2 || s.Seq-tl[0][0].Seq != 1 {
+		t.Errorf("seq numbering: %d after %d", s.Seq, tl[0][0].Seq)
+	}
+	latest := r.Latest()
+	if len(latest) != 1 || latest[0].Seq != 2 {
+		t.Fatalf("latest = %+v, want seq 2", latest)
+	}
+}
+
+// TestRecorderRingBounded overflows the per-shard ring and checks the
+// oldest samples fall out.
+func TestRecorderRingBounded(t *testing.T) {
+	collect := func() []ShardCounters { return make([]ShardCounters, 2) }
+	r := StartRecorder(RecorderConfig{Shards: 2, Interval: time.Hour, Capacity: 4, Collect: collect})
+	defer r.Close()
+	for i := 0; i < 10; i++ {
+		r.tick(time.Now())
+	}
+	tl := r.Timeline()
+	for sh := range tl {
+		if len(tl[sh]) != 4 {
+			t.Fatalf("shard %d retains %d samples, want 4", sh, len(tl[sh]))
+		}
+		if tl[sh][0].Seq != 7 || tl[sh][3].Seq != 10 {
+			t.Fatalf("shard %d window [%d,%d], want [7,10]", sh, tl[sh][0].Seq, tl[sh][3].Seq)
+		}
+	}
+}
+
+// TestRecorderRace runs the real ticker goroutine at a tight interval
+// against concurrent readers; the race detector adjudicates.
+func TestRecorderRace(t *testing.T) {
+	var n atomic.Int64
+	collect := func() []ShardCounters {
+		return []ShardCounters{{Ops: n.Add(1)}, {Ops: n.Load() * 2}}
+	}
+	r := StartRecorder(RecorderConfig{Shards: 2, Interval: time.Millisecond, Capacity: 16, Collect: collect})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = r.Timeline()
+				_ = r.Latest()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	r.Close()
+}

@@ -393,6 +393,7 @@ type Stats struct {
 	Ops       int64  // operations inside appended frames
 	Bytes     int64  // frame bytes written (headers included)
 	Syncs     int64  // explicit fsyncs issued
+	SyncNanos int64  // cumulative wall time spent inside fsync
 	Rotations int64  // segments sealed
 	Segments  int    // segment files currently on disk
 	NextSeq   uint64 // sequence the next append will be assigned
@@ -418,6 +419,7 @@ type Log struct {
 	poison   error // sticky ErrPoisoned after a failed fsync
 
 	appends, ops, bytes, syncs, rotations atomic.Int64
+	syncNanos                             atomic.Int64
 }
 
 type segInfo struct {
@@ -637,7 +639,10 @@ func (l *Log) syncLocked() error {
 	if l.synced == l.size {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	syncStart := time.Now()
+	err := l.f.Sync()
+	l.syncNanos.Add(int64(time.Since(syncStart)))
+	if err != nil {
 		// Never retry a failed fsync: the kernel may have discarded the
 		// dirty pages and cleared its error state, so a retry could
 		// "succeed" while the frame is gone. Poison the log so every later
@@ -696,6 +701,7 @@ func (l *Log) Stats() Stats {
 		Ops:       l.ops.Load(),
 		Bytes:     l.bytes.Load(),
 		Syncs:     l.syncs.Load(),
+		SyncNanos: l.syncNanos.Load(),
 		Rotations: l.rotations.Load(),
 	}
 	l.mu.Lock()
@@ -705,6 +711,12 @@ func (l *Log) Stats() Stats {
 	return st
 }
 
+// SyncNanos returns the cumulative wall time spent inside fsync, in
+// nanoseconds. Lock-free; the DB's span instrumentation reads it before
+// and after an Append to attribute the group-commit fsync wait to its
+// own phase.
+func (l *Log) SyncNanos() int64 { return l.syncNanos.Load() }
+
 // ResetCounters zeroes the cumulative traffic counters (appends, ops,
 // bytes, syncs, rotations), aligning the WAL series with the DB's uniform
 // measurement window.
@@ -713,6 +725,7 @@ func (l *Log) ResetCounters() {
 	l.ops.Store(0)
 	l.bytes.Store(0)
 	l.syncs.Store(0)
+	l.syncNanos.Store(0)
 	l.rotations.Store(0)
 }
 

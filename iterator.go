@@ -3,6 +3,7 @@ package lsmssd
 import (
 	"lsmssd/internal/block"
 	"lsmssd/internal/core"
+	"lsmssd/internal/obs"
 )
 
 // Iterator streams the keys in [lo, hi] in ascending order, pinned to the
@@ -69,6 +70,23 @@ func (db *DB) NewIterator(lo, hi uint64) (*Iterator, error) {
 		}
 	}
 	return it, nil
+}
+
+// setSpan attaches a phase span to every shard cursor, so block fetches
+// performed while the iterator advances are attributed to
+// PhaseCacheRead/PhaseDevRead and the surrounding heap work to
+// PhaseKWayMerge. Scan installs it right after NewIterator; the priming
+// reads inside NewIterator itself stay unattributed (PhaseOther).
+func (it *Iterator) setSpan(sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	for _, c := range it.heap {
+		c.it.SetSpan(sp)
+	}
+	if it.cur != nil {
+		it.cur.it.SetSpan(sp)
+	}
 }
 
 // advance moves the cursor to its stream's next entry, reporting whether

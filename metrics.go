@@ -45,6 +45,17 @@ type (
 	// RecoveryEvent summarizes the crash recovery Open performed (frames
 	// replayed, torn tail truncated).
 	RecoveryEvent = obs.RecoveryEvent
+	// SpanEvent is one finished operation span: total wall time split
+	// across engine phases (WAL append, fsync wait, stall wait, memtable,
+	// cascade, Bloom, cache vs device reads, k-way merge), summing to the
+	// total exactly. Published for sampled ops (Options.TraceSampleRate)
+	// and every op over Options.SlowOpThreshold.
+	SpanEvent = obs.SpanEvent
+	// TimelineSample is one time bucket of one shard's flight-recorder
+	// timeline; see DB.Timeline.
+	TimelineSample = obs.TimelineSample
+	// PhaseStat is one phase's latency summary inside a TimelineSample.
+	PhaseStat = obs.PhaseStat
 )
 
 // Subscribe attaches sink to the DB's event bus and returns a cancel
@@ -72,23 +83,85 @@ func (db *DB) MetricsAddr() string {
 	return db.metrics.Addr()
 }
 
-// startObs finishes Open: it starts the HTTP observability endpoint when
+// startObs finishes Open: it starts the flight recorder when
+// Options.Metrics is on and the HTTP observability endpoint when
 // Options.MetricsAddr is set. On listen failure the DB is closed and the
 // error returned, so Open never hands back a half-observable store.
 func (db *DB) startObs() (*DB, error) {
+	if db.opts.Metrics {
+		db.recorder = obs.StartRecorder(obs.RecorderConfig{
+			Shards:   len(db.shards),
+			Interval: db.opts.TimelineInterval,
+			Capacity: db.opts.TimelineCapacity,
+			Collect:  db.collectShardCounters,
+		})
+	}
 	if db.opts.MetricsAddr == "" {
 		return db, nil
 	}
 	srv, err := obs.StartServer(obs.ServerConfig{
-		Addr:    db.opts.MetricsAddr,
-		Metrics: db.metricFamilies,
-		Debug:   func() any { return db.debugState() },
+		Addr:     db.opts.MetricsAddr,
+		Metrics:  db.metricFamilies,
+		Debug:    func() any { return db.debugState() },
+		Timeline: func() any { return db.Timeline() },
+		Slow:     func() any { return db.SlowOps() },
 	})
 	if err != nil {
 		return nil, errors.Join(err, db.Close())
 	}
 	db.metrics = srv
 	return db, nil
+}
+
+// collectShardCounters gathers every shard's cumulative observability
+// counters for one flight-recorder tick. It runs on the recorder
+// goroutine concurrently with foreground traffic: everything it touches
+// is atomics, internal short-lived mutexes, or fields that only change
+// after the recorder is stopped (s.wal).
+func (db *DB) collectShardCounters() []obs.ShardCounters {
+	out := make([]obs.ShardCounters, len(db.shards))
+	for i, s := range db.shards {
+		sc := &out[i]
+		sc.Put = s.lat.Hist(obs.OpPut).Snapshot()
+		sc.Get = s.lat.Hist(obs.OpGet).Snapshot()
+		del := s.lat.Hist(obs.OpDelete).Snapshot()
+		app := s.lat.Hist(obs.OpApply).Snapshot()
+		sc.Ops = sc.Put.Count + sc.Get.Count + del.Count + app.Count
+		sc.Phases = db.tracer.PhaseSnapshot(i)
+		cs := s.sched.Snapshot()
+		sc.Stalls = cs.Slowdowns + cs.Stops
+		sc.StallNanos = int64(cs.SlowdownTime + cs.StopTime)
+		sc.QueueDepth = cs.QueueDepth
+		sc.L0Blocks = cs.L0Blocks
+		if s.wal != nil {
+			ws := s.wal.Stats()
+			sc.WALSyncs = ws.Syncs
+			sc.WALSyncNanos = ws.SyncNanos
+		}
+		if c := s.tree.Cache(); c != nil {
+			st := c.Stats()
+			sc.CacheHits, sc.CacheMisses = st.Hits, st.Misses
+		}
+	}
+	return out
+}
+
+// Timeline returns the flight recorder's retained samples, one slice per
+// shard, oldest first: a per-interval time series of ops/s, latency
+// quantiles, per-phase deltas (when tracing is on), stall state,
+// compaction debt, WAL sync latency, and cache hit rate over the last
+// Options.TimelineCapacity intervals. Nil unless Options.Metrics (or
+// MetricsAddr) is set. Also served at /debug/lsm/timeline.
+func (db *DB) Timeline() [][]TimelineSample {
+	return db.recorder.Timeline()
+}
+
+// SlowOps returns the captured slow operations, newest first: every op
+// whose total latency met Options.SlowOpThreshold, with its full phase
+// breakdown, retained in a bounded ring. Nil unless SlowOpThreshold is
+// set. Also served at /debug/lsm/slow.
+func (db *DB) SlowOps() []SpanEvent {
+	return db.tracer.SlowOps()
 }
 
 // metricFamilies materializes the /metrics payload from a Stats snapshot.
@@ -223,19 +296,96 @@ func (db *DB) metricFamilies() []obs.Family {
 
 	lf := obs.Family{
 		Name: "lsmssd_op_duration_seconds",
-		Help: "Operation latency (log-spaced buckets). Recorded only when MetricsAddr is set.",
+		Help: "Operation latency (log-spaced buckets). Recorded only when Options.Metrics or MetricsAddr is set.",
 		Type: obs.TypeHistogram,
 	}
 	if db.lat.Enabled() {
 		for op := obs.Op(0); op < obs.NumOps; op++ {
 			lf.Hists = append(lf.Hists, obs.HistSample{
 				Labels: []obs.Label{{Name: "op", Value: op.String()}},
-				Snap:   db.lat.Hist(op).Snapshot(),
+				Snap:   db.latHist(op),
 				Scale:  1e-9,
 			})
 		}
 	}
 	fams = append(fams, lf)
+	if db.lat.Enabled() && len(db.shards) > 1 {
+		sf := obs.Family{
+			Name: "lsmssd_shard_op_duration_seconds",
+			Help: "Operation latency by owning shard (log-spaced buckets).",
+			Type: obs.TypeHistogram,
+		}
+		for _, sh := range db.shards {
+			for op := obs.Op(0); op < obs.NumOps; op++ {
+				snap := sh.lat.Hist(op).Snapshot()
+				if snap.Count == 0 {
+					continue
+				}
+				sf.Hists = append(sf.Hists, obs.HistSample{
+					Labels: []obs.Label{
+						{Name: "shard", Value: strconv.Itoa(sh.id)},
+						{Name: "op", Value: op.String()},
+					},
+					Snap:  snap,
+					Scale: 1e-9,
+				})
+			}
+		}
+		fams = append(fams, sf)
+	}
+	if db.tracer.Enabled() {
+		pf := obs.Family{
+			Name: "lsmssd_phase_duration_seconds",
+			Help: "Traced-operation time by engine phase, summed across shards (requires TraceSampleRate or SlowOpThreshold).",
+			Type: obs.TypeHistogram,
+		}
+		for p := obs.Phase(0); p < obs.NumPhases; p++ {
+			var snap obs.HistSnapshot
+			for i := range db.shards {
+				snap.Merge(db.tracer.PhaseSnapshot(i)[p])
+			}
+			if snap.Count == 0 {
+				continue
+			}
+			pf.Hists = append(pf.Hists, obs.HistSample{
+				Labels: []obs.Label{{Name: "phase", Value: p.String()}},
+				Snap:   snap,
+				Scale:  1e-9,
+			})
+		}
+		fams = append(fams, pf)
+	}
+	if latest := db.recorder.Latest(); len(latest) > 0 {
+		shardLabel := func(n int) []obs.Label {
+			return []obs.Label{{Name: "shard", Value: strconv.Itoa(n)}}
+		}
+		timeline := []struct {
+			name, help string
+			value      func(TimelineSample) float64
+		}{
+			{"lsmssd_timeline_ops_per_sec", "Operations per second over the last flight-recorder interval.",
+				func(t TimelineSample) float64 { return t.OpsPerSec }},
+			{"lsmssd_timeline_put_p99_seconds", "Put p99 over the last flight-recorder interval.",
+				func(t TimelineSample) float64 { return float64(t.PutP99NS) * 1e-9 }},
+			{"lsmssd_timeline_get_p99_seconds", "Get p99 over the last flight-recorder interval.",
+				func(t TimelineSample) float64 { return float64(t.GetP99NS) * 1e-9 }},
+			{"lsmssd_timeline_stalls", "Write stalls during the last flight-recorder interval.",
+				func(t TimelineSample) float64 { return float64(t.Stalls) }},
+			{"lsmssd_timeline_l0_blocks", "L0 size in blocks at the last flight-recorder tick.",
+				func(t TimelineSample) float64 { return float64(t.L0Blocks) }},
+			{"lsmssd_timeline_wal_sync_mean_seconds", "Mean WAL fsync latency over the last flight-recorder interval.",
+				func(t TimelineSample) float64 { return float64(t.WALSyncMeanNS) * 1e-9 }},
+			{"lsmssd_timeline_cache_hit_rate", "Buffer-cache hit rate over the last flight-recorder interval.",
+				func(t TimelineSample) float64 { return t.CacheHitRate }},
+		}
+		for _, m := range timeline {
+			f := obs.Family{Name: m.name, Help: m.help, Type: obs.TypeGauge}
+			for _, t := range latest {
+				f.Samples = append(f.Samples, obs.Sample{Labels: shardLabel(t.Shard), Value: m.value(t)})
+			}
+			fams = append(fams, f)
+		}
+	}
 	return fams
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // Option is a functional configuration knob for OpenPath. Each Option
@@ -57,6 +58,24 @@ func WithBloomBitsPerKey(bits float64) Option {
 // Options.MetricsAddr for the security caveats.
 func WithMetricsAddr(addr string) Option {
 	return func(o *Options) { o.MetricsAddr = addr }
+}
+
+// WithMetrics turns on latency recording and the flight recorder without
+// serving HTTP; see Options.Metrics.
+func WithMetrics() Option {
+	return func(o *Options) { o.Metrics = true }
+}
+
+// WithTraceSampling phase-traces one in n operations; see
+// Options.TraceSampleRate.
+func WithTraceSampling(n int) Option {
+	return func(o *Options) { o.TraceSampleRate = n }
+}
+
+// WithSlowOpThreshold captures a full phase breakdown of every operation
+// at least this slow; see Options.SlowOpThreshold.
+func WithSlowOpThreshold(d time.Duration) Option {
+	return func(o *Options) { o.SlowOpThreshold = d }
 }
 
 // WithSeed fixes the engine's internal randomness; see Options.Seed.

@@ -252,14 +252,45 @@ type Options struct {
 	StopTrigger int
 	// MetricsAddr, when set, serves the observability endpoint on this TCP
 	// address: Prometheus-text /metrics, an engine-state JSON dump at
-	// /debug/lsm, expvar at /debug/vars, and pprof under /debug/pprof/.
-	// Use "127.0.0.1:0" for an ephemeral port; DB.MetricsAddr reports the
-	// bound address. Setting it also turns on per-operation latency
-	// histograms (surfaced in Stats.Latencies and /metrics). The endpoint
-	// is unauthenticated and pprof exposes heap contents — bind it to
+	// /debug/lsm, the flight-recorder timeline at /debug/lsm/timeline, the
+	// slow-op capture at /debug/lsm/slow, expvar at /debug/vars, and pprof
+	// under /debug/pprof/. Use "127.0.0.1:0" for an ephemeral port;
+	// DB.MetricsAddr reports the bound address. Setting it implies Metrics
+	// (latency recording and the flight recorder). The endpoint is
+	// unauthenticated and pprof exposes heap contents — bind it to
 	// loopback or a firewalled interface, never a public address. Empty
-	// (the default) serves nothing and records no latencies.
+	// (the default) serves nothing.
 	MetricsAddr string
+	// Metrics turns on latency recording and the flight recorder without
+	// serving HTTP: per-operation histograms (Stats.Latencies, per-shard in
+	// Stats.Shards) and the in-memory timeline behind DB.Timeline. Implied
+	// by MetricsAddr; set it alone to observe through the Go API only.
+	// Off (the default), the engine records no latencies and runs no
+	// recorder goroutine.
+	Metrics bool
+	// TraceSampleRate, when positive, phase-traces one in this many
+	// operations: the sampled op's wall time is attributed across engine
+	// phases (WAL append, fsync wait, stall wait, memtable, cascade, Bloom,
+	// cache vs device reads, k-way merge) and published as a SpanEvent.
+	// Zero (the default) disables sampling; untraced operations pay two
+	// atomic loads and allocate nothing.
+	TraceSampleRate int
+	// SlowOpThreshold, when positive, phase-traces every operation and
+	// retains those whose total latency meets the threshold in a bounded
+	// ring, inspectable via DB.SlowOps and /debug/lsm/slow. Unlike
+	// sampling this times every op (a slow one cannot be known in
+	// advance), so it costs two time.Now calls per op plus the phase
+	// transitions. Zero (the default) disables slow-op capture.
+	SlowOpThreshold time.Duration
+	// TimelineInterval is the flight recorder's sampling period (default
+	// 1s when Metrics is on). Each tick appends one sample per shard —
+	// ops/s, latency quantile deltas, stall state, compaction debt, WAL
+	// sync latency, cache hit rate — to a bounded in-memory ring covering
+	// the last TimelineCapacity ticks.
+	TimelineInterval time.Duration
+	// TimelineCapacity is the flight recorder's ring size in samples per
+	// shard (default 512 — about 8.5 minutes at the default interval).
+	TimelineCapacity int
 	// Paranoid audits the paper's structural invariants (waste bounds,
 	// pairwise block constraint, fence consistency, level-size bounds; see
 	// internal/invariant) after every merge, level growth, and request.
@@ -322,6 +353,17 @@ func (o Options) withDefaults() Options {
 			o.WAL.SegmentBytes = 4 << 20
 		}
 	}
+	if o.MetricsAddr != "" {
+		o.Metrics = true
+	}
+	if o.Metrics {
+		if o.TimelineInterval == 0 {
+			o.TimelineInterval = time.Second
+		}
+		if o.TimelineCapacity == 0 {
+			o.TimelineCapacity = 512
+		}
+	}
 	return o
 }
 
@@ -362,6 +404,18 @@ func (o Options) Validate() error {
 		}
 	default:
 		return fmt.Errorf("lsmssd: Options.CompactionMode %d is not SyncCompaction or BackgroundCompaction", o.CompactionMode)
+	}
+	if o.TraceSampleRate < 0 {
+		return fmt.Errorf("lsmssd: Options.TraceSampleRate %d is negative; use 0 to disable sampling", o.TraceSampleRate)
+	}
+	if o.SlowOpThreshold < 0 {
+		return fmt.Errorf("lsmssd: Options.SlowOpThreshold %v is negative; use 0 to disable slow-op capture", o.SlowOpThreshold)
+	}
+	if o.TimelineInterval < 0 {
+		return fmt.Errorf("lsmssd: Options.TimelineInterval %v is negative", o.TimelineInterval)
+	}
+	if o.TimelineCapacity < 0 {
+		return fmt.Errorf("lsmssd: Options.TimelineCapacity %d is negative", o.TimelineCapacity)
 	}
 	if o.WAL.Enabled {
 		if o.Path == "" {

@@ -37,6 +37,15 @@ type shard struct {
 	sched    *compaction.Scheduler
 	raw      storage.Device // the unwrapped device, for Close
 
+	// lat is the shard's per-operation latency histogram set, recording
+	// only when Options.Metrics (or MetricsAddr) enabled it. The router
+	// times each point op against the owning shard's set; the tree and
+	// scheduler record their merge/stall/WAL series into the same set, so
+	// Stats.Shards carries a complete per-shard latency breakdown and the
+	// DB aggregate is the merge of these (plus the router-level set for
+	// multi-shard ops).
+	lat *obs.LatencySet
+
 	// Write-ahead log state (nil/zero unless Options.WAL.Enabled). lastSeq
 	// is the sequence of the newest frame logged by this shard, guarded by
 	// writerMu; the shard's checkpoint manifest records it as the replay
@@ -64,6 +73,8 @@ func shardPath(path string, id int) string {
 // tears down previously opened shards.
 func (db *DB) openShard(id int) (*shard, error) {
 	opts := db.opts
+	s := &shard{id: id, db: db, path: shardPath(opts.Path, id), lat: &obs.LatencySet{}}
+	s.lat.Enable(db.lat.Enabled())
 	cfg := core.Config{
 		// One policy instance per shard: policies carry mutable state (RR
 		// cursors, Mixed thresholds) and each shard's merges run on its own
@@ -78,7 +89,7 @@ func (db *DB) openShard(id int) (*shard, error) {
 		Seed:            opts.Seed,
 		Shard:           id,
 		Bus:             db.bus,
-		Lat:             db.lat,
+		Lat:             s.lat,
 	}
 	if opts.Paranoid {
 		// Mid-cascade audits tolerate in-flight records: a merge may land
@@ -95,7 +106,6 @@ func (db *DB) openShard(id int) (*shard, error) {
 		}
 	}
 
-	s := &shard{id: id, db: db, path: shardPath(opts.Path, id)}
 	restored := false
 	if s.path != "" {
 		st, err := manifest.Load(manifestPath(s.path))
@@ -128,7 +138,7 @@ func (db *DB) openShard(id int) (*shard, error) {
 		SlowdownBlocks: opts.SlowdownTrigger,
 		StopBlocks:     opts.StopTrigger,
 		Bus:            db.bus,
-		Lat:            db.lat,
+		Lat:            s.lat,
 	})
 	if err != nil {
 		return nil, errors.Join(err, s.raw.Close())
@@ -378,13 +388,27 @@ func (s *shard) checkpoint() error {
 // after applying the ops (after, because the checkpoint's WALSeq covers
 // this frame — the manifest state must include it). Caller holds
 // writerMu.
-func (s *shard) logMutation(ops []wal.Op) (rotated bool, err error) {
+//
+// Span attribution: the whole append is timed as PhaseWALAppend, then
+// the log's cumulative fsync-nanoseconds delta across the call is
+// shifted to PhaseWALSync — writerMu serializes this shard's appends,
+// so the delta is exactly this frame's group-commit fsync wait.
+func (s *shard) logMutation(ops []wal.Op, sp *obs.Span) (rotated bool, err error) {
 	if s.wal == nil {
 		return false, nil
 	}
-	start := s.db.lat.Start()
+	var syncBefore int64
+	if sp != nil {
+		syncBefore = s.wal.SyncNanos()
+		sp.To(obs.PhaseWALAppend)
+	}
+	start := s.lat.Start()
 	seq, rotated, err := s.wal.Append(ops)
-	s.db.lat.Done(obs.OpWALAppend, start)
+	s.lat.Done(obs.OpWALAppend, start)
+	if sp != nil {
+		sp.To(obs.PhaseOther)
+		sp.Shift(obs.PhaseWALAppend, obs.PhaseWALSync, time.Duration(s.wal.SyncNanos()-syncBefore))
+	}
 	if err != nil {
 		// rotated can be true even on error: the rotation succeeded before
 		// the frame write failed. Checkpoint now anyway, so the sealed
@@ -405,24 +429,38 @@ func (s *shard) logMutation(ops []wal.Op) (rotated bool, err error) {
 	return rotated, nil
 }
 
-// put is Put for the keys this shard owns.
-func (s *shard) put(key uint64, value []byte) error {
+// put is Put for the keys this shard owns. The span (nil when tracing is
+// off) attributes the op's time: admission under PhaseStallWait (the
+// pacing sleep and stall gate live inside Admit), the WAL frame under
+// PhaseWALAppend/WALSync (logMutation), the memtable insert under
+// PhaseMemtable, and the cascade notification under PhaseCascade — in
+// sync compaction mode the whole inline merge cascade runs inside
+// Notify, which is exactly the write-amplification time the phase names.
+func (s *shard) put(key uint64, value []byte, sp *obs.Span) error {
+	sp.To(obs.PhaseStallWait)
 	if err := s.sched.Admit(); err != nil {
 		return err
 	}
 	s.writerMu.Lock()
 	defer s.writerMu.Unlock()
+	sp.To(obs.PhaseOther)
 	if s.db.closed.Load() {
 		return ErrClosed
 	}
-	rotated, err := s.logMutation([]wal.Op{{Key: key, Value: value}})
+	rotated, err := s.logMutation([]wal.Op{{Key: key, Value: value}}, sp)
 	if err != nil {
 		return err
 	}
-	if err := s.tree.Put(block.Key(key), value); err != nil {
+	sp.To(obs.PhaseMemtable)
+	err = s.tree.Put(block.Key(key), value)
+	sp.To(obs.PhaseOther)
+	if err != nil {
 		return err
 	}
-	if err := s.sched.Notify(); err != nil {
+	sp.To(obs.PhaseCascade)
+	err = s.sched.Notify()
+	sp.To(obs.PhaseOther)
+	if err != nil {
 		return err
 	}
 	if rotated {
@@ -433,24 +471,33 @@ func (s *shard) put(key uint64, value []byte) error {
 	return s.paranoidSteadyCheck()
 }
 
-// delete is Delete for the keys this shard owns.
-func (s *shard) delete(key uint64) error {
+// delete is Delete for the keys this shard owns; phase attribution as in
+// put.
+func (s *shard) delete(key uint64, sp *obs.Span) error {
+	sp.To(obs.PhaseStallWait)
 	if err := s.sched.Admit(); err != nil {
 		return err
 	}
 	s.writerMu.Lock()
 	defer s.writerMu.Unlock()
+	sp.To(obs.PhaseOther)
 	if s.db.closed.Load() {
 		return ErrClosed
 	}
-	rotated, err := s.logMutation([]wal.Op{{Key: key, Delete: true}})
+	rotated, err := s.logMutation([]wal.Op{{Key: key, Delete: true}}, sp)
 	if err != nil {
 		return err
 	}
-	if err := s.tree.Delete(block.Key(key)); err != nil {
+	sp.To(obs.PhaseMemtable)
+	err = s.tree.Delete(block.Key(key))
+	sp.To(obs.PhaseOther)
+	if err != nil {
 		return err
 	}
-	if err := s.sched.Notify(); err != nil {
+	sp.To(obs.PhaseCascade)
+	err = s.sched.Notify()
+	sp.To(obs.PhaseOther)
+	if err != nil {
 		return err
 	}
 	if rotated {
@@ -463,13 +510,15 @@ func (s *shard) delete(key uint64) error {
 
 // applyOps executes one shard's slice of a WriteBatch as a single atomic
 // writer step: one admission, one writer-lock acquisition, one WAL frame
-// (group commit), one batched apply.
-func (s *shard) applyOps(ops []core.BatchOp) error {
+// (group commit), one batched apply. Phase attribution as in put.
+func (s *shard) applyOps(ops []core.BatchOp, sp *obs.Span) error {
+	sp.To(obs.PhaseStallWait)
 	if err := s.sched.Admit(); err != nil {
 		return err
 	}
 	s.writerMu.Lock()
 	defer s.writerMu.Unlock()
+	sp.To(obs.PhaseOther)
 	if s.db.closed.Load() {
 		return ErrClosed
 	}
@@ -480,15 +529,21 @@ func (s *shard) applyOps(ops []core.BatchOp) error {
 			wops[i] = wal.Op{Key: uint64(op.Key), Value: op.Payload, Delete: op.Delete}
 		}
 		var err error
-		rotated, err = s.logMutation(wops)
+		rotated, err = s.logMutation(wops, sp)
 		if err != nil {
 			return err
 		}
 	}
-	if err := s.tree.ApplyBatch(ops); err != nil {
+	sp.To(obs.PhaseMemtable)
+	err := s.tree.ApplyBatch(ops)
+	sp.To(obs.PhaseOther)
+	if err != nil {
 		return err
 	}
-	if err := s.sched.Notify(); err != nil {
+	sp.To(obs.PhaseCascade)
+	err = s.sched.Notify()
+	sp.To(obs.PhaseOther)
+	if err != nil {
 		return err
 	}
 	if rotated {

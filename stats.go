@@ -59,8 +59,11 @@ type Stats struct {
 
 	// Latencies summarizes the per-operation latency histograms, one entry
 	// per operation that recorded at least one observation. Empty unless
-	// Options.MetricsAddr enabled latency recording. Latency is recorded
-	// once per request at the router, so there is no per-shard breakdown.
+	// Options.Metrics (or MetricsAddr, which implies it) enabled latency
+	// recording. Point operations are timed against the owning shard —
+	// each entry here merges the per-shard histograms, and Shards carries
+	// the per-shard breakdown — while multi-shard ops (Scan) are timed
+	// once at the router.
 	Latencies []LatencyStats
 
 	// Compaction reports the merge schedulers' state and write-stall
@@ -110,6 +113,11 @@ type ShardStats struct {
 	CacheMisses  int64
 	BloomSkipped int64
 	BloomPassed  int64
+
+	// Latencies summarizes this shard's per-operation histograms (point
+	// ops routed here, plus the shard's own merge/stall/WAL series).
+	// Empty unless Options.Metrics enabled latency recording.
+	Latencies []LatencyStats
 
 	Compaction CompactionStats
 	WAL        WALStats
@@ -379,29 +387,53 @@ func (s *shard) stats() (ShardStats, bool) {
 			Recovery:  s.recovery,
 		}
 	}
+	if s.lat.Enabled() {
+		for op := obs.Op(0); op < obs.NumOps; op++ {
+			if st, ok := latencyRow(op, s.lat.Hist(op).Snapshot()); ok {
+				ss.Latencies = append(ss.Latencies, st)
+			}
+		}
+	}
 	return ss, true
 }
 
-// latencyStats materializes the non-empty latency histograms.
+// latencyRow materializes one op's summary; ok is false when empty.
+func latencyRow(op obs.Op, snap obs.HistSnapshot) (LatencyStats, bool) {
+	if snap.Count == 0 {
+		return LatencyStats{}, false
+	}
+	return LatencyStats{
+		Op:    op.String(),
+		Count: snap.Count,
+		Mean:  snap.Mean(),
+		P50:   snap.Quantile(0.50),
+		P95:   snap.Quantile(0.95),
+		P99:   snap.Quantile(0.99),
+		Max:   snap.Max(),
+	}, true
+}
+
+// latHist returns op's DB-wide histogram: the router-level series merged
+// with every shard's (histograms over fixed buckets are closed under
+// addition).
+func (db *DB) latHist(op obs.Op) obs.HistSnapshot {
+	snap := db.lat.Hist(op).Snapshot()
+	for _, s := range db.shards {
+		snap.Merge(s.lat.Hist(op).Snapshot())
+	}
+	return snap
+}
+
+// latencyStats materializes the non-empty DB-wide latency histograms.
 func (db *DB) latencyStats() []LatencyStats {
 	if !db.lat.Enabled() {
 		return nil
 	}
 	var out []LatencyStats
 	for op := obs.Op(0); op < obs.NumOps; op++ {
-		snap := db.lat.Hist(op).Snapshot()
-		if snap.Count == 0 {
-			continue
+		if st, ok := latencyRow(op, db.latHist(op)); ok {
+			out = append(out, st)
 		}
-		out = append(out, LatencyStats{
-			Op:    op.String(),
-			Count: snap.Count,
-			Mean:  snap.Mean(),
-			P50:   snap.Quantile(0.50),
-			P95:   snap.Quantile(0.95),
-			P99:   snap.Quantile(0.99),
-			Max:   snap.Max(),
-		})
 	}
 	return out
 }
@@ -417,10 +449,12 @@ func (db *DB) ResetIOStats() {
 	unlock := db.lockAllShards()
 	defer unlock()
 	for _, s := range db.shards {
-		s.tree.ResetStats()
+		s.tree.ResetStats() // also resets s.lat (the tree's Config.Lat)
 		s.sched.ResetCounters()
 		if s.wal != nil {
 			s.wal.ResetCounters()
 		}
 	}
+	db.lat.Reset()
+	db.tracer.ResetPhases()
 }
