@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race fuzz bench-read bench-write bench-timeline obs-smoke crash ci
+.PHONY: all build fmt vet lint test race fuzz bench-read bench-write bench-policy bench-timeline obs-smoke crash ci
 
 all: build
 
@@ -17,9 +17,9 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analysis: the eight syntactic rules (device-io,
+# Repo-specific static analysis: the nine syntactic rules (device-io,
 # global-rand, unchecked-err, layering, tree-state, obs-event,
-# compaction-step, wal-frame) plus the seven CFG/dataflow rules
+# compaction-step, wal-frame, layout-assert) plus the seven CFG/dataflow rules
 # (lock-discipline, view-refcount, sentinel-error-flow, wal-ordering,
 # goroutine-shutdown, shard-lock-order, span-finish). See internal/lint
 # and DESIGN.md §6, §12.
@@ -59,6 +59,14 @@ bench-write:
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentWrites|BenchmarkPutLatencyTail' -benchtime 2s .
 	$(GO) run ./cmd/benchjson -mode write -goroutines 8 -sweep 1,2,4,8 -out BENCH_write.json
 
+# Small-scale layout sweep: leveling vs tiering vs lazy leveling on
+# uniform, delete-heavy, and scan-heavy mixes, via the deterministic
+# experiment harness. Emits BENCH_policy.json — the write-amp/read-amp
+# tradeoff curve the layout axis is judged by. Full-size sweeps:
+# `go run ./cmd/lsmbench -workload all`.
+bench-policy:
+	$(GO) run ./cmd/benchjson -mode policy -out BENCH_policy.json
+
 # Sustained-load latency-over-time artifact: 8s of mixed writer/reader
 # load against a WAL-synced background-compaction store with phase
 # tracing and the flight recorder on. BENCH_timeline.json carries the
@@ -87,5 +95,7 @@ crash:
 	$(GO) run ./cmd/crashloop -iters 30 -ops 100 -sync interval -interval 1ms
 	$(GO) run ./cmd/crashloop -iters 30 -ops 100 -sync never
 	$(GO) run ./cmd/crashloop -iters 50 -ops 100 -sync every -shards 4
+	$(GO) run ./cmd/crashloop -iters 30 -ops 100 -sync every -layout tiering -tier-runs 3
+	$(GO) run ./cmd/crashloop -iters 30 -ops 100 -sync every -layout lazy -tier-runs 3
 
 ci: fmt vet lint test race fuzz obs-smoke crash

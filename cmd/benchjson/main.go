@@ -13,10 +13,17 @@
 //	go run ./cmd/benchjson -mode write -out BENCH_write.json
 //	go run ./cmd/benchjson -mode read  -out BENCH_read.json
 //	go run ./cmd/benchjson -mode write -sweep 1,2,4,8 -out BENCH_write.json
+//	go run ./cmd/benchjson -mode policy -out BENCH_policy.json
 //
 // -shards runs the workload against a sharded engine (Options.Shards);
 // -sweep repeats the run once per listed shard count and emits a JSON
 // array, the shard-scaling curve the sharding work is judged by.
+//
+// -mode policy runs the small-scale layout sweep instead: leveling,
+// tiering, and lazy leveling, each measured on uniform, delete-heavy, and
+// scan-heavy request mixes through the experiment harness (deterministic,
+// no latency fields). The emitted array is the write-amp/read-amp
+// tradeoff curve the layout work is judged by.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"lsmssd"
+	"lsmssd/internal/experiments"
 )
 
 // result is the JSON document benchjson emits (one element of the array
@@ -56,8 +64,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "key-stream seed")
 	shards := flag.Int("shards", 1, "Options.Shards for the engine under test (power of two)")
 	sweep := flag.String("sweep", "", "comma-separated shard counts; runs once per count and emits a JSON array (overrides -shards)")
+	tierRuns := flag.Int("tier-runs", 4, "run budget T for tiered layouts (-mode policy)")
+	scale := flag.Float64("scale", 0.02, "experiment-harness scale for -mode policy")
 	out := flag.String("out", "", "output path (default BENCH_<mode>.json)")
 	flag.Parse()
+
+	if *mode == "policy" {
+		if err := runPolicy(*scale, *seed, *tierRuns, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	counts := []int{*shards}
 	if *sweep != "" {
@@ -104,6 +122,34 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchjson: wrote", path)
+}
+
+// runPolicy emits BENCH_policy.json: the layout × workload sweep. The
+// harness drives synchronous single-writer trees over a counted memory
+// device, so the numbers are deterministic for a given seed and scale.
+func runPolicy(scale float64, seed int64, tierRuns int, out string) error {
+	p := experiments.Params{Scale: scale, Seed: seed}.WithDefaults()
+	rows, table, err := p.LayoutSweep(
+		experiments.DefaultLayouts(tierRuns), experiments.LayoutWorkloads, 16, 8)
+	if err != nil {
+		return err
+	}
+	if _, err := table.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	if out == "" {
+		out = "BENCH_policy.json"
+	}
+	buf, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("benchjson: wrote", out)
+	return nil
 }
 
 func run(mode string, ops, goroutines int, seed int64, shards int) (*result, error) {

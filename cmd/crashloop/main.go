@@ -7,7 +7,8 @@
 //
 //	crashloop [-dir DIR] [-iters 50] [-ops 200] [-seed 1] \
 //	          [-sync every|interval|never] [-interval 2ms] \
-//	          [-keyspace 512] [-shards 1] [-torn] [-paranoid] [-v]
+//	          [-keyspace 512] [-shards 1] [-layout leveling|tiering|lazy] \
+//	          [-tier-runs 4] [-torn] [-paranoid] [-v]
 //
 // The process exits non-zero if any recovery violates the durability
 // contract (lost acked writes under -sync every, a non-prefix state under
@@ -36,9 +37,24 @@ func main() {
 		shards   = flag.Int("shards", 1, "Options.Shards for the store under test (power of two)")
 		torn     = flag.Bool("torn", true, "append garbage to the last WAL segment after some crashes")
 		paranoid = flag.Bool("paranoid", false, "run the store with Options.Paranoid")
+		layout   = flag.String("layout", "leveling", "level layout: leveling, tiering, or lazy")
+		tierRuns = flag.Int("tier-runs", 0, "run budget T for tiered layouts (0 = default)")
 		verbose  = flag.Bool("v", false, "log each cycle")
 	)
 	flag.Parse()
+
+	var lay lsmssd.Layout
+	switch *layout {
+	case "leveling":
+		lay = lsmssd.Leveling
+	case "tiering":
+		lay = lsmssd.Tiering
+	case "lazy", "lazy-leveling":
+		lay = lsmssd.LazyLeveling
+	default:
+		fmt.Fprintf(os.Stderr, "crashloop: unknown -layout %q (want leveling, tiering, or lazy)\n", *layout)
+		os.Exit(2)
+	}
 
 	var policy lsmssd.SyncPolicy
 	switch *syncMode {
@@ -75,6 +91,8 @@ func main() {
 		Interval: *interval,
 		TornTail: *torn,
 		Paranoid: *paranoid,
+		Layout:   lay,
+		TierRuns: *tierRuns,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {

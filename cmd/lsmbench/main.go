@@ -12,6 +12,12 @@
 //	lsmbench -fig 6            # regenerate Figure 6 (a, b and c)
 //	lsmbench -fig all -csv out # everything, as CSV files under out/
 //	lsmbench -fig 6 -trace t.jsonl # also record the per-merge event trace
+//	lsmbench -workload all     # layout sweep: leveling vs tiering vs lazy
+//	lsmbench -workload scan -layout tiering,lazy -tier-runs 8
+//
+// -workload replaces the figure run with the layout comparison: each
+// selected layout is measured on delete-heavy, scan-heavy, and uniform
+// request mixes, reporting blocks written and read per MB of requests.
 //
 // With -trace, every merge, flush, growth, and warning event of every run
 // is appended to the file as one JSON line ({"type":"merge","event":{...}}),
@@ -45,6 +51,10 @@ func main() {
 
 		timeline = flag.String("timeline", "", "instead of a figure, drive the sustained-load latency-attribution workload and write its JSON artifact here (e.g. BENCH_timeline.json)")
 		tdur     = flag.Duration("timeline-dur", 8*time.Second, "measured duration of the -timeline workload")
+
+		workloadF = flag.String("workload", "", "instead of a figure, run the layout sweep on these workloads: uniform, delete, scan, a comma list, or all")
+		layoutF   = flag.String("layout", "all", "layouts for the -workload sweep: leveling, tiering, lazy, a comma list, or all")
+		tierRuns  = flag.Int("tier-runs", 4, "run budget T for tiered layouts in the -workload sweep")
 	)
 	flag.Parse()
 
@@ -61,6 +71,14 @@ func main() {
 	}
 
 	p := experiments.Params{Scale: *scale, Seed: *seed}.WithDefaults()
+
+	if *workloadF != "" {
+		if err := runWorkloadSweep(p, *workloadF, *layoutF, *tierRuns, *quick, *csv); err != nil {
+			fmt.Fprintf(os.Stderr, "lsmbench: workload sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
@@ -110,6 +128,29 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "lsmbench: figure %s done in %s\n", f, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runWorkloadSweep runs the layout × workload comparison (-workload):
+// write-amp and read-amp per layout on the workloads that differentiate
+// them.
+func runWorkloadSweep(p experiments.Params, workloadF, layoutF string, tierRuns int, quick bool, csvDir string) error {
+	layouts, err := experiments.ParseLayouts(layoutF, tierRuns)
+	if err != nil {
+		return err
+	}
+	workloads, err := experiments.ParseWorkloads(workloadF)
+	if err != nil {
+		return err
+	}
+	datasetMB, windowMB := 50.0, 25.0
+	if quick {
+		datasetMB, windowMB = 16.0, 8.0
+	}
+	_, t, err := p.LayoutSweep(layouts, workloads, datasetMB, windowMB)
+	if err != nil {
+		return err
+	}
+	return emit(t, csvDir)
 }
 
 func run(p experiments.Params, fig string, quick bool) ([]*experiments.Table, error) {

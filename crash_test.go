@@ -103,6 +103,46 @@ func TestCrashLoopSyncNever(t *testing.T) {
 	}
 }
 
+// TestCrashLoopLayouts runs the power-cut harness over the non-leveling
+// layouts under Paranoid: recovery must restore the tiered multi-run
+// structure (via the v4 manifest plus WAL replay) with zero acked-write
+// loss and a fully validated store.
+func TestCrashLoopLayouts(t *testing.T) {
+	for _, lc := range []struct {
+		name   string
+		layout lsmssd.Layout
+	}{
+		{"tiering", lsmssd.Tiering},
+		{"lazy", lsmssd.LazyLeveling},
+	} {
+		t.Run(lc.name, func(t *testing.T) {
+			report, err := crashloop.Run(crashloop.Config{
+				Dir:       t.TempDir(),
+				Iters:     25,
+				MaxOps:    60,
+				Seed:      4,
+				KeySpace:  256,
+				Sync:      lsmssd.SyncEvery,
+				CrashProb: 0.9,
+				TornTail:  true,
+				Paranoid:  true,
+				Layout:    lc.layout,
+				TierRuns:  3,
+			})
+			t.Log(report)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.LostFrames != 0 {
+				t.Fatalf("SyncEvery lost %d acked frames", report.LostFrames)
+			}
+			if report.Crashes == 0 {
+				t.Error("no power cuts exercised")
+			}
+		})
+	}
+}
+
 // TestWALRecoveryBasic pins the direct story: put, crash, reopen, and the
 // acked writes are back, with Stats reporting the replay.
 func TestWALRecoveryBasic(t *testing.T) {

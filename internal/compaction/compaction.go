@@ -365,3 +365,9 @@ func (d Driver) Delete(k block.Key) error {
 	}
 	return d.Tree.RunCascade()
 }
+
+// Scan ranges over [lo, hi], satisfying workload.Scanner so scan-heavy
+// generators can drive the read path. Read-only: no cascade to drain.
+func (d Driver) Scan(lo, hi block.Key, fn func(k block.Key, payload []byte) bool) error {
+	return d.Tree.Scan(lo, hi, fn)
+}

@@ -11,32 +11,27 @@ package core
 // All three methods are writer-side: callers serialize them with the
 // tree's other mutations.
 
-// NeedsCompaction reports whether any level is at or over capacity — L0
-// against K0·B records, storage levels against their block capacity. It
-// is the scheduler's wake predicate: false means a cascade run would be a
-// no-op.
+// NeedsCompaction reports whether the trigger axis fires on any level —
+// with the default level-overflow trigger, L0 at or over K0·B records, a
+// leveled level at or over its block capacity, a tiered level additionally
+// when its run budget is exhausted. It is the scheduler's wake predicate:
+// false means a cascade run would be a no-op.
 func (t *Tree) NeedsCompaction() bool {
-	if t.mem.Len() >= t.memCapacityRecords() {
-		return true
-	}
-	for _, l := range t.levels {
-		if l.Full() {
+	for i := 0; i <= len(t.slots); i++ {
+		if t.fires(i) {
 			return true
 		}
 	}
 	return false
 }
 
-// CompactionBacklog counts the overflowing merge sources (L0 plus every
-// full storage level): the scheduler's queue depth. Zero iff
-// NeedsCompaction is false.
+// CompactionBacklog counts the firing merge sources (L0 plus every firing
+// storage level): the scheduler's queue depth. Zero iff NeedsCompaction is
+// false.
 func (t *Tree) CompactionBacklog() int {
 	n := 0
-	if t.mem.Len() >= t.memCapacityRecords() {
-		n++
-	}
-	for _, l := range t.levels {
-		if l.Full() {
+	for i := 0; i <= len(t.slots); i++ {
+		if t.fires(i) {
 			n++
 		}
 	}
@@ -45,33 +40,62 @@ func (t *Tree) CompactionBacklog() int {
 
 // CompactionStep executes at most one step of the overflow cascade and
 // reports whether it acted. Step order matches the original inline
-// cascade exactly — L0 first, then the shallowest full storage level
-// (merge, or grow when the bottom overflows) — so driving steps to
-// quiescence after every mutation reproduces the synchronous engine's
-// merge sequence, and its BlocksWritten, byte for byte. Each completed
-// (and audited) step publishes a fresh read snapshot, so concurrent
-// readers observe every intermediate cascade state but never a
-// half-applied merge.
+// cascade exactly — L0 first, then the shallowest firing storage level —
+// so driving steps to quiescence after every mutation reproduces the
+// synchronous engine's merge sequence, and (under leveling) its
+// BlocksWritten, byte for byte. Each completed (and audited) step
+// publishes a fresh read snapshot, so concurrent readers observe every
+// intermediate cascade state but never a half-applied merge.
+//
+// The step taken at a firing level depends on the layout axis:
+//
+//   - L0 flushes into a leveled L1 through the policy-driven merge, or is
+//     written out as a fresh sorted run when L1 is tiered;
+//   - a tiered internal level merges all its runs into one new run of the
+//     level below (the layout's whole-level merge);
+//   - a leveled internal level merges a policy-chosen window downward, as
+//     before;
+//   - the bottom consolidates its runs in place when it is tiered and
+//     fired on run count alone, and otherwise grows the tree.
 func (t *Tree) CompactionStep() (acted bool, err error) {
-	if t.mem.Len() >= t.memCapacityRecords() {
-		if err := t.mergeFromMem(); err != nil {
+	if t.fires(0) {
+		if t.tiered(1) {
+			err = t.flushMemToRun()
+		} else {
+			err = t.mergeFromMem()
+		}
+		if err != nil {
 			return false, err
 		}
 		t.publish()
 		return true, nil
 	}
-	for i := 1; i <= len(t.levels); i++ {
-		l := t.levels[i-1]
-		if !l.Full() {
+	for i := 1; i <= len(t.slots); i++ {
+		if !t.fires(i) {
 			continue
 		}
-		if i == len(t.levels) {
-			t.grow()
-			if err := t.audit(); err != nil {
+		switch {
+		case i == len(t.slots):
+			if t.tiered(i) && t.slots[i-1].requiredBlocks() < t.cfg.capacityBlocks(i) {
+				// The tiered bottom fired on its run budget while its
+				// records still fit: fold the runs into one in place.
+				if err := t.consolidateBottom(); err != nil {
+					return false, err
+				}
+			} else {
+				t.grow()
+				if err := t.audit(); err != nil {
+					return false, err
+				}
+			}
+		case t.tiered(i):
+			if err := t.mergeTieredLevel(i); err != nil {
 				return false, err
 			}
-		} else if err := t.mergeFromLevel(i); err != nil {
-			return false, err
+		default:
+			if err := t.mergeFromLevel(i); err != nil {
+				return false, err
+			}
 		}
 		t.publish()
 		return true, nil

@@ -8,10 +8,12 @@ import (
 )
 
 // ExportedState is the tree's reconstructible in-memory state: the block
-// metadata of every level (the cached internal B+tree nodes) plus the
-// memtable contents. Data blocks themselves live on the device.
+// metadata of every sorted run of every level (the cached internal B+tree
+// nodes) plus the memtable contents. Data blocks themselves live on the
+// device. Runs[i] lists level L_{i+1}'s runs newest first; under leveling
+// every level has exactly one.
 type ExportedState struct {
-	Levels   [][]btree.BlockMeta // index 0 is L1
+	Runs     [][][]btree.BlockMeta
 	Memtable []block.Record
 }
 
@@ -19,36 +21,52 @@ type ExportedState struct {
 // device contents later.
 func (t *Tree) Export() ExportedState {
 	st := ExportedState{Memtable: t.mem.All()}
-	for _, l := range t.levels {
-		metas := make([]btree.BlockMeta, len(l.Index().All()))
-		copy(metas, l.Index().All())
-		st.Levels = append(st.Levels, metas)
+	for _, s := range t.slots {
+		runs := make([][]btree.BlockMeta, 0, len(s.runs))
+		for _, r := range s.runs {
+			metas := make([]btree.BlockMeta, len(r.Index().All()))
+			copy(metas, r.Index().All())
+			runs = append(runs, metas)
+		}
+		st.Runs = append(st.Runs, runs)
 	}
 	return st
 }
 
 // Restore builds a tree over an existing device from exported state. The
 // configuration must match the one the state was exported under (block
-// capacity, K0, Γ, ε); the device must already hold every referenced
-// block.
+// capacity, K0, Γ, ε, layout); the device must already hold every
+// referenced block.
 func Restore(cfg Config, st ExportedState) (*Tree, error) {
 	t, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if len(st.Levels) == 0 {
+	if len(st.Runs) == 0 {
 		return nil, fmt.Errorf("core: restore state has no levels")
 	}
 	// New starts with one empty level; rebuild the full stack.
-	for len(t.levels) < len(st.Levels) {
-		t.levels = append(t.levels, t.newLevel(len(t.levels)+1))
+	for len(t.slots) < len(st.Runs) {
+		t.slots = append(t.slots, newSlot(t.newLevel(len(t.slots)+1)))
 	}
-	for i, metas := range st.Levels {
-		if err := t.levels[i].ReplaceRange(0, 0, metas, nil); err != nil {
-			return nil, err
+	for i, runs := range st.Runs {
+		if len(runs) == 0 {
+			return nil, fmt.Errorf("core: restore L%d has no runs", i+1)
 		}
-		if err := t.levels[i].Index().Validate(); err != nil {
-			return nil, fmt.Errorf("core: restore L%d: %w", i+1, err)
+		if !t.tiered(i+1) && len(runs) > 1 {
+			return nil, fmt.Errorf("core: restore L%d has %d runs but the layout levels it", i+1, len(runs))
+		}
+		s := t.slots[i]
+		for j, metas := range runs {
+			if j > 0 {
+				s.runs = append(s.runs, t.newLevel(i+1))
+			}
+			if err := s.runs[j].ReplaceRange(0, 0, metas, nil); err != nil {
+				return nil, err
+			}
+			if err := s.runs[j].Index().Validate(); err != nil {
+				return nil, fmt.Errorf("core: restore L%d run %d: %w", i+1, j, err)
+			}
 		}
 	}
 	for _, r := range st.Memtable {

@@ -62,8 +62,11 @@ func (c *counters) reset() {
 func (t *Tree) ResetStats() {
 	t.cnt.reset()
 	t.dev.ResetCounters()
-	for _, l := range t.levels {
-		l.ResetWriteStats()
+	for _, s := range t.slots {
+		for _, l := range s.runs {
+			l.ResetWriteStats()
+		}
+		s.retiredWrites, s.retiredCompactions = 0, 0
 	}
 	if t.cache != nil {
 		t.cache.ResetStats()
@@ -76,9 +79,11 @@ func (t *Tree) ResetStats() {
 	t.publish()
 }
 
-// LevelStats is a read-only snapshot of one storage level.
+// LevelStats is a read-only snapshot of one storage level. Runs is the
+// number of sorted runs the level holds (always 1 under leveling).
 type LevelStats struct {
 	Number        int
+	Runs          int
 	Blocks        int
 	Records       int
 	Capacity      int
@@ -123,15 +128,22 @@ func (t *Tree) Snapshot() Snapshot {
 		MemBytes: t.mem.Bytes(),
 		Height:   t.Height(),
 	}
-	for i, l := range t.levels {
+	for i, sl := range t.slots {
+		blocks := sl.blocks()
+		records := sl.records()
+		wf := 0.0
+		if blocks > 0 {
+			wf = float64(blocks*t.cfg.BlockCapacity-records) / float64(blocks*t.cfg.BlockCapacity)
+		}
 		s.Levels = append(s.Levels, LevelStats{
 			Number:        i + 1,
-			Blocks:        l.Blocks(),
-			Records:       l.Records(),
-			Capacity:      l.Capacity(),
-			WasteFactor:   l.WasteFactor(),
-			BlocksWritten: l.BlocksWritten,
-			Compactions:   l.Compactions,
+			Runs:          len(sl.runs),
+			Blocks:        blocks,
+			Records:       records,
+			Capacity:      sl.newest().Capacity(),
+			WasteFactor:   wf,
+			BlocksWritten: sl.blocksWritten(),
+			Compactions:   sl.compactions(),
 		})
 	}
 	return s
@@ -142,8 +154,8 @@ func (t *Tree) Snapshot() Snapshot {
 // tombstones are counted as stored).
 func (t *Tree) Records() int {
 	n := t.mem.Len()
-	for _, l := range t.levels {
-		n += l.Records()
+	for _, s := range t.slots {
+		n += s.records()
 	}
 	return n
 }

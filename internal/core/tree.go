@@ -29,7 +29,13 @@ type Tree struct {
 	cache  *cache.Cache   // non-nil when CacheBlocks > 0
 	blooms *bloom.Registry
 	mem    *memtable.Table
-	levels []*level.Level // levels[i] is L_{i+1}
+	slots  []*slot // slots[i] is level L_{i+1}
+
+	// Layout and trigger axes, resolved from the policy once at New: the
+	// layout decides how many sorted runs each level may hold, the trigger
+	// decides when a level participates in the overflow cascade.
+	layout  policy.Layout
+	trigger policy.Trigger
 
 	cnt     counters
 	onMerge func(MergeEvent)
@@ -64,6 +70,92 @@ type Tree struct {
 	reclaimErr error
 }
 
+// slot is one storage level of the tree. Under the leveling layout it
+// holds exactly one sorted run — the classic level, and the only shape the
+// byte-identical legacy paths ever see. Under tiering (and in the tiered
+// upper levels of lazy leveling) it holds up to MaxRuns runs, newest
+// first: runs[0] is the most recently written run and therefore the first
+// consulted by reads, matching the k-way merge's earlier-stream-wins
+// shadowing order.
+type slot struct {
+	runs []*level.Level
+
+	// Write accounting carried over from runs this slot has retired:
+	// tiered merges drain whole runs, but the per-level BlocksWritten and
+	// Compactions series must stay cumulative across those resets.
+	retiredWrites      int64
+	retiredCompactions int64
+}
+
+func newSlot(run *level.Level) *slot { return &slot{runs: []*level.Level{run}} }
+
+// newest is the run reads consult first; for a leveled slot, the level.
+func (s *slot) newest() *level.Level { return s.runs[0] }
+
+func (s *slot) records() int {
+	n := 0
+	for _, r := range s.runs {
+		n += r.Records()
+	}
+	return n
+}
+
+func (s *slot) tombstones() int {
+	n := 0
+	for _, r := range s.runs {
+		n += r.Tombstones()
+	}
+	return n
+}
+
+func (s *slot) blocks() int {
+	n := 0
+	for _, r := range s.runs {
+		n += r.Blocks()
+	}
+	return n
+}
+
+// requiredBlocks is S(L_i) in blocks: each run packs independently, so the
+// slot size is the sum of per-run required blocks. Identical to the legacy
+// level size for single-run slots.
+func (s *slot) requiredBlocks() int {
+	n := 0
+	for _, r := range s.runs {
+		n += r.RequiredBlocks()
+	}
+	return n
+}
+
+func (s *slot) blocksWritten() int64 {
+	n := s.retiredWrites
+	for _, r := range s.runs {
+		n += r.BlocksWritten
+	}
+	return n
+}
+
+func (s *slot) compactions() int64 {
+	n := s.retiredCompactions
+	for _, r := range s.runs {
+		n += r.Compactions
+	}
+	return n
+}
+
+// prepend installs run as the slot's newest. A lone empty run (a fresh or
+// just-drained slot) is replaced rather than kept alongside, its write
+// accounting folded into the retired counters.
+func (s *slot) prepend(run *level.Level) {
+	if len(s.runs) == 1 && s.runs[0].Blocks() == 0 {
+		s.retiredWrites += s.runs[0].BlocksWritten
+		s.retiredCompactions += s.runs[0].Compactions
+		s.runs[0] = run
+		return
+	}
+	s.runs = append([]*level.Level{run}, s.runs...)
+}
+
 // MergeEvent describes one executed merge, delivered to the OnMerge hook.
 // Level numbers follow the paper: 0 is the memtable, h−1 the bottom.
 type MergeEvent struct {
@@ -85,7 +177,9 @@ func New(cfg Config) (*Tree, error) {
 		return nil, err
 	}
 	t := &Tree{cfg: cfg, dev: cfg.Device, bus: cfg.Bus, lat: cfg.Lat,
-		warned: make(map[*level.Level]bool)}
+		layout:  policy.LayoutOf(cfg.Policy),
+		trigger: policy.TriggerOf(cfg.Policy),
+		warned:  make(map[*level.Level]bool)}
 	if cfg.CacheBlocks > 0 {
 		t.cache = cache.New(cfg.Device, cfg.CacheBlocks)
 		t.dev = t.cache
@@ -94,7 +188,7 @@ func New(cfg Config) (*Tree, error) {
 		t.blooms = bloom.NewRegistry(cfg.BloomBitsPerKey)
 	}
 	t.mem = memtable.New(cfg.Seed)
-	t.levels = append(t.levels, t.newLevel(1))
+	t.slots = append(t.slots, newSlot(t.newLevel(1)))
 	t.publish()
 	return t, nil
 }
@@ -115,11 +209,52 @@ func (t *Tree) newLevel(number int) *level.Level {
 func (t *Tree) OnMerge(fn func(MergeEvent)) { t.onMerge = fn }
 
 // Height returns the number of levels including L0, i.e. the paper's h.
-func (t *Tree) Height() int { return len(t.levels) + 1 }
+func (t *Tree) Height() int { return len(t.slots) + 1 }
 
-// Level returns the i-th storage level (1-based, like the paper's L_i).
-// It is exposed for diagnostics and experiments; treat it as read-only.
-func (t *Tree) Level(i int) *level.Level { return t.levels[i-1] }
+// Level returns the newest run of the i-th storage level (1-based, like
+// the paper's L_i) — under leveling, the level itself. It is exposed for
+// diagnostics and experiments; treat it as read-only. Layout-aware callers
+// use Runs.
+func (t *Tree) Level(i int) *level.Level { return t.slots[i-1].newest() }
+
+// Runs returns the sorted runs of the i-th storage level, newest first. A
+// leveled level holds exactly one run. Treat as read-only.
+func (t *Tree) Runs(i int) []*level.Level { return t.slots[i-1].runs }
+
+// Layout returns the layout axis the tree runs under.
+func (t *Tree) Layout() policy.Layout { return t.layout }
+
+// tiered reports whether level number i holds multiple runs under the
+// tree's layout at its current height.
+func (t *Tree) tiered(i int) bool { return t.layout.Tiered(i, t.Height()) }
+
+// levelState assembles the trigger's view of level i (0 = the memtable).
+func (t *Tree) levelState(i int) policy.LevelState {
+	if i == 0 {
+		return policy.LevelState{
+			Level:           0,
+			Runs:            1,
+			MaxRuns:         1,
+			Records:         t.mem.Len(),
+			CapacityRecords: t.memCapacityRecords(),
+		}
+	}
+	s := t.slots[i-1]
+	capBlocks := t.cfg.capacityBlocks(i)
+	return policy.LevelState{
+		Level:           i,
+		Runs:            len(s.runs),
+		MaxRuns:         t.layout.MaxRuns(i, t.Height()),
+		SizeBlocks:      s.requiredBlocks(),
+		CapacityBlocks:  capBlocks,
+		Records:         s.records(),
+		CapacityRecords: capBlocks * t.cfg.BlockCapacity,
+		Tombstones:      s.tombstones(),
+	}
+}
+
+// fires reports whether the trigger axis wants level i compacted.
+func (t *Tree) fires(i int) bool { return t.trigger.Fire(t.levelState(i)) }
 
 // Memtable exposes L0 for diagnostics; treat it as read-only.
 func (t *Tree) Memtable() *memtable.Table { return t.mem }
@@ -157,29 +292,30 @@ func (t *Tree) SourceMetas(from int) []btree.BlockMeta {
 		}
 		return t.memMetas
 	}
-	return t.levels[from-1].Index().All()
+	return t.slots[from-1].newest().Index().All()
 }
 
 // TargetMetas implements policy.View.
 func (t *Tree) TargetMetas(from int) []btree.BlockMeta {
-	if from >= len(t.levels) {
+	if from >= len(t.slots) {
 		return nil
 	}
-	return t.levels[from].Index().All()
+	return t.slots[from].newest().Index().All()
 }
 
 // CapacityBlocks implements policy.View.
 func (t *Tree) CapacityBlocks(level int) int { return t.cfg.capacityBlocks(level) }
 
-// SizeBlocks implements policy.View: S(L_i) in required blocks.
+// SizeBlocks implements policy.View: S(L_i) in required blocks, summed
+// over the level's runs.
 func (t *Tree) SizeBlocks(level int) int {
 	if level == 0 {
 		return (t.mem.Len() + t.cfg.BlockCapacity - 1) / t.cfg.BlockCapacity
 	}
-	if level > len(t.levels) {
+	if level > len(t.slots) {
 		return 0
 	}
-	return t.levels[level-1].RequiredBlocks()
+	return t.slots[level-1].requiredBlocks()
 }
 
 // --- overflow handling ---------------------------------------------------
@@ -201,12 +337,16 @@ func (t *Tree) ForceGrow() {
 
 // grow relabels the overflowing bottom level L_{h−1} as L_h and inserts a
 // fresh empty L_{h−1}, increasing the tree's height by one (Section II-A).
+// The old bottom keeps its runs and stays the bottom — under lazy leveling
+// the leveled bottom therefore remains leveled across growth.
 func (t *Tree) grow() {
-	n := len(t.levels) // old bottom is level number n
-	old := t.levels[n-1]
-	old.SetCapacity(t.cfg.capacityBlocks(n + 1))
-	fresh := t.newLevel(n)
-	t.levels = append(t.levels[:n-1], fresh, old)
+	n := len(t.slots) // old bottom is level number n
+	old := t.slots[n-1]
+	for _, r := range old.runs {
+		r.SetCapacity(t.cfg.capacityBlocks(n + 1))
+	}
+	fresh := newSlot(t.newLevel(n))
+	t.slots = append(t.slots[:n-1], fresh, old)
 	if g, ok := t.cfg.Policy.(levelsGrewNotifier); ok {
 		g.LevelsGrew(n)
 	}
@@ -247,7 +387,7 @@ func (t *Tree) mergeFromMem() error {
 		return fmt.Errorf("core: empty merge window from L0")
 	}
 	src := merge.NewRecordSource(recs, t.cfg.BlockCapacity)
-	tgt := t.levels[0]
+	tgt := t.slots[0].newest()
 	res, err := merge.Merge(src, 0, src.NumBlocks(), tgt, merge.Options{
 		Preserve:       t.cfg.Policy.Preserve(),
 		DropTombstones: t.bottom(1),
@@ -255,7 +395,7 @@ func (t *Tree) mergeFromMem() error {
 	if err != nil {
 		return err
 	}
-	t.emitMerge(0, full, src.NumBlocks(), res, 0, 0, tr)
+	t.emitMerge(0, 1, full, src.NumBlocks(), res, 0, 0, tr)
 	if tr.traced && t.bus.Enabled() {
 		t.bus.Publish(obs.FlushEvent{
 			Shard:        t.cfg.Shard,
@@ -271,8 +411,8 @@ func (t *Tree) mergeFromMem() error {
 // mergeFromLevel merges a window of L_i into L_{i+1} per the policy.
 func (t *Tree) mergeFromLevel(i int) error {
 	tr := t.beginMergeTrace()
-	src := t.levels[i-1]
-	tgt := t.levels[i]
+	src := t.slots[i-1].newest()
+	tgt := t.slots[i].newest()
 	d := t.cfg.Policy.Decide(t, i)
 	from, to := d.From, d.To
 	if d.Full {
@@ -295,12 +435,12 @@ func (t *Tree) mergeFromLevel(i int) error {
 	if err != nil {
 		return err
 	}
-	t.emitMerge(i, full, to-from, res, repairW, compW, tr)
+	t.emitMerge(i, i+1, full, to-from, res, repairW, compW, tr)
 	return t.audit()
 }
 
 // bottom reports whether level number i is the bottom level.
-func (t *Tree) bottom(i int) bool { return i == len(t.levels) }
+func (t *Tree) bottom(i int) bool { return i == len(t.slots) }
 
 // audit runs the configured Auditor, if any. Merges and level growths
 // call it so a paranoid tree verifies its constraints after every
@@ -333,14 +473,14 @@ func (t *Tree) beginMergeTrace() mergeTrace {
 	return mergeTrace{traced: true, start: time.Now(), readsBefore: t.dev.Counters().Reads}
 }
 
-func (t *Tree) emitMerge(from int, full bool, xBlocks int, res merge.Result, srcRepairW, srcCompW int, tr mergeTrace) {
+func (t *Tree) emitMerge(from, to int, full bool, xBlocks int, res merge.Result, srcRepairW, srcCompW int, tr mergeTrace) {
 	t.cnt.merges.Add(1)
 	if full {
 		t.cnt.fullMerges.Add(1)
 	}
 	ev := MergeEvent{
 		From:             from,
-		To:               from + 1,
+		To:               to,
 		Full:             full,
 		XBlocks:          xBlocks,
 		YBlocks:          res.YBlocks,
@@ -378,7 +518,7 @@ func (t *Tree) emitMerge(from int, full bool, xBlocks int, res merge.Result, src
 	t.bus.Publish(obs.MergeEvent{
 		Shard:               t.cfg.Shard,
 		From:                from,
-		To:                  from + 1,
+		To:                  to,
 		Policy:              t.cfg.Policy.Name(),
 		Full:                full,
 		XFrom:               tr.xFrom,
@@ -428,23 +568,25 @@ const wasteWarnFraction = 0.9
 // under the threshold. Only called with the bus enabled.
 func (t *Tree) checkWasteWarnings() {
 	thresh := wasteWarnFraction * t.cfg.Epsilon
-	for i, l := range t.levels {
-		wf := l.WasteFactor()
-		if wf <= thresh {
-			delete(t.warned, l)
-			continue
+	for i, s := range t.slots {
+		for _, l := range s.runs {
+			wf := l.WasteFactor()
+			if wf <= thresh {
+				delete(t.warned, l)
+				continue
+			}
+			if t.warned[l] {
+				continue
+			}
+			t.warned[l] = true
+			t.bus.Publish(obs.WarnEvent{
+				Level:       i + 1,
+				WasteFactor: wf,
+				Epsilon:     t.cfg.Epsilon,
+				Message: fmt.Sprintf("L%d waste factor %.3f above %.0f%% of ε=%.3f: repair pressure building",
+					i+1, wf, wasteWarnFraction*100, t.cfg.Epsilon),
+			})
 		}
-		if t.warned[l] {
-			continue
-		}
-		t.warned[l] = true
-		t.bus.Publish(obs.WarnEvent{
-			Level:       i + 1,
-			WasteFactor: wf,
-			Epsilon:     t.cfg.Epsilon,
-			Message: fmt.Sprintf("L%d waste factor %.3f above %.0f%% of ε=%.3f: repair pressure building",
-				i+1, wf, wasteWarnFraction*100, t.cfg.Epsilon),
-		})
 	}
 }
 
@@ -455,21 +597,28 @@ func (t *Tree) checkWasteWarnings() {
 // View.Validate plus ValidateAccounting instead.
 func (t *Tree) Validate() error {
 	liveWant := int64(0)
-	for i, l := range t.levels {
-		if err := l.ValidateContents(); err != nil {
-			return fmt.Errorf("core: L%d: %w", i+1, err)
+	for i, s := range t.slots {
+		if !t.tiered(i+1) && len(s.runs) != 1 {
+			return fmt.Errorf("core: leveled L%d holds %d runs", i+1, len(s.runs))
 		}
-		liveWant += int64(l.Blocks())
-		if want := t.cfg.capacityBlocks(i + 1); l.Capacity() != want {
-			return fmt.Errorf("core: L%d capacity %d, want %d", i+1, l.Capacity(), want)
+		for j, l := range s.runs {
+			if err := l.ValidateContents(); err != nil {
+				return fmt.Errorf("core: L%d run %d: %w", i+1, j, err)
+			}
+			liveWant += int64(l.Blocks())
+			if want := t.cfg.capacityBlocks(i + 1); l.Capacity() != want {
+				return fmt.Errorf("core: L%d run %d capacity %d, want %d", i+1, j, l.Capacity(), want)
+			}
 		}
 	}
 	if err := t.validateLive(liveWant); err != nil {
 		return err
 	}
-	// Tombstones must not survive in the bottom level.
-	if n := len(t.levels); n > 0 {
-		idx := t.levels[n-1].Index()
+	// Tombstones must not survive in a leveled bottom level. A tiered
+	// bottom legitimately carries them until its runs consolidate, since a
+	// newer bottom run still shadows the older ones below it.
+	if n := len(t.slots); n > 0 && !t.tiered(n) {
+		idx := t.slots[n-1].newest().Index()
 		for i := 0; i < idx.Len(); i++ {
 			if idx.Meta(i).Tombstones > 0 {
 				return fmt.Errorf("core: tombstones in bottom level block %d", i)
@@ -498,8 +647,8 @@ func (t *Tree) validateLive(liveWant int64) error {
 // DB pairs it (under the writer lock) with a lock-free View.Validate.
 func (t *Tree) ValidateAccounting() error {
 	liveWant := int64(0)
-	for _, l := range t.levels {
-		liveWant += int64(l.Blocks())
+	for _, s := range t.slots {
+		liveWant += int64(s.blocks())
 	}
 	return t.validateLive(liveWant)
 }

@@ -36,9 +36,11 @@ type View struct {
 }
 
 // LevelView is the frozen metadata of one storage level at capture time.
+// Runs holds one metadata slice per sorted run, newest first; a leveled
+// level has exactly one run, so Runs[0] is the classic level image.
 type LevelView struct {
 	Number        int // 1-based level number
-	Metas         []btree.BlockMeta
+	Runs          [][]btree.BlockMeta
 	Records       int
 	Capacity      int // K_i in blocks
 	WasteFactor   float64
@@ -46,8 +48,15 @@ type LevelView struct {
 	Compactions   int64
 }
 
-// Blocks returns the number of data blocks in the level at capture time.
-func (lv *LevelView) Blocks() int { return len(lv.Metas) }
+// Blocks returns the number of data blocks in the level at capture time,
+// summed over its runs.
+func (lv *LevelView) Blocks() int {
+	n := 0
+	for _, metas := range lv.Runs {
+		n += len(metas)
+	}
+	return n
+}
 
 // zombieBatch records blocks logically freed during the mutation that
 // retired the view with sequence number seq: they may still be referenced
@@ -94,16 +103,27 @@ func (v *View) Release() {
 // always sees a state the invariant auditor has accepted.
 func (t *Tree) publish() {
 	nv := &View{tree: t, mem: t.mem.Snapshot(), refs: 1}
-	nv.levels = make([]LevelView, len(t.levels))
-	for i, l := range t.levels {
+	nv.levels = make([]LevelView, len(t.slots))
+	for i, s := range t.slots {
+		runs := make([][]btree.BlockMeta, len(s.runs))
+		blocks := 0
+		for j, r := range s.runs {
+			runs[j] = r.Index().All() // immutable: ReplaceRange swaps slices
+			blocks += r.Blocks()
+		}
+		records := s.records()
+		wf := 0.0
+		if blocks > 0 {
+			wf = float64(blocks*t.cfg.BlockCapacity-records) / float64(blocks*t.cfg.BlockCapacity)
+		}
 		nv.levels[i] = LevelView{
 			Number:        i + 1,
-			Metas:         l.Index().All(), // immutable: ReplaceRange swaps slices
-			Records:       l.Records(),
-			Capacity:      l.Capacity(),
-			WasteFactor:   l.WasteFactor(),
-			BlocksWritten: l.BlocksWritten,
-			Compactions:   l.Compactions,
+			Runs:          runs,
+			Records:       records,
+			Capacity:      s.newest().Capacity(),
+			WasteFactor:   wf,
+			BlocksWritten: s.blocksWritten(),
+			Compactions:   s.compactions(),
 		}
 	}
 	t.viewMu.Lock()
@@ -287,38 +307,42 @@ func (v *View) GetTraced(k block.Key, sp *obs.Span) ([]byte, bool, error) {
 	}
 	sp.To(obs.PhaseOther)
 	for i := range v.levels {
-		m, ok := findBlock(v.levels[i].Metas, k)
-		if !ok {
-			continue
-		}
-		if t.blooms != nil {
-			sp.To(obs.PhaseBloom)
-			may := t.blooms.MayContain(m.ID, k)
-			sp.To(obs.PhaseOther)
-			if !may {
+		// Within a level, runs are consulted newest first: a match in a
+		// newer run shadows anything in the older ones.
+		for _, metas := range v.levels[i].Runs {
+			m, ok := findBlock(metas, k)
+			if !ok {
 				continue
 			}
-		}
-		if sp != nil {
-			if t.cache.Contains(m.ID) {
-				sp.To(obs.PhaseCacheRead)
-			} else {
-				sp.To(obs.PhaseDevRead)
+			if t.blooms != nil {
+				sp.To(obs.PhaseBloom)
+				may := t.blooms.MayContain(m.ID, k)
+				sp.To(obs.PhaseOther)
+				if !may {
+					continue
+				}
 			}
+			if sp != nil {
+				if t.cache.Contains(m.ID) {
+					sp.To(obs.PhaseCacheRead)
+				} else {
+					sp.To(obs.PhaseDevRead)
+				}
+			}
+			blk, err := t.dev.Read(m.ID)
+			sp.To(obs.PhaseOther)
+			if err != nil {
+				return nil, false, err
+			}
+			r, ok := blk.Find(k)
+			if !ok {
+				continue
+			}
+			if r.Tombstone {
+				return nil, false, nil
+			}
+			return r.Payload, true, nil
 		}
-		blk, err := t.dev.Read(m.ID)
-		sp.To(obs.PhaseOther)
-		if err != nil {
-			return nil, false, err
-		}
-		r, ok := blk.Find(k)
-		if !ok {
-			continue
-		}
-		if r.Tombstone {
-			return nil, false, nil
-		}
-		return r.Payload, true, nil
 	}
 	return nil, false, nil
 }
@@ -350,9 +374,11 @@ func (v *View) Scan(lo, hi block.Key, fn func(k block.Key, payload []byte) bool)
 // lsmssd.Iterator wrapper does exactly that).
 func (v *View) Iter(lo, hi block.Key) *Iter {
 	v.tree.cnt.scans.Add(1)
-	// One stream per level (plus L0); each is a key-ordered record
+	// One stream per sorted run (plus L0); each is a key-ordered record
 	// sequence. At every step the smallest key wins, the uppermost
 	// stream's record is authoritative, and all streams advance past it.
+	// Stream order — L0, then each level's runs newest first — is exactly
+	// the shadowing precedence.
 	streams := make([]*iterStream, 0, len(v.levels)+1)
 	var memRecs []block.Record
 	v.mem.Ascend(lo, hi, func(r block.Record) bool {
@@ -361,12 +387,13 @@ func (v *View) Iter(lo, hi block.Key) *Iter {
 	})
 	streams = append(streams, &iterStream{recs: memRecs})
 	for i := range v.levels {
-		metas := v.levels[i].Metas
-		start, end := btree.OverlapIn(metas, lo, hi)
-		streams = append(streams, &iterStream{
-			dev: v.tree.dev, cache: v.tree.cache, metas: metas,
-			blk: start, blkEnd: end, lo: lo, hi: hi,
-		})
+		for _, metas := range v.levels[i].Runs {
+			start, end := btree.OverlapIn(metas, lo, hi)
+			streams = append(streams, &iterStream{
+				dev: v.tree.dev, cache: v.tree.cache, metas: metas,
+				blk: start, blkEnd: end, lo: lo, hi: hi,
+			})
+		}
 	}
 	return &Iter{streams: streams}
 }
@@ -523,41 +550,52 @@ func (s *iterStream) skipKey(k block.Key) {
 func (v *View) Validate() error {
 	cfg := v.tree.cfg
 	b := cfg.BlockCapacity
+	layout := v.tree.layout
 	for _, lv := range v.levels {
-		if err := btree.ValidateMetas(lv.Metas); err != nil {
-			return fmt.Errorf("core: L%d fences: %w", lv.Number, err)
-		}
 		if want := cfg.capacityBlocks(lv.Number); lv.Capacity != want {
 			return fmt.Errorf("core: L%d capacity %d, want %d", lv.Number, lv.Capacity, want)
 		}
-		for j, m := range lv.Metas {
-			if m.Count > b {
-				return fmt.Errorf("core: L%d block %d overfull: %d > B=%d", lv.Number, j, m.Count, b)
-			}
-			if j+1 < len(lv.Metas) && m.Count+lv.Metas[j+1].Count <= b {
-				return fmt.Errorf("core: L%d pairwise waste violated at %d: %d+%d <= B=%d",
-					lv.Number, j, m.Count, lv.Metas[j+1].Count, b)
-			}
+		if !layout.Tiered(lv.Number, len(v.levels)+1) && len(lv.Runs) != 1 {
+			return fmt.Errorf("core: leveled L%d holds %d runs", lv.Number, len(lv.Runs))
 		}
-		if !wasteOK(lv.Metas, lv.Records, b, cfg.Epsilon) {
-			return fmt.Errorf("core: L%d waste factor %.3f exceeds ε=%.3f",
-				lv.Number, wasteFactor(lv.Metas, lv.Records, b), cfg.Epsilon)
-		}
-		if lv.Number == len(v.levels) {
-			for j, m := range lv.Metas {
-				if m.Tombstones > 0 {
-					return fmt.Errorf("core: tombstones in bottom level block %d", j)
+		bottomLeveled := lv.Number == len(v.levels) && !layout.Tiered(lv.Number, len(v.levels)+1)
+		for ri, metas := range lv.Runs {
+			if err := btree.ValidateMetas(metas); err != nil {
+				return fmt.Errorf("core: L%d run %d fences: %w", lv.Number, ri, err)
+			}
+			records := 0
+			for _, m := range metas {
+				records += m.Count
+			}
+			for j, m := range metas {
+				if m.Count > b {
+					return fmt.Errorf("core: L%d run %d block %d overfull: %d > B=%d", lv.Number, ri, j, m.Count, b)
+				}
+				if j+1 < len(metas) && m.Count+metas[j+1].Count <= b {
+					return fmt.Errorf("core: L%d run %d pairwise waste violated at %d: %d+%d <= B=%d",
+						lv.Number, ri, j, m.Count, metas[j+1].Count, b)
 				}
 			}
-		}
-		for j, m := range lv.Metas {
-			blk, err := v.PeekBlock(m.ID)
-			if err != nil {
-				return fmt.Errorf("core: L%d block %d: %w", lv.Number, j, err)
+			if !wasteOK(metas, records, b, cfg.Epsilon) {
+				return fmt.Errorf("core: L%d run %d waste factor %.3f exceeds ε=%.3f",
+					lv.Number, ri, wasteFactor(metas, records, b), cfg.Epsilon)
 			}
-			if blk.Len() != m.Count || blk.MinKey() != m.Min || blk.MaxKey() != m.Max {
-				return fmt.Errorf("core: L%d block %d metadata %+v does not match contents (%d records, [%d,%d])",
-					lv.Number, j, m, blk.Len(), blk.MinKey(), blk.MaxKey())
+			if bottomLeveled {
+				for j, m := range metas {
+					if m.Tombstones > 0 {
+						return fmt.Errorf("core: tombstones in bottom level block %d", j)
+					}
+				}
+			}
+			for j, m := range metas {
+				blk, err := v.PeekBlock(m.ID)
+				if err != nil {
+					return fmt.Errorf("core: L%d run %d block %d: %w", lv.Number, ri, j, err)
+				}
+				if blk.Len() != m.Count || blk.MinKey() != m.Min || blk.MaxKey() != m.Max {
+					return fmt.Errorf("core: L%d run %d block %d metadata %+v does not match contents (%d records, [%d,%d])",
+						lv.Number, ri, j, m, blk.Len(), blk.MinKey(), blk.MaxKey())
+				}
 			}
 		}
 	}

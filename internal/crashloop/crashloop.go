@@ -54,6 +54,9 @@ type Config struct {
 	TornTail       bool    // after some crashes, append garbage to the last segment
 	Paranoid       bool    // run the DB with Options.Paranoid
 
+	Layout   lsmssd.Layout // level layout under test (default Leveling)
+	TierRuns int           // run budget T for tiered layouts (0 = default)
+
 	Logf func(format string, args ...any) // optional progress logger
 }
 
@@ -135,6 +138,8 @@ func Run(cfg Config) (Report, error) {
 		Path:     path,
 		Shards:   cfg.Shards,
 		Paranoid: cfg.Paranoid,
+		Layout:   cfg.Layout,
+		TierRuns: cfg.TierRuns,
 		WAL: lsmssd.WALOptions{
 			Enabled:      true,
 			Sync:         cfg.Sync,

@@ -35,9 +35,12 @@ func bulkLoad(tree *core.Tree, gen workload.Generator, targetRecords int) error 
 			continue
 		}
 		guard = 0
-		if req.Op == workload.Insert {
+		// Scans are read-only and skipped: during bulk load there is
+		// nothing to read yet.
+		switch req.Op {
+		case workload.Insert:
 			content[req.Key] = req.Payload
-		} else {
+		case workload.Delete:
 			delete(content, req.Key)
 		}
 	}

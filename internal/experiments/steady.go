@@ -78,7 +78,7 @@ func (p Params) buildSteady(spec SteadySpec) (*steadyRun, error) {
 		return nil, err
 	}
 	run := &steadyRun{tree: tree, dev: dev, gen: gen, pol: pol}
-	if m, ok := pol.(*policy.Mixed); ok {
+	if m, ok := policy.AsMixed(pol); ok {
 		run.mixed = m
 		if spec.MixedTaus != nil || spec.MixedBeta != nil {
 			for lvl, tau := range spec.MixedTaus {

@@ -18,14 +18,15 @@ func Level(t *core.Tree, level int, keySpace uint64, n int) ([]int, error) {
 		return nil, fmt.Errorf("histogram: level %d out of range [1,%d)", level, t.Height())
 	}
 	counts := make([]int, n)
-	l := t.Level(level)
-	for i := 0; i < l.Blocks(); i++ {
-		blk, err := l.PeekAt(i)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range blk.Records() {
-			counts[bucket(r.Key, keySpace, n)]++
+	for _, l := range t.Runs(level) {
+		for i := 0; i < l.Blocks(); i++ {
+			blk, err := l.PeekAt(i)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range blk.Records() {
+				counts[bucket(r.Key, keySpace, n)]++
+			}
 		}
 	}
 	return counts, nil
@@ -41,13 +42,15 @@ func ViewLevel(v *core.View, level int, keySpace uint64, n int) ([]int, error) {
 	}
 	counts := make([]int, n)
 	lv := v.Levels()[level-1]
-	for _, m := range lv.Metas {
-		blk, err := v.PeekBlock(m.ID)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range blk.Records() {
-			counts[bucket(r.Key, keySpace, n)]++
+	for _, metas := range lv.Runs {
+		for _, m := range metas {
+			blk, err := v.PeekBlock(m.ID)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range blk.Records() {
+				counts[bucket(r.Key, keySpace, n)]++
+			}
 		}
 	}
 	return counts, nil

@@ -5,21 +5,28 @@
 // structures, CheckTree asserts the paper-level contract across the whole
 // tree, with errors naming the violated constraint.
 //
-// Audited constraints, per storage level Li:
+// Audited constraints, per sorted run of each storage level Li (under
+// leveling every level is exactly one run, so "per run" reduces to the
+// paper's per-level constraints):
 //
 //   - fences: block metadata in strict key order with disjoint ranges,
 //     every block non-empty, record totals consistent (Section II-A);
 //   - pairwise: any two consecutive data blocks hold strictly more than B
 //     records (Section II-B, constraint 2);
 //   - level-wise: waste factor ≤ ε, with the two standing exemptions
-//     (single-block levels, and levels packed to within one block)
+//     (single-block runs, and runs packed to within one block)
 //     (Section II-B, constraint 1);
-//   - size: S(Li) ≤ (1+ε)·Ki·B records, the level capacity under maximal
-//     allowed waste (Section II-B);
+//   - size: S(Li) ≤ (1+ε)·Ki·B records summed over the level's runs, the
+//     level capacity under maximal allowed waste (Section II-B);
+//   - layout: a leveled level holds exactly one run — always, even
+//     mid-cascade — and a tiered level at most its run budget T
+//     (steady-state only; a cascade may transiently exceed it);
 //   - fence/content consistency: stored blocks match their cached fence
 //     metadata, records inside each block sorted and within range, and
 //     the B+tree fence search locates every block (Section III-C);
-//   - bottom level: no surviving tombstones;
+//   - bottom level: no surviving tombstones when the bottom is leveled
+//     (a tiered bottom's older runs legitimately hold tombstones that
+//     shadow runs below them until the level is consolidated);
 //   - device: live-block accounting agrees with the levels' references.
 //
 // Wiring: core.Config.Auditor runs a check after every merge and level
@@ -31,6 +38,8 @@ import (
 	"fmt"
 
 	"lsmssd/internal/core"
+	"lsmssd/internal/level"
+	"lsmssd/internal/policy"
 )
 
 // Options selects the audit strictness.
@@ -82,78 +91,112 @@ func Check(t *core.Tree, o Options) error {
 	}
 
 	height := t.Height()
+	lay := policy.LayoutOf(cfg.Policy)
 	liveWant := int64(0)
 	for i := 1; i <= height-1; i++ {
-		l := t.Level(i)
-		idx := l.Index()
-		if err := idx.Validate(); err != nil {
-			return fmt.Errorf("invariant: L%d fences: %w", i, err)
+		runs := t.Runs(i)
+		tiered := lay.Tiered(i, height)
+		maxRuns := lay.MaxRuns(i, height)
+
+		// Layout bound on the run count. A leveled level is one sorted run
+		// by construction — no merge step ever leaves it otherwise, so the
+		// check holds even mid-cascade. A tiered level may transiently
+		// exceed its budget T while the cascade that drains it is pending.
+		if !tiered && len(runs) != 1 {
+			return fmt.Errorf("invariant: leveled L%d holds %d sorted runs, want exactly 1", i, len(runs))
 		}
-		liveWant += int64(idx.Len())
+		if tiered && !o.MidCascade && len(runs) > maxRuns {
+			return fmt.Errorf("invariant: tiered L%d holds %d sorted runs, exceeding its budget T = %d",
+				i, len(runs), maxRuns)
+		}
 
 		capBlocks := capacityBlocks(cfg, i)
-		if got := l.Capacity(); got != capBlocks {
-			return fmt.Errorf("invariant: L%d capacity labelled %d blocks, want K%d = K0·Γ^%d = %d",
-				i, got, i, i, capBlocks)
-		}
+		levelRecords := 0
+		for ri, l := range runs {
+			at := fmt.Sprintf("L%d", i)
+			if len(runs) > 1 {
+				at = fmt.Sprintf("L%d run %d", i, ri)
+			}
+			idx := l.Index()
+			if err := idx.Validate(); err != nil {
+				return fmt.Errorf("invariant: %s fences: %w", at, err)
+			}
+			liveWant += int64(idx.Len())
+			levelRecords += l.Records()
 
-		for j := 0; j < idx.Len(); j++ {
-			if c := idx.Meta(j).Count; c > b {
-				return fmt.Errorf("invariant: L%d block %d overfull: %d records > B = %d", i, j, c, b)
+			if got := l.Capacity(); got != capBlocks {
+				return fmt.Errorf("invariant: %s capacity labelled %d blocks, want K%d = K0·Γ^%d = %d",
+					at, got, i, i, capBlocks)
+			}
+
+			for j := 0; j < idx.Len(); j++ {
+				if c := idx.Meta(j).Count; c > b {
+					return fmt.Errorf("invariant: %s block %d overfull: %d records > B = %d", at, j, c, b)
+				}
+			}
+			for j := 0; j+1 < idx.Len(); j++ {
+				a, c := idx.Meta(j).Count, idx.Meta(j+1).Count
+				if a+c <= b {
+					return fmt.Errorf("invariant: %s pairwise waste violated at blocks %d,%d: %d+%d ≤ B = %d",
+						at, j, j+1, a, c, b)
+				}
+			}
+			if !l.WasteOK() {
+				return fmt.Errorf("invariant: %s level-wise waste %.3f exceeds ε = %.3f (%d empty slots over %d blocks)",
+					at, l.WasteFactor(), eps, l.EmptySlots(), idx.Len())
+			}
+
+			// Bottom-level tombstones: only a leveled bottom guarantees
+			// none survive. A tiered bottom's older runs keep tombstones
+			// that shadow runs below them until consolidation folds the
+			// level into one run.
+			if i == height-1 && !tiered {
+				for j := 0; j < idx.Len(); j++ {
+					if tb := idx.Meta(j).Tombstones; tb > 0 {
+						return fmt.Errorf("invariant: bottom level %s block %d carries %d tombstone(s)", at, j, tb)
+					}
+				}
+			}
+
+			for j := 0; j < idx.Len(); j++ {
+				m := idx.Meta(j)
+				if pos, ok := idx.Find(m.Min); !ok || pos != j {
+					return fmt.Errorf("invariant: %s fence search for block %d min key %d landed at (%d, %v)",
+						at, j, m.Min, pos, ok)
+				}
+				if pos, ok := idx.Find(m.Max); !ok || pos != j {
+					return fmt.Errorf("invariant: %s fence search for block %d max key %d landed at (%d, %v)",
+						at, j, m.Max, pos, ok)
+				}
+			}
+
+			if !o.SkipContents {
+				if err := checkContents(l, at); err != nil {
+					return err
+				}
 			}
 		}
-		for j := 0; j+1 < idx.Len(); j++ {
-			a, c := idx.Meta(j).Count, idx.Meta(j+1).Count
-			if a+c <= b {
-				return fmt.Errorf("invariant: L%d pairwise waste violated at blocks %d,%d: %d+%d ≤ B = %d",
-					i, j, j+1, a, c, b)
-			}
-		}
-		if !l.WasteOK() {
-			return fmt.Errorf("invariant: L%d level-wise waste %.3f exceeds ε = %.3f (%d empty slots over %d blocks)",
-				i, l.WasteFactor(), eps, l.EmptySlots(), idx.Len())
-		}
 
-		// Size bound S(Li) ≤ (1+ε)·Ki·B. Mid-cascade, a level may
-		// additionally hold what upstream merges just pushed into it: the
-		// inflow before its own overflow is handled is below
-		// K_{i-1}·B·Γ/(Γ−1) ≤ 2·K_{i-1}·B for Γ ≥ 2. Under background
+		// Size bound S(Li) ≤ (1+ε)·Ki·B, summed over the level's runs.
+		// Mid-cascade, a level may additionally hold what upstream merges
+		// just pushed into it: the inflow before its own overflow is
+		// handled is below K_{i-1}·B·Γ/(Γ−1) ≤ 2·K_{i-1}·B for Γ ≥ 2 under
+		// leveling; a tiered level receives whole runs and may hold up to
+		// its full budget, so the slack is T·K_{i-1}·B. Under background
 		// compaction (L0CapacityBlocks set) that inflow has no static
 		// bound mid-cascade — see Options — so the check is waived there.
 		if !o.MidCascade || o.L0CapacityBlocks == 0 {
 			bound := int(float64(capBlocks*b) * (1 + eps))
 			if o.MidCascade {
-				bound += 2 * capacityBlocks(cfg, i-1) * b
-			}
-			if n := l.Records(); n > bound {
-				return fmt.Errorf("invariant: L%d holds %d records, exceeding (1+ε)·K%d·B = %d",
-					i, n, i, bound)
-			}
-		}
-
-		if i == height-1 {
-			for j := 0; j < idx.Len(); j++ {
-				if tb := idx.Meta(j).Tombstones; tb > 0 {
-					return fmt.Errorf("invariant: bottom level L%d block %d carries %d tombstone(s)", i, j, tb)
+				slack := 2
+				if tiered {
+					slack = maxRuns
 				}
+				bound += slack * capacityBlocks(cfg, i-1) * b
 			}
-		}
-
-		for j := 0; j < idx.Len(); j++ {
-			m := idx.Meta(j)
-			if pos, ok := idx.Find(m.Min); !ok || pos != j {
-				return fmt.Errorf("invariant: L%d fence search for block %d min key %d landed at (%d, %v)",
-					i, j, m.Min, pos, ok)
-			}
-			if pos, ok := idx.Find(m.Max); !ok || pos != j {
-				return fmt.Errorf("invariant: L%d fence search for block %d max key %d landed at (%d, %v)",
-					i, j, m.Max, pos, ok)
-			}
-		}
-
-		if !o.SkipContents {
-			if err := checkContents(t, i); err != nil {
-				return err
+			if levelRecords > bound {
+				return fmt.Errorf("invariant: L%d holds %d records, exceeding (1+ε)·K%d·B = %d",
+					i, levelRecords, i, bound)
 			}
 		}
 	}
@@ -169,17 +212,17 @@ func Check(t *core.Tree, o Options) error {
 	return nil
 }
 
-// checkContents verifies that level i's stored blocks match their fence
+// checkContents verifies that a run's stored blocks match their fence
 // metadata: record count, key range, tombstone count, and internal order.
 // It uses Peek, so the audit does not perturb the experiment counters.
-func checkContents(t *core.Tree, i int) error {
-	l := t.Level(i)
+// `at` names the run in errors ("L2" or "L2 run 1").
+func checkContents(l *level.Level, at string) error {
 	idx := l.Index()
 	for j := 0; j < idx.Len(); j++ {
 		m := idx.Meta(j)
 		blk, err := l.PeekAt(j)
 		if err != nil {
-			return fmt.Errorf("invariant: L%d block %d (id %d) unreadable: %w", i, j, m.ID, err)
+			return fmt.Errorf("invariant: %s block %d (id %d) unreadable: %w", at, j, m.ID, err)
 		}
 		tombs := 0
 		recs := blk.Records()
@@ -188,13 +231,13 @@ func checkContents(t *core.Tree, i int) error {
 				tombs++
 			}
 			if k > 0 && recs[k-1].Key >= r.Key {
-				return fmt.Errorf("invariant: L%d block %d records out of order at %d: %d ≥ %d",
-					i, j, k, recs[k-1].Key, r.Key)
+				return fmt.Errorf("invariant: %s block %d records out of order at %d: %d ≥ %d",
+					at, j, k, recs[k-1].Key, r.Key)
 			}
 		}
 		if blk.Len() != m.Count || blk.MinKey() != m.Min || blk.MaxKey() != m.Max || tombs != m.Tombstones {
-			return fmt.Errorf("invariant: L%d block %d stale fence pointer: meta {count %d, range [%d,%d], tombstones %d} vs contents {count %d, range [%d,%d], tombstones %d}",
-				i, j, m.Count, m.Min, m.Max, m.Tombstones, blk.Len(), blk.MinKey(), blk.MaxKey(), tombs)
+			return fmt.Errorf("invariant: %s block %d stale fence pointer: meta {count %d, range [%d,%d], tombstones %d} vs contents {count %d, range [%d,%d], tombstones %d}",
+				at, j, m.Count, m.Min, m.Max, m.Tombstones, blk.Len(), blk.MinKey(), blk.MaxKey(), tombs)
 		}
 	}
 	return nil

@@ -11,12 +11,24 @@ import (
 	"lsmssd/internal/workload"
 )
 
+// newMixed builds a zero-parameter Mixed policy and unwraps its tunable
+// granularity.
+func newMixed(t *testing.T) (policy.Policy, *policy.Mixed) {
+	t.Helper()
+	pol := policy.NewMixed(0.25, true, nil, false)
+	m, ok := policy.AsMixed(pol)
+	if !ok {
+		t.Fatal("AsMixed failed on a Mixed policy")
+	}
+	return pol, m
+}
+
 func TestLearnBetaOnThreeLevelTree(t *testing.T) {
 	// A 3-level tree has no internal thresholds; only β is learned.
-	m := policy.NewMixed(0.25, true, nil, false)
+	pol, m := newMixed(t)
 	tree, err := core.New(core.Config{
 		Device:        storage.NewMemDevice(),
-		Policy:        m,
+		Policy:        pol,
 		BlockCapacity: 8,
 		K0:            2,
 		Gamma:         4,
@@ -56,10 +68,10 @@ func TestLearnBetaOnThreeLevelTree(t *testing.T) {
 }
 
 func TestLearnFourLevelTreeFindsTau(t *testing.T) {
-	m := policy.NewMixed(0.25, true, nil, false)
+	pol, m := newMixed(t)
 	tree, err := core.New(core.Config{
 		Device:        storage.NewMemDevice(),
-		Policy:        m,
+		Policy:        pol,
 		BlockCapacity: 8,
 		K0:            2,
 		Gamma:         3,
@@ -104,10 +116,10 @@ func TestLearnFourLevelTreeFindsTau(t *testing.T) {
 }
 
 func TestCurveShape(t *testing.T) {
-	m := policy.NewMixed(0.25, true, nil, false)
+	pol, m := newMixed(t)
 	tree, err := core.New(core.Config{
 		Device:        storage.NewMemDevice(),
-		Policy:        m,
+		Policy:        pol,
 		BlockCapacity: 8,
 		K0:            2,
 		Gamma:         3,
@@ -178,10 +190,10 @@ func TestGoldenSectionFindsMinimum(t *testing.T) {
 }
 
 func TestLearnGoldenSectionOnTree(t *testing.T) {
-	m := policy.NewMixed(0.25, true, nil, false)
+	pol, m := newMixed(t)
 	tree, err := core.New(core.Config{
 		Device:        storage.NewMemDevice(),
-		Policy:        m,
+		Policy:        pol,
 		BlockCapacity: 8,
 		K0:            2,
 		Gamma:         3,
@@ -218,10 +230,10 @@ func TestLearnGoldenSectionOnTree(t *testing.T) {
 }
 
 func TestLearnExhaustiveOnTree(t *testing.T) {
-	m := policy.NewMixed(0.25, true, nil, false)
+	pol, m := newMixed(t)
 	tree, err := core.New(core.Config{
 		Device:        storage.NewMemDevice(),
-		Policy:        m,
+		Policy:        pol,
 		BlockCapacity: 8,
 		K0:            2,
 		Gamma:         3,

@@ -1,0 +1,98 @@
+package learn
+
+// The δ-only learner (learn.go) tunes the Mixed policy's thresholds for
+// one fixed layout. With layout an axis, the design space grows to
+// layout × δ × T: which level layout to run (leveling, tiering, lazy
+// leveling), how wide the partial-merge window δ should be, and — for
+// the tiered layouts — how many runs T a level may accumulate. This file
+// searches that product space.
+//
+// The structure of the space dictates the strategy. The layout × T set
+// is small and discrete (a handful of combinations), so it is
+// enumerated exhaustively. δ is a discretized continuum over which the
+// per-layout cost curve is concave-up — the same Theorem 5 argument the
+// τ search rests on: a wider window amortizes better against the next
+// level but rewrites more of the current one, and the two effects trade
+// monotonically. Each layout therefore gets a golden-section search
+// over the δ grid, O(log |Dδ|) measurements instead of |Dδ|.
+
+import (
+	"fmt"
+	"math"
+
+	"lsmssd/internal/policy"
+)
+
+// Candidate is one evaluated point of the layout × δ × T space. T rides
+// inside Layout (its TierRuns field), so a Candidate is (layout, T, δ)
+// plus the measured cost.
+type Candidate struct {
+	Layout policy.Layout
+	Delta  float64
+	Cost   float64
+}
+
+// Space is the search domain. Layouts enumerates the discrete
+// layout-kind × T combinations; DeltaGrid is the discretized window
+// fraction domain Dδ, golden-section searched within each layout.
+type Space struct {
+	Layouts   []policy.Layout
+	DeltaGrid []float64
+}
+
+// DefaultSpace covers the three layout kinds with the given tier-run
+// budgets (leveling carries no T) and the δ grid {0.1, …, 1.0}.
+func DefaultSpace(tierRuns ...int) Space {
+	if len(tierRuns) == 0 {
+		tierRuns = []int{4}
+	}
+	s := Space{Layouts: []policy.Layout{{Kind: policy.Leveling}}}
+	for _, t := range tierRuns {
+		s.Layouts = append(s.Layouts,
+			policy.Layout{Kind: policy.Tiering, TierRuns: t},
+			policy.Layout{Kind: policy.LazyLeveling, TierRuns: t})
+	}
+	for i := 1; i <= 10; i++ {
+		s.DeltaGrid = append(s.DeltaGrid, float64(i)/10)
+	}
+	return s
+}
+
+// SearchLayout minimizes measure over the space: exhaustive over the
+// layout × T set, golden-section over the δ grid within each layout,
+// memoized so no (layout, δ) point is measured twice. It returns the
+// best candidate and every point actually measured (the audit trail —
+// its length is the measurement count, which for a well-shaped cost
+// surface stays well below |Layouts| × |Dδ|).
+func SearchLayout(space Space, measure func(policy.Layout, float64) (float64, error)) (Candidate, []Candidate, error) {
+	if len(space.Layouts) == 0 || len(space.DeltaGrid) == 0 {
+		return Candidate{}, nil, fmt.Errorf("learn: empty search space (%d layouts, %d δ points)",
+			len(space.Layouts), len(space.DeltaGrid))
+	}
+	var all []Candidate
+	best := Candidate{Cost: math.Inf(1)}
+	for _, lay := range space.Layouts {
+		lay := lay.Normalized()
+		memo := make(map[int]float64)
+		eval := func(i int) (float64, error) {
+			if c, ok := memo[i]; ok {
+				return c, nil
+			}
+			c, err := measure(lay, space.DeltaGrid[i])
+			if err != nil {
+				return 0, err
+			}
+			memo[i] = c
+			all = append(all, Candidate{Layout: lay, Delta: space.DeltaGrid[i], Cost: c})
+			return c, nil
+		}
+		i, err := goldenSection(len(space.DeltaGrid), eval)
+		if err != nil {
+			return Candidate{}, all, err
+		}
+		if c := memo[i]; c < best.Cost {
+			best = Candidate{Layout: lay, Delta: space.DeltaGrid[i], Cost: c}
+		}
+	}
+	return best, all, nil
+}

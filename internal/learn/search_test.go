@@ -1,0 +1,83 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"lsmssd/internal/policy"
+)
+
+// TestSearchLayoutFindsMinimum drives the layout × δ search over a
+// synthetic cost surface, convex in δ within each layout (the shape
+// Theorem 5 guarantees for the real cost), and checks the analytic
+// argmin is found with fewer measurements than exhaustive enumeration.
+func TestSearchLayoutFindsMinimum(t *testing.T) {
+	space := DefaultSpace(4)
+	if len(space.Layouts) != 3 || len(space.DeltaGrid) != 10 {
+		t.Fatalf("DefaultSpace(4): %d layouts, %d δ points", len(space.Layouts), len(space.DeltaGrid))
+	}
+	// Per-layout convex bowls: tiering is cheapest overall, with its
+	// minimum at δ=0.3.
+	base := map[policy.LayoutKind]float64{policy.Leveling: 10, policy.Tiering: 2, policy.LazyLeveling: 5}
+	opt := map[policy.LayoutKind]float64{policy.Leveling: 0.6, policy.Tiering: 0.3, policy.LazyLeveling: 0.9}
+	var calls int
+	measure := func(lay policy.Layout, delta float64) (float64, error) {
+		calls++
+		d := delta - opt[lay.Kind]
+		return base[lay.Kind] + 20*d*d, nil
+	}
+
+	best, all, err := SearchLayout(space, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Layout.Kind != policy.Tiering || best.Layout.TierRuns != 4 {
+		t.Fatalf("best layout = %s, want tiering(4)", best.Layout)
+	}
+	if math.Abs(best.Delta-0.3) > 1e-9 {
+		t.Fatalf("best δ = %v, want 0.3", best.Delta)
+	}
+	if len(all) != calls {
+		t.Fatalf("audit trail has %d entries but measure ran %d times (memoization broken)", len(all), calls)
+	}
+	exhaustive := len(space.Layouts) * len(space.DeltaGrid)
+	if calls >= exhaustive {
+		t.Fatalf("golden-section used %d measurements, exhaustive is %d", calls, exhaustive)
+	}
+	// No (layout, δ) point measured twice.
+	seen := map[string]bool{}
+	for _, c := range all {
+		k := fmt.Sprintf("%s/%v", c.Layout, c.Delta)
+		if seen[k] {
+			t.Fatalf("point %s measured twice", k)
+		}
+		seen[k] = true
+	}
+	// The reported best is the cheapest point actually measured.
+	for _, c := range all {
+		if c.Cost < best.Cost {
+			t.Fatalf("measured point %s/%v cost %v beats reported best %v", c.Layout, c.Delta, c.Cost, best.Cost)
+		}
+	}
+}
+
+// TestSearchLayoutPropagatesErrors: a failing measurement aborts the
+// search rather than being scored.
+func TestSearchLayoutPropagatesErrors(t *testing.T) {
+	space := DefaultSpace(4)
+	boom := fmt.Errorf("device on fire")
+	_, _, err := SearchLayout(space, func(policy.Layout, float64) (float64, error) {
+		return 0, boom
+	})
+	if err == nil {
+		t.Fatal("want measurement error to propagate")
+	}
+}
+
+// TestSearchLayoutEmptySpace: an empty domain is a configuration error.
+func TestSearchLayoutEmptySpace(t *testing.T) {
+	if _, _, err := SearchLayout(Space{}, nil); err == nil {
+		t.Fatal("want error on empty space")
+	}
+}

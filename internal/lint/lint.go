@@ -97,6 +97,18 @@ type Config struct {
 	// WALAllowed lists the packages allowed to call WALMethods (the wal
 	// package itself and the DB layer that owns the commit protocol).
 	WALAllowed []string
+	// PolicyPkg is the package defining the merge-policy axes. The
+	// layout-assert rule forbids type assertions and type switches on its
+	// Policy interface outside PolicyAssertAllowed, so layout stays an
+	// axis read through accessors (policy.LayoutOf, TriggerOf, Relayout,
+	// AsMixed) rather than a type check that silently misses recomposed
+	// policies.
+	PolicyPkg string
+	// PolicyAssertAllowed lists the packages allowed to assert on
+	// PolicyPkg's Policy interface (the policy package itself, which owns
+	// the accessors).
+	PolicyAssertAllowed []string
+
 	// Layering maps a package path to import paths it must not depend on,
 	// directly or transitively.
 	Layering map[string][]string
@@ -194,8 +206,10 @@ func DefaultConfig() Config {
 			"lsmssd/internal/core",       // Restore completes an interrupted cascade
 			"lsmssd/internal/compaction", // the scheduler and the sync Driver
 		},
-		WALPkg:     "lsmssd/internal/wal",
-		WALMethods: []string{"Append", "Sync", "GC", "Crash"},
+		PolicyPkg:           "lsmssd/internal/policy",
+		PolicyAssertAllowed: []string{"lsmssd/internal/policy"},
+		WALPkg:              "lsmssd/internal/wal",
+		WALMethods:          []string{"Append", "Sync", "GC", "Crash"},
 		WALAllowed: []string{
 			"lsmssd/internal/wal",
 			"lsmssd", // the DB layer owns the log-then-apply commit protocol

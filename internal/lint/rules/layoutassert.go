@@ -1,0 +1,119 @@
+package rules
+
+// layout-assert: type assertions and type switches that pin the
+// policy.Policy interface to a concrete type are confined to
+// internal/policy. The compaction decomposition makes trigger,
+// granularity, movement, and layout orthogonal axes of one Compiled
+// policy; code that asserts `p.(*policy.Compiled)` (or switches on the
+// concrete type) outside the policy package re-couples those axes to a
+// type identity — it silently stops matching the moment a policy is
+// wrapped or recomposed. The policy package exports accessors (LayoutOf,
+// TriggerOf, Relayout, AsMixed, AsRR) that answer every axis question
+// without naming the concrete type; everyone else must go through them.
+//
+// Asserting Policy to another *interface* remains legal everywhere: a
+// capability upgrade (`p.(levelsGrewNotifier)`) names a behavior, not an
+// implementation, and keeps working under wrapping and recomposition.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"lsmssd/internal/lint"
+)
+
+// policyIface reports whether t is PolicyPkg's Policy interface.
+func policyIface(ctx *lint.Context, t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Policy" && obj.Pkg() != nil && obj.Pkg().Path() == ctx.Cfg.PolicyPkg
+}
+
+// concreteAssert reports whether the asserted-to type expression names a
+// concrete (non-interface) type. A nil expr is the `default`/`case nil`
+// of a type switch, which pins nothing.
+func concreteAssert(ctx *lint.Context, typ ast.Expr) bool {
+	if typ == nil {
+		return false
+	}
+	tv, ok := ctx.Pkg.Info.Types[typ]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+// policyAsserted reports whether ta's operand is the Policy interface.
+func policyAsserted(ctx *lint.Context, ta *ast.TypeAssertExpr) bool {
+	tv, ok := ctx.Pkg.Info.Types[ta.X]
+	return ok && policyIface(ctx, tv.Type)
+}
+
+// switchGuard extracts the header TypeAssertExpr of a type switch
+// (`switch v := p.(type)` or `switch p.(type)`).
+func switchGuard(ts *ast.TypeSwitchStmt) *ast.TypeAssertExpr {
+	switch s := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		ta, _ := s.X.(*ast.TypeAssertExpr)
+		return ta
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			ta, _ := s.Rhs[0].(*ast.TypeAssertExpr)
+			return ta
+		}
+	}
+	return nil
+}
+
+var layoutAssert = lint.Rule{
+	Name: "layout-assert",
+	Doc:  "no concrete-type assertions on policy.Policy outside internal/policy; use the axis accessors",
+	Run: func(ctx *lint.Context) []lint.Finding {
+		if ctx.Cfg.PolicyPkg == "" || inList(ctx.Pkg.Path, ctx.Cfg.PolicyAssertAllowed) {
+			return nil
+		}
+		flag := func(n ast.Node) lint.Finding {
+			return lint.Finding{
+				Pos:  ctx.Pkg.Fset.Position(n.Pos()),
+				Rule: "layout-assert",
+				Msg: fmt.Sprintf("type assertion on %s.Policy pins a concrete policy type outside the policy package; read the axis through policy.LayoutOf/TriggerOf/Relayout/AsMixed instead",
+					ctx.Cfg.PolicyPkg),
+			}
+		}
+		var out []lint.Finding
+		eachFile(ctx, func(f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.TypeAssertExpr:
+					// Type == nil is a type-switch header, handled via its
+					// TypeSwitchStmt so the cases can be examined.
+					if n.Type != nil && policyAsserted(ctx, n) && concreteAssert(ctx, n.Type) {
+						out = append(out, flag(n))
+					}
+				case *ast.TypeSwitchStmt:
+					ta := switchGuard(n)
+					if ta == nil || !policyAsserted(ctx, ta) {
+						return true
+					}
+					for _, c := range n.Body.List {
+						cc, ok := c.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, typ := range cc.List {
+							if concreteAssert(ctx, typ) {
+								out = append(out, flag(typ))
+							}
+						}
+					}
+				}
+				return true
+			})
+		})
+		return out
+	},
+}

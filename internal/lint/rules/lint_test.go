@@ -87,7 +87,7 @@ func TestFixturesDetected(t *testing.T) {
 	fixtures := []string{
 		// v1 syntactic rules.
 		"devcall", "globalrand", "uncheckederr", "layering",
-		"treestate", "obsevent", "compactionstep", "walframe",
+		"treestate", "obsevent", "compactionstep", "walframe", "layoutassert",
 		// v2 path-sensitive rules.
 		"lockdiscipline", "viewrefcount", "errflow", "walordering", "goshutdown",
 		"shardlockorder", "spanfinish",

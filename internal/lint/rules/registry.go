@@ -8,7 +8,7 @@ import (
 	"lsmssd/internal/lint"
 )
 
-// All returns every lsmlint rule: the eight syntactic restrictions and
+// All returns every lsmlint rule: the nine syntactic restrictions and
 // the seven path-sensitive dataflow rules.
 func All() []lint.Rule {
 	return []lint.Rule{
@@ -21,6 +21,7 @@ func All() []lint.Rule {
 		obsEvent,
 		compactionStep,
 		walFrame,
+		layoutAssert,
 		// Path-sensitive (v2, CFG + dataflow).
 		lockDiscipline,
 		viewRefcount,

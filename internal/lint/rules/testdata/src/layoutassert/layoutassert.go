@@ -1,0 +1,61 @@
+// Package layoutassert seeds violations of the layout-assert rule:
+// type assertions and type switches that pin policy.Policy to a concrete
+// type outside internal/policy, re-coupling the compaction axes the
+// decomposition made orthogonal.
+package layoutassert
+
+import (
+	"lsmssd/internal/policy"
+)
+
+// assertCompiled pins the concrete policy type to reach the layout.
+func assertCompiled(p policy.Policy) policy.Layout {
+	if c, ok := p.(*policy.Compiled); ok { // want layout-assert
+		return c.Layout()
+	}
+	return policy.Layout{}
+}
+
+// switchOnPolicy dispatches on the concrete policy type; the finding
+// lands on the concrete case, not the switch header.
+func switchOnPolicy(p policy.Policy) string {
+	switch p.(type) {
+	case *policy.Compiled: // want layout-assert
+		return "compiled"
+	default:
+		return "other"
+	}
+}
+
+// accessorsAreFine reads every axis through the exported accessors — the
+// sanctioned pattern the rule points violators toward.
+func accessorsAreFine(p policy.Policy) (policy.Layout, bool) {
+	lay := policy.LayoutOf(p)
+	_ = policy.TriggerOf(p)
+	_ = policy.Relayout(p, policy.Layout{Kind: policy.Tiering})
+	_, isMixed := policy.AsMixed(p)
+	return lay, isMixed
+}
+
+// grewNotifier mimics core's capability-upgrade idiom: an optional
+// behavioral interface a policy may implement.
+type grewNotifier interface{ LevelsGrew(oldBottom int) }
+
+// interfaceUpgradeIsFine: asserting Policy to another interface names a
+// behavior, not an implementation, and survives wrapping — legal.
+func interfaceUpgradeIsFine(p policy.Policy) {
+	if g, ok := p.(grewNotifier); ok {
+		g.LevelsGrew(0)
+	}
+	switch p.(type) {
+	case grewNotifier: // interface case: fine
+	case nil: // nil case: pins nothing
+	}
+}
+
+// assertingOtherInterfacesIsFine: the rule is scoped to the Policy
+// interface, not to assertions in general.
+func assertingOtherInterfacesIsFine(v any) bool {
+	_, isLayout := v.(policy.Layout)
+	return isLayout
+}

@@ -32,22 +32,30 @@ import (
 // Format (little endian):
 //
 //	magic   "LSMM"            4 bytes
-//	version uint32            currently 3 (v2 added walseq, v3 shard identity)
-//	config  7 × uint64        blockCapacity, k0, gamma, epsilon(bits), seed,
-//	                          shards, shardID
+//	version uint32            currently 4 (v2 added walseq, v3 shard
+//	                          identity, v4 layout + per-run metas)
+//	config  9 × uint64        blockCapacity, k0, gamma, epsilon(bits), seed,
+//	                          shards, shardID, layout, tierRuns
 //	walseq  uint64            last WAL frame sequence this checkpoint covers
 //	levels  uint64
 //	per level:
-//	    blocks uint64
-//	    per block: id, min, max, count, tombstones (uint64 each)
+//	    runs uint64
+//	    per run:
+//	        blocks uint64
+//	        per block: id, min, max, count, tombstones (uint64 each)
 //	memtable:
 //	    records uint64
 //	    per record: key uint64, flags uint8, plen uint32, payload
 //	crc32 of everything above  uint32
+//
+// Version 3 manifests (no layout fields, one implicit run per level) are
+// still read: they decode as the leveling layout with every level a single
+// run, which is exactly the state a v3 writer could produce.
 
 const (
-	magic   = "LSMM"
-	version = 3
+	magic      = "LSMM"
+	version    = 4
+	oldVersion = 3 // still readable; written by pre-layout builds
 )
 
 // ErrNoManifest is returned by Load when the manifest file does not exist.
@@ -84,15 +92,23 @@ type Config struct {
 	// part of the config-match check.
 	Shards  int
 	ShardID int
+	// Layout is the compaction layout the checkpoint was written under
+	// (the integer value of policy.LayoutKind: 0 leveling, 1 tiering,
+	// 2 lazy leveling) and TierRuns its per-level run budget T (0 under
+	// leveling). A reopen under a different layout must be rejected: the
+	// on-device runs were shaped by the old layout's invariants.
+	Layout   int
+	TierRuns int
 }
 
 // State is everything needed to reconstruct a tree over an existing
-// device.
+// device. Runs[i] holds level L_{i+1}'s sorted runs newest first; under
+// leveling every level has exactly one.
 type State struct {
 	Config   Config
-	WALSeq   uint64              // last WAL frame sequence applied before this checkpoint
-	Levels   [][]btree.BlockMeta // index 0 is L1
-	Memtable []block.Record      // key order not required; replayed via Put
+	WALSeq   uint64                // last WAL frame sequence applied before this checkpoint
+	Runs     [][][]btree.BlockMeta // index 0 is L1
+	Memtable []block.Record        // key order not required; replayed via Put
 }
 
 // Save writes the state atomically to path.
@@ -124,13 +140,18 @@ func Save(path string, st State) error {
 		uint64(st.Config.Seed),
 		uint64(st.Config.Shards),
 		uint64(st.Config.ShardID),
+		uint64(st.Config.Layout),
+		uint64(st.Config.TierRuns),
 		st.WALSeq,
-		uint64(len(st.Levels)),
+		uint64(len(st.Runs)),
 	)
-	for _, metas := range st.Levels {
-		writeU64(uint64(len(metas)))
-		for _, m := range metas {
-			writeU64(uint64(m.ID), uint64(m.Min), uint64(m.Max), uint64(m.Count), uint64(m.Tombstones))
+	for _, runs := range st.Runs {
+		writeU64(uint64(len(runs)))
+		for _, metas := range runs {
+			writeU64(uint64(len(metas)))
+			for _, m := range metas {
+				writeU64(uint64(m.ID), uint64(m.Min), uint64(m.Max), uint64(m.Count), uint64(m.Tombstones))
+			}
 		}
 	}
 	writeU64(uint64(len(st.Memtable)))
@@ -204,8 +225,10 @@ func Load(path string) (State, error) {
 	if string(raw[:4]) != magic {
 		return st, fmt.Errorf("%w %q", ErrBadMagic, raw[:4])
 	}
-	if v := binary.LittleEndian.Uint32(raw[4:8]); v != version {
-		return st, fmt.Errorf("%w %d (this build reads version %d)", ErrVersion, v, version)
+	v := binary.LittleEndian.Uint32(raw[4:8])
+	if v != version && v != oldVersion {
+		return st, fmt.Errorf("%w %d (this build reads versions %d and %d)",
+			ErrVersion, v, oldVersion, version)
 	}
 	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
 	if got := crc32.ChecksumIEEE(body); got != binary.LittleEndian.Uint32(tail) {
@@ -222,12 +245,16 @@ func Load(path string) (State, error) {
 		Shards:        int(r.u64()),
 		ShardID:       int(r.u64()),
 	}
+	if v >= version {
+		st.Config.Layout = int(r.u64())
+		st.Config.TierRuns = int(r.u64())
+	}
 	st.WALSeq = r.u64()
 	levels := int(r.u64())
 	if levels > 64 {
 		return st, fmt.Errorf("manifest: implausible level count %d", levels)
 	}
-	for i := 0; i < levels; i++ {
+	readMetas := func() []btree.BlockMeta {
 		n := int(r.u64())
 		metas := make([]btree.BlockMeta, 0, n)
 		for j := 0; j < n; j++ {
@@ -239,7 +266,23 @@ func Load(path string) (State, error) {
 				Tombstones: int(r.u64()),
 			})
 		}
-		st.Levels = append(st.Levels, metas)
+		return metas
+	}
+	for i := 0; i < levels; i++ {
+		var runs [][]btree.BlockMeta
+		if v >= version {
+			nr := int(r.u64())
+			if nr > 1<<16 {
+				return st, fmt.Errorf("manifest: implausible run count %d in L%d", nr, i+1)
+			}
+			for j := 0; j < nr; j++ {
+				runs = append(runs, readMetas())
+			}
+		} else {
+			// v3: one implicit run per level (the leveling layout).
+			runs = [][]btree.BlockMeta{readMetas()}
+		}
+		st.Runs = append(st.Runs, runs)
 	}
 	n := int(r.u64())
 	st.Memtable = make([]block.Record, 0, n)

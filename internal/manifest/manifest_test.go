@@ -2,6 +2,8 @@ package manifest
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -15,16 +17,25 @@ import (
 
 func sampleState() State {
 	return State{
-		Config: Config{BlockCapacity: 36, K0: 256, Gamma: 10, Epsilon: 0.2, Seed: 7},
+		Config: Config{BlockCapacity: 36, K0: 256, Gamma: 10, Epsilon: 0.2, Seed: 7,
+			Layout: 2, TierRuns: 4},
 		WALSeq: 42,
-		Levels: [][]btree.BlockMeta{
+		Runs: [][][]btree.BlockMeta{
 			{
-				{ID: 3, Min: 10, Max: 20, Count: 4, Tombstones: 1},
-				{ID: 9, Min: 30, Max: 44, Count: 5},
+				// L1: two runs — a tiered level mid-accumulation.
+				{
+					{ID: 3, Min: 10, Max: 20, Count: 4, Tombstones: 1},
+					{ID: 9, Min: 30, Max: 44, Count: 5},
+				},
+				{
+					{ID: 12, Min: 2, Max: 50, Count: 7},
+				},
 			},
-			{},
+			{{}},
 			{
-				{ID: 1, Min: 0, Max: 1 << 50, Count: 36},
+				{
+					{ID: 1, Min: 0, Max: 1 << 50, Count: 36},
+				},
 			},
 		},
 		Memtable: []block.Record{
@@ -51,16 +62,21 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if got.WALSeq != want.WALSeq {
 		t.Errorf("walseq = %d, want %d", got.WALSeq, want.WALSeq)
 	}
-	if len(got.Levels) != len(want.Levels) {
-		t.Fatalf("levels = %d, want %d", len(got.Levels), len(want.Levels))
+	if len(got.Runs) != len(want.Runs) {
+		t.Fatalf("levels = %d, want %d", len(got.Runs), len(want.Runs))
 	}
-	for i := range want.Levels {
-		if len(got.Levels[i]) != len(want.Levels[i]) {
-			t.Fatalf("L%d: %d metas, want %d", i+1, len(got.Levels[i]), len(want.Levels[i]))
+	for i := range want.Runs {
+		if len(got.Runs[i]) != len(want.Runs[i]) {
+			t.Fatalf("L%d: %d runs, want %d", i+1, len(got.Runs[i]), len(want.Runs[i]))
 		}
-		for j := range want.Levels[i] {
-			if got.Levels[i][j] != want.Levels[i][j] {
-				t.Errorf("L%d[%d] = %+v, want %+v", i+1, j, got.Levels[i][j], want.Levels[i][j])
+		for j := range want.Runs[i] {
+			if len(got.Runs[i][j]) != len(want.Runs[i][j]) {
+				t.Fatalf("L%d run %d: %d metas, want %d", i+1, j, len(got.Runs[i][j]), len(want.Runs[i][j]))
+			}
+			for k := range want.Runs[i][j] {
+				if got.Runs[i][j][k] != want.Runs[i][j][k] {
+					t.Errorf("L%d run %d[%d] = %+v, want %+v", i+1, j, k, got.Runs[i][j][k], want.Runs[i][j][k])
+				}
 			}
 		}
 	}
@@ -72,6 +88,69 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		if g.Key != w.Key || g.Tombstone != w.Tombstone || !bytes.Equal(g.Payload, w.Payload) {
 			t.Errorf("memtable[%d] = %+v, want %+v", i, g, w)
 		}
+	}
+}
+
+// TestLoadV3 pins backward compatibility: a version-3 manifest (written
+// before the layout axis existed, one implicit run per level) must load
+// as the leveling layout with every level a single run.
+func TestLoadV3(t *testing.T) {
+	var body bytes.Buffer
+	body.WriteString("LSMM")
+	u32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		body.Write(b[:])
+	}
+	u64 := func(vs ...uint64) {
+		var b [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(b[:], v)
+			body.Write(b[:])
+		}
+	}
+	u32(3)                                    // version
+	u64(36, 256, 10, floatBits(0.2), 7, 1, 0) // v3 config: 7 fields, no layout
+	u64(9)                                    // walseq
+	u64(2)                                    // levels
+	u64(2)                                    // L1: two blocks
+	u64(3, 10, 20, 4, 1)
+	u64(9, 30, 44, 5, 0)
+	u64(0) // L2: empty
+	u64(1) // memtable: one record
+	u64(5)
+	body.WriteByte(0)
+	u32(2)
+	body.Write([]byte("hi"))
+	u32(crc32.ChecksumIEEE(body.Bytes()))
+
+	path := filepath.Join(t.TempDir(), "v3")
+	if err := os.WriteFile(path, body.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(path)
+	if err != nil {
+		t.Fatalf("v3 manifest rejected: %v", err)
+	}
+	if st.Config.Layout != 0 || st.Config.TierRuns != 0 {
+		t.Errorf("v3 layout = %d/%d, want 0/0 (leveling)", st.Config.Layout, st.Config.TierRuns)
+	}
+	if st.WALSeq != 9 {
+		t.Errorf("walseq = %d, want 9", st.WALSeq)
+	}
+	if len(st.Runs) != 2 {
+		t.Fatalf("levels = %d, want 2", len(st.Runs))
+	}
+	for i, runs := range st.Runs {
+		if len(runs) != 1 {
+			t.Fatalf("L%d decoded with %d runs, want 1", i+1, len(runs))
+		}
+	}
+	if len(st.Runs[0][0]) != 2 || st.Runs[0][0][0].ID != 3 || st.Runs[0][0][1].Count != 5 {
+		t.Errorf("L1 metas = %+v", st.Runs[0][0])
+	}
+	if len(st.Memtable) != 1 || st.Memtable[0].Key != 5 || string(st.Memtable[0].Payload) != "hi" {
+		t.Errorf("memtable = %+v", st.Memtable)
 	}
 }
 
@@ -141,24 +220,30 @@ func TestQuickRoundTrip(t *testing.T) {
 				Gamma:         rng.Intn(20) + 2,
 				Epsilon:       float64(rng.Intn(500)) / 1000,
 				Seed:          rng.Int63(),
+				Layout:        rng.Intn(3),
+				TierRuns:      rng.Intn(8),
 			},
 		}
 		for l := 0; l < rng.Intn(4)+1; l++ {
-			var metas []btree.BlockMeta
-			k := uint64(0)
-			for b := 0; b < rng.Intn(10); b++ {
-				k += uint64(rng.Intn(100) + 1)
-				min := k
-				k += uint64(rng.Intn(100))
-				metas = append(metas, btree.BlockMeta{
-					ID:    storage.BlockID(rng.Intn(10000) + 1),
-					Min:   block.Key(min),
-					Max:   block.Key(k),
-					Count: rng.Intn(50) + 1,
-				})
-				k++
+			var runs [][]btree.BlockMeta
+			for s := 0; s < rng.Intn(3)+1; s++ {
+				var metas []btree.BlockMeta
+				k := uint64(0)
+				for b := 0; b < rng.Intn(10); b++ {
+					k += uint64(rng.Intn(100) + 1)
+					min := k
+					k += uint64(rng.Intn(100))
+					metas = append(metas, btree.BlockMeta{
+						ID:    storage.BlockID(rng.Intn(10000) + 1),
+						Min:   block.Key(min),
+						Max:   block.Key(k),
+						Count: rng.Intn(50) + 1,
+					})
+					k++
+				}
+				runs = append(runs, metas)
 			}
-			st.Levels = append(st.Levels, metas)
+			st.Runs = append(st.Runs, runs)
 		}
 		for r := 0; r < rng.Intn(20); r++ {
 			rec := block.Record{Key: block.Key(rng.Uint64())}
@@ -176,16 +261,21 @@ func TestQuickRoundTrip(t *testing.T) {
 			return false
 		}
 		got, err := Load(path)
-		if err != nil || got.Config != st.Config || len(got.Levels) != len(st.Levels) {
+		if err != nil || got.Config != st.Config || len(got.Runs) != len(st.Runs) {
 			return false
 		}
-		for i := range st.Levels {
-			if len(got.Levels[i]) != len(st.Levels[i]) {
+		for i := range st.Runs {
+			if len(got.Runs[i]) != len(st.Runs[i]) {
 				return false
 			}
-			for j := range st.Levels[i] {
-				if got.Levels[i][j] != st.Levels[i][j] {
+			for j := range st.Runs[i] {
+				if len(got.Runs[i][j]) != len(st.Runs[i][j]) {
 					return false
+				}
+				for k := range st.Runs[i][j] {
+					if got.Runs[i][j][k] != st.Runs[i][j][k] {
+						return false
+					}
 				}
 			}
 		}

@@ -1,0 +1,239 @@
+package policy
+
+import "fmt"
+
+// This file defines the orthogonal axes of the compaction design space
+// (after Sarkar et al., "Constructing and Analyzing the LSM Compaction
+// Design Space"): Trigger (when does a level compact), Granularity (how
+// much of it moves — the paper's merge policies), Movement (rewrite vs
+// block-preserving, the paper's "-P" axis), and Layout (how many sorted
+// runs a level may hold: leveling, tiering, lazy leveling). A Spec
+// composes one choice per axis; Compose compiles it into a Policy the
+// tree runs.
+
+// --- Layout --------------------------------------------------------------
+
+// LayoutKind identifies how storage levels arrange their sorted runs.
+type LayoutKind int
+
+const (
+	// Leveling keeps exactly one sorted run per level — the paper's model,
+	// and the layout every pre-existing policy suite runs under.
+	Leveling LayoutKind = iota
+	// Tiering lets every level accumulate up to T runs before its runs are
+	// merged together and pushed down — one write per record per level, at
+	// the price of T-way read fan-out.
+	Tiering
+	// LazyLeveling tiers every level except the last, which stays leveled:
+	// tiering's write savings on the upper levels, leveling's point- and
+	// range-read behavior on the level holding most of the data.
+	LazyLeveling
+)
+
+// String returns the layout name used in flags and reports.
+func (k LayoutKind) String() string {
+	switch k {
+	case Tiering:
+		return "tiering"
+	case LazyLeveling:
+		return "lazy"
+	}
+	return "leveling"
+}
+
+// DefaultTierRuns is T when a tiered layout is requested without one.
+const DefaultTierRuns = 4
+
+// Layout is the layout axis: a kind plus, for tiered kinds, the run
+// budget T per level. The zero value is leveling.
+type Layout struct {
+	Kind     LayoutKind
+	TierRuns int // T; ignored under Leveling, defaulted when 0
+}
+
+// ParseLayout maps a flag string ("leveling", "tiering", "lazy") to a
+// layout kind.
+func ParseLayout(s string) (LayoutKind, error) {
+	switch s {
+	case "leveling":
+		return Leveling, nil
+	case "tiering":
+		return Tiering, nil
+	case "lazy", "lazy-leveling":
+		return LazyLeveling, nil
+	}
+	return Leveling, fmt.Errorf("policy: unknown layout %q (want leveling, tiering, or lazy)", s)
+}
+
+// withDefaults fills TierRuns for tiered kinds.
+func (l Layout) withDefaults() Layout {
+	if l.Kind != Leveling && l.TierRuns < 2 {
+		l.TierRuns = DefaultTierRuns
+	}
+	return l
+}
+
+// Normalized returns the canonical form of the layout: the default T
+// filled in for tiered kinds, TierRuns zeroed under leveling (where it
+// is unused). Two layouts behave identically iff their normalized forms
+// are equal — the form checkpoints persist and reopens compare.
+func (l Layout) Normalized() Layout {
+	if l.Kind == Leveling {
+		return Layout{Kind: Leveling}
+	}
+	return l.withDefaults()
+}
+
+// Tiered reports whether storage level number `level` holds multiple runs
+// under this layout, in a tree of the given height (levels 0..height-1,
+// level 0 the memtable).
+func (l Layout) Tiered(level, height int) bool {
+	switch l.Kind {
+	case Tiering:
+		return true
+	case LazyLeveling:
+		return level < height-1
+	}
+	return false
+}
+
+// MaxRuns returns the run budget of storage level `level`: 1 for leveled
+// levels, T for tiered ones.
+func (l Layout) MaxRuns(level, height int) int {
+	if !l.Tiered(level, height) {
+		return 1
+	}
+	return l.withDefaults().TierRuns
+}
+
+// String renders the layout for reports: "leveling", "tiering(4)", ...
+func (l Layout) String() string {
+	if l.Kind == Leveling {
+		return "leveling"
+	}
+	return fmt.Sprintf("%s(%d)", l.Kind, l.withDefaults().TierRuns)
+}
+
+// --- Trigger -------------------------------------------------------------
+
+// LevelState summarizes one level for trigger evaluation. Level 0 is the
+// memtable and is measured in records; storage levels are measured in
+// required blocks (⌈records/B⌉, the paper's level-size unit) and runs.
+type LevelState struct {
+	Level           int // 0 = memtable
+	Runs            int // sorted runs currently in the level (0 for L0)
+	MaxRuns         int // run budget (1 for leveled levels)
+	SizeBlocks      int // required blocks
+	CapacityBlocks  int // K_i
+	Records         int
+	CapacityRecords int // K0·B; level 0 only
+	Tombstones      int // tombstone records currently in the level
+}
+
+// Trigger is the axis deciding when a level must compact. The tree
+// evaluates it against every level after each mutation; a firing level is
+// handled by the cascade (merge forward, consolidate, or grow).
+type Trigger interface {
+	// Name identifies the trigger in reports.
+	Name() string
+	// Fire reports whether the level must compact.
+	Fire(s LevelState) bool
+}
+
+// LevelOverflow is the paper's trigger (and the only one the pre-axis
+// engine had): L0 fires at K0·B records, a storage level at K_i required
+// blocks — and, for tiered levels, also when its run budget is exhausted.
+type LevelOverflow struct{}
+
+// Name implements Trigger.
+func (LevelOverflow) Name() string { return "level-overflow" }
+
+// Fire implements Trigger.
+func (LevelOverflow) Fire(s LevelState) bool {
+	if s.Level == 0 {
+		return s.Records >= s.CapacityRecords
+	}
+	if s.SizeBlocks >= s.CapacityBlocks {
+		return true
+	}
+	return s.MaxRuns > 1 && s.Runs >= s.MaxRuns
+}
+
+// SizeRatio fires a level early, at Ratio of its capacity (Ratio 1 is
+// LevelOverflow). It trades extra merges for shallower levels — the
+// "trigger" axis's classic second point, kept composable with every
+// granularity and layout.
+type SizeRatio struct {
+	Ratio float64 // fraction of capacity at which the level fires; (0, 1]
+}
+
+// Name implements Trigger.
+func (t SizeRatio) Name() string { return fmt.Sprintf("size-ratio(%.2f)", t.Ratio) }
+
+// Fire implements Trigger.
+func (t SizeRatio) Fire(s LevelState) bool {
+	r := t.Ratio
+	if r <= 0 || r > 1 {
+		r = 1
+	}
+	if s.Level == 0 {
+		return float64(s.Records) >= r*float64(s.CapacityRecords)
+	}
+	if float64(s.SizeBlocks) >= r*float64(s.CapacityBlocks) {
+		return true
+	}
+	return s.MaxRuns > 1 && s.Runs >= s.MaxRuns
+}
+
+// TombstoneDebt wraps LevelOverflow and additionally fires a storage
+// level whose tombstone fraction exceeds MaxFraction, pushing deletes
+// toward the bottom so space is reclaimed before capacity forces it
+// (delete-heavy workloads; cf. Sarkar et al.'s delete-driven triggers).
+type TombstoneDebt struct {
+	MaxFraction float64 // tombstones/records above which the level fires
+}
+
+// Name implements Trigger.
+func (t TombstoneDebt) Name() string { return fmt.Sprintf("tombstone-debt(%.2f)", t.MaxFraction) }
+
+// Fire implements Trigger.
+func (t TombstoneDebt) Fire(s LevelState) bool {
+	if (LevelOverflow{}).Fire(s) {
+		return true
+	}
+	if s.Level == 0 || s.Records == 0 || t.MaxFraction <= 0 {
+		return false
+	}
+	return float64(s.Tombstones) > t.MaxFraction*float64(s.Records)
+}
+
+// --- Movement ------------------------------------------------------------
+
+// Movement is the data-movement axis: whether merges may adopt input
+// blocks unchanged into their output (the paper's block-preserving merge)
+// or must rewrite every record ("-P" variants).
+type Movement int
+
+const (
+	// PreserveBlocks reuses input blocks in the merge output whenever key
+	// ranges and the waste constraints allow.
+	PreserveBlocks Movement = iota
+	// Rewrite always writes fresh output blocks.
+	Rewrite
+)
+
+// String returns "preserve" or "rewrite".
+func (m Movement) String() string {
+	if m == Rewrite {
+		return "rewrite"
+	}
+	return "preserve"
+}
+
+// movementFor maps the legacy preserve flag onto the axis.
+func movementFor(preserve bool) Movement {
+	if preserve {
+		return PreserveBlocks
+	}
+	return Rewrite
+}

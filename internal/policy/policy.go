@@ -1,9 +1,15 @@
-// Package policy implements the merge policies studied in the paper: the
-// classic Full policy, the round-robin partial policy RR (≈ LevelDB), the
-// ChooseBest policy (a strictly stronger form of HyperLevelDB's), the
-// diagnostic TestMixed policy, and the threshold-based Mixed policy of
-// Section IV. Each policy also exists without block preservation (the
-// paper's "-P" variants) via the preserve flag.
+// Package policy models compaction as a point in the design space of
+// Sarkar et al.: a Trigger (when a level compacts), a Granularity (how
+// much of it moves), a Movement policy (block-preserving or rewrite — the
+// paper's "-P" axis), and a Layout (leveling, tiering, lazy leveling).
+//
+// The merge policies studied in the paper — the classic Full policy, the
+// round-robin partial policy RR (≈ LevelDB), the ChooseBest policy (a
+// strictly stronger form of HyperLevelDB's), the diagnostic TestMixed
+// policy, and the threshold-based Mixed policy of Section IV — are the
+// granularity axis; the New* constructors compose each of them with the
+// paper's other axis choices (level-overflow trigger, leveling layout)
+// so their behavior is unchanged.
 package policy
 
 import (
@@ -51,11 +57,18 @@ type Policy interface {
 }
 
 // windowBlocks returns the partial-merge window size for the given source
-// level: ⌊δ·K_from⌋, at least 1, capped at the level's current block count.
+// level: ⌊δ·K_from⌋, at least 1, capped at the level's size. The size cap
+// uses required blocks (⌈records/B⌉) — the paper's level-size unit — not
+// the physical block count: under relaxed storage a fragmented level can
+// hold more, partially-filled, blocks than its record population needs,
+// and the window must not inflate with that fragmentation.
 func windowBlocks(v View, from int, delta float64) int {
 	w := int(delta * float64(v.CapacityBlocks(from)))
 	if w < 1 {
 		w = 1
+	}
+	if s := v.SizeBlocks(from); s > 0 && w > s {
+		w = s
 	}
 	if n := len(v.SourceMetas(from)); w > n {
 		w = n
@@ -71,31 +84,29 @@ func suffix(preserve bool) string {
 }
 
 // Full always merges the entire overflowing level into the next: the
-// policy of the original LSM-tree (and, without preservation, of bLSM).
-type Full struct {
-	preserve bool
+// granularity of the original LSM-tree (and, without preservation, of
+// bLSM).
+type Full struct{}
+
+// NewFull returns the Full policy under the paper's axes (level-overflow
+// trigger, leveling layout).
+func NewFull(preserve bool) *Compiled {
+	return Compose(Spec{Granularity: &Full{}, Movement: movementFor(preserve)})
 }
 
-// NewFull returns the Full policy.
-func NewFull(preserve bool) *Full { return &Full{preserve: preserve} }
+// Name implements Granularity.
+func (p *Full) Name() string { return "Full" }
 
-// Name implements Policy.
-func (p *Full) Name() string { return "Full" + suffix(p.preserve) }
-
-// Preserve implements Policy.
-func (p *Full) Preserve() bool { return p.preserve }
-
-// Decide implements Policy: always a full merge.
+// Decide implements Granularity: always a full merge.
 func (p *Full) Decide(View, int) Decision { return Decision{Full: true} }
 
-// RR is the round-robin partial policy of Example 1 (roughly LevelDB's):
-// each merge takes the next δK blocks in key order, starting after the
-// largest key involved in the previous merge from that level, wrapping to
-// the start of the level when the end is reached.
+// RR is the round-robin partial granularity of Example 1 (roughly
+// LevelDB's): each merge takes the next δK blocks in key order, starting
+// after the largest key involved in the previous merge from that level,
+// wrapping to the start of the level when the end is reached.
 type RR struct {
-	delta    float64
-	preserve bool
-	cursor   map[int]cursor // per source level
+	delta  float64
+	cursor map[int]cursor // per source level
 }
 
 type cursor struct {
@@ -104,17 +115,18 @@ type cursor struct {
 }
 
 // NewRR returns the RR policy with merge rate delta.
-func NewRR(delta float64, preserve bool) *RR {
-	return &RR{delta: delta, preserve: preserve, cursor: make(map[int]cursor)}
+func NewRR(delta float64, preserve bool) *Compiled {
+	return Compose(Spec{Granularity: newRR(delta), Movement: movementFor(preserve)})
 }
 
-// Name implements Policy.
-func (p *RR) Name() string { return "RR" + suffix(p.preserve) }
+func newRR(delta float64) *RR {
+	return &RR{delta: delta, cursor: make(map[int]cursor)}
+}
 
-// Preserve implements Policy.
-func (p *RR) Preserve() bool { return p.preserve }
+// Name implements Granularity.
+func (p *RR) Name() string { return "RR" }
 
-// Decide implements Policy.
+// Decide implements Granularity.
 func (p *RR) Decide(v View, from int) Decision {
 	metas := v.SourceMetas(from)
 	w := windowBlocks(v, from, p.delta)
@@ -158,10 +170,10 @@ func (p *RR) LevelsGrew(oldBottom int) {
 	}
 }
 
-// ChooseBest is the paper's provably good partial policy (Section III-C):
-// among all windows of δK consecutive source blocks, merge the one whose
-// key range overlaps the fewest next-level blocks. The scan runs over the
-// in-memory block metadata only.
+// ChooseBest is the paper's provably good partial granularity (Section
+// III-C): among all windows of δK consecutive source blocks, merge the one
+// whose key range overlaps the fewest next-level blocks. The scan runs
+// over the in-memory block metadata only.
 //
 // With Partitioned set, candidate windows are restricted to a fixed
 // partitioning of the level (window starts at multiples of the window
@@ -170,33 +182,29 @@ func (p *RR) LevelsGrew(oldBottom int) {
 // stronger version of that policy.
 type ChooseBest struct {
 	delta       float64
-	preserve    bool
 	partitioned bool
 }
 
 // NewChooseBest returns the ChooseBest policy with merge rate delta.
-func NewChooseBest(delta float64, preserve bool) *ChooseBest {
-	return &ChooseBest{delta: delta, preserve: preserve}
+func NewChooseBest(delta float64, preserve bool) *Compiled {
+	return Compose(Spec{Granularity: &ChooseBest{delta: delta}, Movement: movementFor(preserve)})
 }
 
 // NewChooseBestPartitioned returns the HyperLevelDB-style restriction of
 // ChooseBest that only considers aligned windows.
-func NewChooseBestPartitioned(delta float64, preserve bool) *ChooseBest {
-	return &ChooseBest{delta: delta, preserve: preserve, partitioned: true}
+func NewChooseBestPartitioned(delta float64, preserve bool) *Compiled {
+	return Compose(Spec{Granularity: &ChooseBest{delta: delta, partitioned: true}, Movement: movementFor(preserve)})
 }
 
-// Name implements Policy.
+// Name implements Granularity.
 func (p *ChooseBest) Name() string {
 	if p.partitioned {
-		return "ChooseBestPart" + suffix(p.preserve)
+		return "ChooseBestPart"
 	}
-	return "ChooseBest" + suffix(p.preserve)
+	return "ChooseBest"
 }
 
-// Preserve implements Policy.
-func (p *ChooseBest) Preserve() bool { return p.preserve }
-
-// Decide implements Policy.
+// Decide implements Granularity.
 func (p *ChooseBest) Decide(v View, from int) Decision {
 	w := windowBlocks(v, from, p.delta)
 	step := 1
@@ -240,24 +248,21 @@ func bestWindow(src, tgt []btree.BlockMeta, w, step int) int {
 	return bestStart
 }
 
-// TestMixed is the diagnostic policy of Section IV-A: ChooseBest for all
-// merges except those into the bottom level, which are Full.
+// TestMixed is the diagnostic granularity of Section IV-A: ChooseBest for
+// all merges except those into the bottom level, which are Full.
 type TestMixed struct {
 	cb *ChooseBest
 }
 
 // NewTestMixed returns the TestMixed policy with merge rate delta.
-func NewTestMixed(delta float64, preserve bool) *TestMixed {
-	return &TestMixed{cb: NewChooseBest(delta, preserve)}
+func NewTestMixed(delta float64, preserve bool) *Compiled {
+	return Compose(Spec{Granularity: &TestMixed{cb: &ChooseBest{delta: delta}}, Movement: movementFor(preserve)})
 }
 
-// Name implements Policy.
-func (p *TestMixed) Name() string { return "TestMixed" + suffix(p.cb.preserve) }
+// Name implements Granularity.
+func (p *TestMixed) Name() string { return "TestMixed" }
 
-// Preserve implements Policy.
-func (p *TestMixed) Preserve() bool { return p.cb.preserve }
-
-// Decide implements Policy.
+// Decide implements Granularity.
 func (p *TestMixed) Decide(v View, from int) Decision {
 	if from+1 == v.Height()-1 {
 		return Decision{Full: true}
@@ -265,8 +270,8 @@ func (p *TestMixed) Decide(v View, from int) Decision {
 	return p.cb.Decide(v, from)
 }
 
-// Mixed is the paper's threshold policy (Section IV-B), parameterized by a
-// per-level threshold τ_i for internal levels and a Boolean β for the
+// Mixed is the paper's threshold granularity (Section IV-B), parameterized
+// by a per-level threshold τ_i for internal levels and a Boolean β for the
 // bottom level:
 //
 //   - merges out of L0 are always partial (ChooseBest);
@@ -284,19 +289,16 @@ type Mixed struct {
 
 // NewMixed returns a Mixed policy. taus maps target level index to τ; keys
 // absent default to 0 (always partial). The map is copied.
-func NewMixed(delta float64, preserve bool, taus map[int]float64, beta bool) *Mixed {
-	m := &Mixed{cb: NewChooseBest(delta, preserve), taus: make(map[int]float64), beta: beta}
+func NewMixed(delta float64, preserve bool, taus map[int]float64, beta bool) *Compiled {
+	m := &Mixed{cb: &ChooseBest{delta: delta}, taus: make(map[int]float64), beta: beta}
 	for k, v := range taus {
 		m.taus[k] = v
 	}
-	return m
+	return Compose(Spec{Granularity: m, Movement: movementFor(preserve)})
 }
 
-// Name implements Policy.
-func (p *Mixed) Name() string { return "Mixed" + suffix(p.cb.preserve) }
-
-// Preserve implements Policy.
-func (p *Mixed) Preserve() bool { return p.cb.preserve }
+// Name implements Granularity.
+func (p *Mixed) Name() string { return "Mixed" }
 
 // SetTau sets the threshold for merges into level target.
 func (p *Mixed) SetTau(target int, tau float64) { p.taus[target] = tau }
@@ -310,7 +312,7 @@ func (p *Mixed) Tau(target int) float64 { return p.taus[target] }
 // Beta returns the bottom-level decision.
 func (p *Mixed) Beta() bool { return p.beta }
 
-// Decide implements Policy.
+// Decide implements Granularity.
 func (p *Mixed) Decide(v View, from int) Decision {
 	if from == 0 {
 		return p.cb.Decide(v, from)

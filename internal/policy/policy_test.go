@@ -114,10 +114,11 @@ func TestRRLevelsGrew(t *testing.T) {
 	p := NewRR(0.1, true)
 	p.Decide(v, 1)
 	p.LevelsGrew(1)
-	if _, ok := p.cursor[1]; ok {
+	rr := p.Granularity().(*RR)
+	if _, ok := rr.cursor[1]; ok {
 		t.Error("cursor not moved off relabelled level")
 	}
-	if c, ok := p.cursor[2]; !ok || !c.set {
+	if c, ok := rr.cursor[2]; !ok || !c.set {
 		t.Error("cursor not carried to the new index")
 	}
 }
@@ -168,6 +169,10 @@ func TestTestMixedFullIntoBottomOnly(t *testing.T) {
 func TestMixedThresholds(t *testing.T) {
 	taus := map[int]float64{2: 0.5}
 	p := NewMixed(0.1, true, taus, true)
+	m, ok := AsMixed(p)
+	if !ok {
+		t.Fatal("AsMixed failed on a Mixed policy")
+	}
 	// 4-level tree; merge from L1 into internal L2 with S(L2) below
 	// τ·K: Full.
 	v := &fakeView{
@@ -189,13 +194,13 @@ func TestMixedThresholds(t *testing.T) {
 	if d := p.Decide(v2, 2); !d.Full {
 		t.Error("β=true: want Full into bottom")
 	}
-	p.SetBeta(false)
+	m.SetBeta(false)
 	if d := p.Decide(v2, 2); d.Full {
 		t.Error("β=false: want partial into bottom")
 	}
 	// Merges out of L0 are always partial.
 	v3 := &fakeView{height: 4, src: metas(5, 0), caps: map[int]int{0: 20, 1: 10}, sizes: map[int]int{1: 0}, from: 0}
-	p.SetTau(1, 1.0)
+	m.SetTau(1, 1.0)
 	if d := p.Decide(v3, 0); d.Full {
 		t.Error("merge out of L0 must be partial regardless of τ1")
 	}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"math/rand"
+
+	"lsmssd/internal/block"
+)
+
+// DeleteHeavyConfig parameterizes the DeleteHeavy workload.
+type DeleteHeavyConfig struct {
+	KeySpace    uint64 // keys are drawn from [0, KeySpace)
+	PayloadSize int    // payload bytes per insert
+	// TombstoneRatio is the fraction of requests that delete an indexed
+	// key once the index has reached TargetKeys (default 0.5). Values
+	// above 0.5 cannot shrink the index forever — dropping below the
+	// target forces inserts back in — so the realized long-run delete
+	// fraction caps at ~0.5; the knob above that point controls how
+	// bursty the tombstone traffic is, which is what loads the tree with
+	// tombstone-dense runs.
+	TombstoneRatio float64
+	// TargetKeys sizes the index: inserts are forced while the indexed
+	// count is below it (default 10_000), so the steady-state phase every
+	// harness waits for is reachable at any TombstoneRatio.
+	TargetKeys int
+	Seed       int64
+}
+
+// DeleteHeavy emits tombstone-dominated traffic: deletes of uniformly
+// sampled indexed keys at TombstoneRatio, fresh-key inserts otherwise.
+// It differentiates the level layouts — tiering retains tombstones in
+// stacked runs until a whole-level merge, where leveling shreds them one
+// level per cascade step — and feeds the tombstone-debt trigger.
+type DeleteHeavy struct {
+	cfg DeleteHeavyConfig
+	rng *rand.Rand
+	set *keySet
+}
+
+// NewDeleteHeavy returns a DeleteHeavy generator.
+func NewDeleteHeavy(cfg DeleteHeavyConfig) *DeleteHeavy {
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 1_000_000_000
+	}
+	if cfg.TombstoneRatio == 0 {
+		cfg.TombstoneRatio = 0.5
+	}
+	if cfg.TargetKeys == 0 {
+		cfg.TargetKeys = 10_000
+	}
+	return &DeleteHeavy{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		set: newKeySet(),
+	}
+}
+
+// Next implements Generator.
+func (d *DeleteHeavy) Next() (Request, bool) {
+	grow := d.set.len() < d.cfg.TargetKeys
+	if !grow && d.rng.Float64() < d.cfg.TombstoneRatio {
+		k := d.set.sample(d.rng)
+		d.set.remove(k)
+		return Request{Op: Delete, Key: k}, true
+	}
+	for tries := 0; tries < 64; tries++ {
+		k := block.Key(d.rng.Uint64() % d.cfg.KeySpace)
+		if d.set.has(k) {
+			continue
+		}
+		d.set.add(k)
+		return Request{Op: Insert, Key: k, Payload: payload(d.cfg.PayloadSize, k)}, true
+	}
+	return Request{}, false // key space saturated
+}
+
+// Indexed implements Generator.
+func (d *DeleteHeavy) Indexed() int { return d.set.len() }

@@ -13,6 +13,31 @@ type Store interface {
 	Delete(k block.Key) error
 }
 
+// Scanner is the optional range-read half of a store. Generators that
+// emit Scan requests (ScanHeavy) need the store to implement it; driving
+// a scan into a store that doesn't is an error, not a silent skip —
+// otherwise a scan-heavy run would quietly measure a write-only workload.
+type Scanner interface {
+	Scan(lo, hi block.Key, fn func(k block.Key, payload []byte) bool) error
+}
+
+// apply dispatches one request to the store.
+func apply(req Request, s Store) error {
+	switch req.Op {
+	case Insert:
+		return s.Put(req.Key, req.Payload)
+	case Delete:
+		return s.Delete(req.Key)
+	case Scan:
+		sc, ok := s.(Scanner)
+		if !ok {
+			return fmt.Errorf("workload: scan request but store %T implements no Scan", s)
+		}
+		return sc.Scan(req.Key, req.End, func(block.Key, []byte) bool { return true })
+	}
+	return fmt.Errorf("workload: unknown op %d", req.Op)
+}
+
 // Drive applies requests from g to s until at least byteBudget request
 // bytes have been issued, returning the bytes actually issued. The paper
 // measures workloads in "MB worth of requests"; this is that unit.
@@ -29,13 +54,7 @@ func Drive(g Generator, s Store, byteBudget int64) (int64, error) {
 			continue
 		}
 		stalls = 0
-		var err error
-		if req.Op == Insert {
-			err = s.Put(req.Key, req.Payload)
-		} else {
-			err = s.Delete(req.Key)
-		}
-		if err != nil {
+		if err := apply(req, s); err != nil {
 			return issued, err
 		}
 		issued += int64(req.Size())
@@ -52,13 +71,7 @@ func DriveN(g Generator, s Store, n int) (int64, error) {
 		if !ok {
 			continue
 		}
-		var err error
-		if req.Op == Insert {
-			err = s.Put(req.Key, req.Payload)
-		} else {
-			err = s.Delete(req.Key)
-		}
-		if err != nil {
+		if err := apply(req, s); err != nil {
 			return issued, err
 		}
 		issued += int64(req.Size())

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"math/rand"
+
+	"lsmssd/internal/block"
+)
+
+// ScanHeavyConfig parameterizes the ScanHeavy workload.
+type ScanHeavyConfig struct {
+	KeySpace    uint64 // keys are drawn from [0, KeySpace)
+	PayloadSize int    // payload bytes per insert
+	// ScanRatio is the fraction of requests that are range scans once
+	// anything is indexed (default 0.3).
+	ScanRatio float64
+	// ScanSpan is the width of each scanned key interval: a scan covers
+	// [lo, lo+ScanSpan] with lo a uniformly sampled indexed key (default
+	// KeySpace/1000).
+	ScanSpan uint64
+	// InsertRatio is the insert fraction of the remaining mutation
+	// traffic (default 0.5); TargetKeys self-balances it as in Uniform.
+	InsertRatio float64
+	TargetKeys  int
+	Seed        int64
+}
+
+// ScanHeavy mixes range scans into Uniform-style mutation traffic. Scans
+// pay per sorted run they cross, so this is the workload on which tiering
+// (up to T runs per level) loses to leveling and lazy leveling — the
+// read-amplification half of the layout tradeoff.
+type ScanHeavy struct {
+	cfg ScanHeavyConfig
+	rng *rand.Rand
+	set *keySet
+}
+
+// NewScanHeavy returns a ScanHeavy generator.
+func NewScanHeavy(cfg ScanHeavyConfig) *ScanHeavy {
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 1_000_000_000
+	}
+	if cfg.ScanRatio == 0 {
+		cfg.ScanRatio = 0.3
+	}
+	if cfg.ScanSpan == 0 {
+		cfg.ScanSpan = cfg.KeySpace / 1000
+	}
+	if cfg.InsertRatio == 0 {
+		cfg.InsertRatio = 0.5
+	}
+	return &ScanHeavy{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		set: newKeySet(),
+	}
+}
+
+// Next implements Generator.
+func (s *ScanHeavy) Next() (Request, bool) {
+	if s.set.len() > 0 && s.rng.Float64() < s.cfg.ScanRatio {
+		lo := s.set.sample(s.rng)
+		hi := lo + block.Key(s.cfg.ScanSpan)
+		if hi < lo { // key-space wrap
+			hi = ^block.Key(0)
+		}
+		return Request{Op: Scan, Key: lo, End: hi}, true
+	}
+	p := balancedRatio(s.cfg.InsertRatio, s.set.len(), s.cfg.TargetKeys)
+	if s.rng.Float64() < p || s.set.len() == 0 {
+		return s.insert()
+	}
+	k := s.set.sample(s.rng)
+	s.set.remove(k)
+	return Request{Op: Delete, Key: k}, true
+}
+
+func (s *ScanHeavy) insert() (Request, bool) {
+	for tries := 0; tries < 64; tries++ {
+		k := block.Key(s.rng.Uint64() % s.cfg.KeySpace)
+		if s.set.has(k) {
+			continue
+		}
+		s.set.add(k)
+		return Request{Op: Insert, Key: k, Payload: payload(s.cfg.PayloadSize, k)}, true
+	}
+	return Request{}, false // key space saturated
+}
+
+// Indexed implements Generator.
+func (s *ScanHeavy) Indexed() int { return s.set.len() }

@@ -21,20 +21,30 @@ type Op int
 const (
 	Insert Op = iota
 	Delete
+	// Scan is a range read over [Key, End]. Read-only: it moves no data
+	// and leaves the indexed set unchanged, but it exercises the read
+	// path's run fan-out, which is what separates the level layouts.
+	Scan
 )
 
-// Request is one modification request.
+// Request is one request. For Scan, Key..End is the inclusive key range;
+// for the mutations, End is unused.
 type Request struct {
 	Op      Op
 	Key     block.Key
+	End     block.Key
 	Payload []byte
 }
 
 // Size returns the request's byte footprint: key plus payload for inserts,
-// key only for deletes (matching the tree's request accounting).
+// key only for deletes (matching the tree's request accounting), and the
+// two range endpoints for scans.
 func (r Request) Size() int {
-	if r.Op == Delete {
+	switch r.Op {
+	case Delete:
 		return 8
+	case Scan:
+		return 16
 	}
 	return 8 + len(r.Payload)
 }

@@ -359,3 +359,178 @@ func TestDriveStallError(t *testing.T) {
 		t.Error("Drive did not report generator stall")
 	}
 }
+
+// scanModel extends modelStore with range reads, for driving ScanHeavy.
+type scanModel struct {
+	modelStore
+	scans int
+}
+
+func (m *scanModel) Scan(lo, hi block.Key, fn func(block.Key, []byte) bool) error {
+	m.scans++
+	for k, v := range m.modelStore {
+		if k >= lo && k <= hi && !fn(k, []byte(v)) {
+			break
+		}
+	}
+	return nil
+}
+
+func TestDeleteHeavyContract(t *testing.T) {
+	g := NewDeleteHeavy(DeleteHeavyConfig{
+		KeySpace: 1 << 40, PayloadSize: 8, TombstoneRatio: 0.7,
+		TargetKeys: 400, Seed: 11,
+	})
+	live := map[block.Key]bool{}
+	deletes, total := 0, 12000
+	for i := 0; i < total; i++ {
+		req, ok := g.Next()
+		if !ok {
+			t.Fatal("generator stalled")
+		}
+		if req.Op == Insert {
+			if live[req.Key] {
+				t.Fatalf("insert of already-indexed key %d", req.Key)
+			}
+			live[req.Key] = true
+		} else {
+			if req.Op != Delete {
+				t.Fatalf("unexpected op %d", req.Op)
+			}
+			if !live[req.Key] {
+				t.Fatalf("delete of absent key %d", req.Key)
+			}
+			delete(live, req.Key)
+			deletes++
+		}
+	}
+	if g.Indexed() != len(live) {
+		t.Errorf("Indexed = %d, want %d", g.Indexed(), len(live))
+	}
+	// The target floor caps the realized delete fraction near 0.5; it
+	// must still be far above Uniform's equilibrium drift.
+	if frac := float64(deletes) / float64(total); frac < 0.40 || frac > 0.55 {
+		t.Errorf("delete fraction = %.2f, want ~0.5 under floor-capped 0.7", frac)
+	}
+	// The index hovers at the target, so harnesses that grow to
+	// TargetKeys always get there.
+	if got := g.Indexed(); got < 300 || got > 600 {
+		t.Errorf("Indexed = %d, want pinned near the 400-key target", got)
+	}
+}
+
+func TestDeleteHeavyRatioBelowHalf(t *testing.T) {
+	g := NewDeleteHeavy(DeleteHeavyConfig{
+		KeySpace: 1 << 40, PayloadSize: 4, TombstoneRatio: 0.3,
+		TargetKeys: 200, Seed: 12,
+	})
+	deletes, total := 0, 20000
+	for i := 0; i < total; i++ {
+		req, ok := g.Next()
+		if !ok {
+			t.Fatal("stalled")
+		}
+		if req.Op == Delete {
+			deletes++
+		}
+	}
+	// Below 0.5 the configured ratio is realized directly (the index
+	// grows without bound at 0.3, so the floor never intervenes).
+	if frac := float64(deletes) / float64(total); frac < 0.25 || frac > 0.35 {
+		t.Errorf("delete fraction = %.2f, want ~0.3", frac)
+	}
+}
+
+func TestScanHeavyContract(t *testing.T) {
+	const span = uint64(1 << 20)
+	g := NewScanHeavy(ScanHeavyConfig{
+		KeySpace: 1 << 40, PayloadSize: 8, ScanRatio: 0.4, ScanSpan: span,
+		TargetKeys: 300, Seed: 13,
+	})
+	live := map[block.Key]bool{}
+	scans, total := 0, 10000
+	for i := 0; i < total; i++ {
+		req, ok := g.Next()
+		if !ok {
+			t.Fatal("stalled")
+		}
+		switch req.Op {
+		case Insert:
+			if live[req.Key] {
+				t.Fatalf("insert of already-indexed key %d", req.Key)
+			}
+			live[req.Key] = true
+		case Delete:
+			if !live[req.Key] {
+				t.Fatalf("delete of absent key %d", req.Key)
+			}
+			delete(live, req.Key)
+		case Scan:
+			scans++
+			if !live[req.Key] {
+				t.Fatalf("scan lower bound %d not an indexed key", req.Key)
+			}
+			if req.End < req.Key || req.End > req.Key+block.Key(span) {
+				t.Fatalf("scan range [%d, %d] has wrong span", req.Key, req.End)
+			}
+			if req.Size() != 16 {
+				t.Fatalf("scan Size() = %d, want 16", req.Size())
+			}
+		}
+	}
+	if frac := float64(scans) / float64(total); frac < 0.3 || frac > 0.5 {
+		t.Errorf("scan fraction = %.2f, want ~0.4", frac)
+	}
+	if g.Indexed() != len(live) {
+		t.Errorf("Indexed = %d, want %d", g.Indexed(), len(live))
+	}
+}
+
+func TestDriveScans(t *testing.T) {
+	g := NewScanHeavy(ScanHeavyConfig{
+		KeySpace: 1 << 30, PayloadSize: 10, ScanRatio: 0.5,
+		TargetKeys: 100, Seed: 14,
+	})
+	s := &scanModel{modelStore: modelStore{}}
+	if _, err := Drive(g, s, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if s.scans == 0 {
+		t.Error("Drive executed no scans from a scan-heavy generator")
+	}
+	if len(s.modelStore) != g.Indexed() {
+		t.Errorf("store has %d keys, generator believes %d", len(s.modelStore), g.Indexed())
+	}
+}
+
+func TestDriveScanWithoutScannerErrors(t *testing.T) {
+	g := NewScanHeavy(ScanHeavyConfig{
+		KeySpace: 1 << 30, PayloadSize: 4, ScanRatio: 1.0,
+		TargetKeys: 10, Seed: 15,
+	})
+	// modelStore has no Scan; the first scan request must surface an
+	// error instead of silently measuring a mutation-only workload.
+	if _, err := Drive(g, modelStore{}, 1<<20); err == nil {
+		t.Error("Drive accepted scan requests against a store with no Scan")
+	}
+}
+
+func TestNewGeneratorsDeterministic(t *testing.T) {
+	for _, mk := range []func() Generator{
+		func() Generator {
+			return NewDeleteHeavy(DeleteHeavyConfig{KeySpace: 1 << 30, PayloadSize: 4, TargetKeys: 50, Seed: 16})
+		},
+		func() Generator {
+			return NewScanHeavy(ScanHeavyConfig{KeySpace: 1 << 30, PayloadSize: 4, TargetKeys: 50, Seed: 16})
+		},
+	} {
+		a, b := mk(), mk()
+		for i := 0; i < 500; i++ {
+			ra, oka := a.Next()
+			rb, okb := b.Next()
+			if oka != okb || ra.Op != rb.Op || ra.Key != rb.Key || ra.End != rb.End {
+				t.Fatal("generator not deterministic")
+			}
+		}
+	}
+}

@@ -107,6 +107,32 @@ func (p Policy) String() string {
 	return "unknown"
 }
 
+// Layout selects how each storage level arranges its sorted runs — the
+// layout axis of the compaction design space (Options.Layout).
+type Layout int
+
+const (
+	// Leveling keeps exactly one sorted run per level: the paper's model
+	// and the default. Reads consult one run per level; every merge into a
+	// level rewrites part of it, so records are rewritten up to Γ times
+	// per level.
+	Leveling Layout = iota
+	// Tiering lets every level accumulate up to TierRuns sorted runs
+	// before they are merged together and pushed down: each record is
+	// written once per level (minimal write amplification), at the price
+	// of up to TierRuns runs to consult per read.
+	Tiering
+	// LazyLeveling tiers every level except the last, which stays leveled:
+	// tiering's write savings on the upper levels, leveling's point- and
+	// range-read behavior on the level holding most of the data.
+	LazyLeveling
+)
+
+// String returns "leveling", "tiering", or "lazy".
+func (l Layout) String() string {
+	return policy.LayoutKind(l).String()
+}
+
 // CompactionMode selects who drives merge cascades (Options.CompactionMode).
 type CompactionMode int
 
@@ -220,6 +246,16 @@ type Options struct {
 	Delta float64
 	// MergePolicy selects the merge policy (default ChooseBest).
 	MergePolicy Policy
+	// Layout selects the level layout (default Leveling, the paper's
+	// model). Tiering and LazyLeveling trade read fan-out for write
+	// amplification; see the Layout constants. The layout is recorded in
+	// the manifest and a store must be reopened with the layout it was
+	// written under.
+	Layout Layout
+	// TierRuns is T, the number of sorted runs a tiered level accumulates
+	// before compacting (default 4). Ignored under Leveling; must be at
+	// least 2 otherwise.
+	TierRuns int
 	// DisablePreserve turns off block-preserving merges, yielding the
 	// paper's "-P" policy variants.
 	DisablePreserve bool
@@ -390,6 +426,14 @@ func (o Options) Validate() error {
 	if o.Gamma < 2 {
 		return fmt.Errorf("lsmssd: Options.Gamma %d below 2: levels must grow geometrically", o.Gamma)
 	}
+	switch o.Layout {
+	case Leveling, Tiering, LazyLeveling:
+	default:
+		return fmt.Errorf("lsmssd: Options.Layout %d is not Leveling, Tiering, or LazyLeveling", o.Layout)
+	}
+	if o.TierRuns < 0 || o.TierRuns == 1 {
+		return fmt.Errorf("lsmssd: Options.TierRuns %d invalid: a tiered level needs a run budget of at least 2 (0 means the default)", o.TierRuns)
+	}
 	switch o.CompactionMode {
 	case SyncCompaction:
 		// Triggers are background-mode knobs; tolerate them set (ignored).
@@ -436,19 +480,27 @@ func (o Options) Validate() error {
 	return nil
 }
 
-// buildPolicy constructs the internal policy for the options.
+// buildPolicy constructs the internal policy for the options: the legacy
+// merge-policy constructor picks the granularity and movement axes, then
+// the layout axis is composed on top (a no-op under Leveling, keeping the
+// legacy policies byte-identical).
 func (o Options) buildPolicy() policy.Policy {
 	preserve := !o.DisablePreserve
+	var p *policy.Compiled
 	switch o.MergePolicy {
 	case Full:
-		return policy.NewFull(preserve)
+		p = policy.NewFull(preserve)
 	case RR:
-		return policy.NewRR(o.Delta, preserve)
+		p = policy.NewRR(o.Delta, preserve)
 	case TestMixed:
-		return policy.NewTestMixed(o.Delta, preserve)
+		p = policy.NewTestMixed(o.Delta, preserve)
 	case Mixed:
-		return policy.NewMixed(o.Delta, preserve, o.MixedTaus, o.MixedBeta)
+		p = policy.NewMixed(o.Delta, preserve, o.MixedTaus, o.MixedBeta)
 	default:
-		return policy.NewChooseBest(o.Delta, preserve)
+		p = policy.NewChooseBest(o.Delta, preserve)
 	}
+	if o.Layout != Leveling {
+		p = p.WithLayout(policy.Layout{Kind: policy.LayoutKind(o.Layout), TierRuns: o.TierRuns})
+	}
+	return p
 }

@@ -18,7 +18,7 @@ import (
 // enough interleavings to catch any path that escapes the lock — stats
 // snapshots, checkpoint I/O, tuning views, cache and bloom bookkeeping.
 func TestRaceStress(t *testing.T) {
-	opts := lsmssd.Options{
+	raceStress(t, lsmssd.Options{
 		Path:            filepath.Join(t.TempDir(), "race.blk"),
 		RecordsPerBlock: 16,
 		MemtableBlocks:  4,
@@ -26,7 +26,42 @@ func TestRaceStress(t *testing.T) {
 		Delta:           0.2,
 		CacheBlocks:     64,
 		BloomBitsPerKey: 8,
-	}
+	})
+}
+
+// TestRaceStressTiering and TestRaceStressLazy repeat the stress under
+// the multi-run layouts: the read path walks several runs per level and
+// whole-run merges retire blocks in bulk, so snapshot lifetimes and the
+// deferred-free protocol see different interleavings than leveling.
+func TestRaceStressTiering(t *testing.T) {
+	raceStress(t, lsmssd.Options{
+		Path:            filepath.Join(t.TempDir(), "race.blk"),
+		RecordsPerBlock: 16,
+		MemtableBlocks:  4,
+		Gamma:           4,
+		Delta:           0.2,
+		CacheBlocks:     64,
+		BloomBitsPerKey: 8,
+		Layout:          lsmssd.Tiering,
+		TierRuns:        3,
+	})
+}
+
+func TestRaceStressLazy(t *testing.T) {
+	raceStress(t, lsmssd.Options{
+		Path:            filepath.Join(t.TempDir(), "race.blk"),
+		RecordsPerBlock: 16,
+		MemtableBlocks:  4,
+		Gamma:           4,
+		Delta:           0.2,
+		CacheBlocks:     64,
+		BloomBitsPerKey: 8,
+		Layout:          lsmssd.LazyLeveling,
+		TierRuns:        3,
+	})
+}
+
+func raceStress(t *testing.T, opts lsmssd.Options) {
 	db, err := lsmssd.Open(opts)
 	if err != nil {
 		t.Fatal(err)

@@ -12,6 +12,7 @@ import (
 	"lsmssd/internal/invariant"
 	"lsmssd/internal/manifest"
 	"lsmssd/internal/obs"
+	"lsmssd/internal/policy"
 	"lsmssd/internal/storage"
 	"lsmssd/internal/wal"
 )
@@ -197,10 +198,22 @@ func (s *shard) restore(cfg core.Config, st manifest.State) error {
 			want.BlockCapacity, want.K0, want.Gamma, want.Epsilon,
 			st.Config.BlockCapacity, st.Config.K0, st.Config.Gamma, st.Config.Epsilon)
 	}
+	// The layout shaped the on-device runs (a tiered level holds several
+	// sorted runs; a leveled one exactly one), so reopening under a
+	// different layout would hand the tree a structure its invariants
+	// reject. Refuse the skew instead of guessing.
+	lay := policy.LayoutOf(cfg.Policy).Normalized()
+	disk := policy.Layout{Kind: policy.LayoutKind(st.Config.Layout), TierRuns: st.Config.TierRuns}
+	if lay != disk.Normalized() {
+		return fmt.Errorf("lsmssd: options layout %s does not match manifest layout %s; reopen with the layout the store was written under",
+			lay, disk.Normalized())
+	}
 	var live []storage.BlockID
-	for _, metas := range st.Levels {
-		for _, m := range metas {
-			live = append(live, m.ID)
+	for _, runs := range st.Runs {
+		for _, metas := range runs {
+			for _, m := range metas {
+				live = append(live, m.ID)
+			}
 		}
 	}
 	fd, err := storage.ReopenFileDevice(s.path, opts.BlockSize, live)
@@ -211,7 +224,7 @@ func (s *shard) restore(cfg core.Config, st manifest.State) error {
 		fd.SetDeferRecycle(true)
 	}
 	cfg.Device = fd
-	tree, err := core.Restore(cfg, core.ExportedState{Levels: st.Levels, Memtable: st.Memtable})
+	tree, err := core.Restore(cfg, core.ExportedState{Runs: st.Runs, Memtable: st.Memtable})
 	if err != nil {
 		return errors.Join(err, fd.Close())
 	}
@@ -337,6 +350,7 @@ func (s *shard) checkpointLocked() error {
 	}
 	st := s.tree.Export()
 	cfg := s.tree.Config()
+	lay := policy.LayoutOf(cfg.Policy).Normalized()
 	if err := manifest.Save(manifestPath(s.path), manifest.State{
 		Config: manifest.Config{
 			BlockCapacity: cfg.BlockCapacity,
@@ -346,9 +360,11 @@ func (s *shard) checkpointLocked() error {
 			Seed:          cfg.Seed,
 			Shards:        s.db.opts.Shards,
 			ShardID:       s.id,
+			Layout:        int(lay.Kind),
+			TierRuns:      lay.TierRuns,
 		},
 		WALSeq:   s.lastSeq,
-		Levels:   st.Levels,
+		Runs:     st.Runs,
 		Memtable: st.Memtable,
 	}); err != nil {
 		return err

@@ -183,10 +183,12 @@ type LatencyStats struct {
 }
 
 // LevelStats describes one storage level. In the aggregate view, rows
-// with the same level number across shards combine: counts sum and
-// WasteFactor is the block-weighted mean.
+// with the same level number across shards combine: counts sum,
+// WasteFactor is the block-weighted mean, and Runs is the maximum across
+// shards (the read fan-out a point lookup can face at this level).
 type LevelStats struct {
 	Level          int // 1-based level number
+	Runs           int // sorted runs in the level (always 1 under Leveling)
 	Blocks         int
 	Records        int
 	CapacityBlocks int
@@ -285,6 +287,9 @@ func mergeLevels(per []ShardStats) []LevelStats {
 		for _, lv := range ss.Levels {
 			row := &out[lv.Level-1]
 			row.Level = lv.Level
+			if lv.Runs > row.Runs {
+				row.Runs = lv.Runs
+			}
 			row.Blocks += lv.Blocks
 			row.Records += lv.Records
 			row.CapacityBlocks += lv.CapacityBlocks
@@ -347,6 +352,7 @@ func (s *shard) stats() (ShardStats, bool) {
 	for _, lv := range v.Levels() {
 		ss.Levels = append(ss.Levels, LevelStats{
 			Level:          lv.Number,
+			Runs:           len(lv.Runs),
 			Blocks:         lv.Blocks(),
 			Records:        lv.Records,
 			CapacityBlocks: lv.Capacity,

@@ -62,13 +62,20 @@ var ErrSharded = errors.New("lsmssd: TuneMixed supports single-shard DBs only (O
 // The DB must have been opened with MergePolicy: Mixed. Learning drives
 // real merges, so it costs real writes; the paper finds the cost is small
 // compared with the steady-state savings.
+//
+// TuneMixed tunes the granularity axis (τ, β) only. The layout axis
+// cannot be retuned on a live DB — the manifest pins it, and reopen
+// refuses a mismatch — so choosing between leveling, tiering, and lazy
+// leveling is an offline search (internal/learn.SearchLayout over
+// layout × δ × T) whose product is an Options.Layout recommendation for
+// the next open.
 func (db *DB) TuneMixed(next func() (Request, bool), opts TuneOptions) (TuneResult, error) {
 	if len(db.shards) > 1 {
 		return TuneResult{}, ErrSharded
 	}
 	tree, unlock := db.shards[0].lockedTree()
 	defer unlock()
-	m, ok := tree.Policy().(*policy.Mixed)
+	m, ok := policy.AsMixed(tree.Policy())
 	if !ok {
 		return TuneResult{}, ErrNotMixed
 	}
@@ -96,7 +103,7 @@ func (db *DB) TuneMixed(next func() (Request, bool), opts TuneOptions) (TuneResu
 func (db *DB) MixedParams() (taus map[int]float64, beta bool, ok bool) {
 	tree, unlock := db.shards[0].lockedTree()
 	defer unlock()
-	m, isMixed := tree.Policy().(*policy.Mixed)
+	m, isMixed := policy.AsMixed(tree.Policy())
 	if !isMixed {
 		return nil, false, false
 	}
