@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race fuzz bench-read bench-write bench-policy bench-timeline obs-smoke crash ci
+.PHONY: all build fmt vet lint test race fuzz bench-read bench-write bench-policy bench-timeline obs-smoke crash chaos ci
 
 all: build
 
@@ -17,12 +17,12 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analysis: the nine syntactic rules (device-io,
+# Repo-specific static analysis: the ten syntactic rules (device-io,
 # global-rand, unchecked-err, layering, tree-state, obs-event,
-# compaction-step, wal-frame, layout-assert) plus the seven CFG/dataflow rules
-# (lock-discipline, view-refcount, sentinel-error-flow, wal-ordering,
-# goroutine-shutdown, shard-lock-order, span-finish). See internal/lint
-# and DESIGN.md §6, §12.
+# compaction-step, wal-frame, layout-assert, retry-bounded) plus the seven
+# CFG/dataflow rules (lock-discipline, view-refcount, sentinel-error-flow,
+# wal-ordering, goroutine-shutdown, shard-lock-order, span-finish). See
+# internal/lint and DESIGN.md §6, §12.
 lint:
 	$(GO) run ./cmd/lsmlint ./...
 
@@ -98,4 +98,15 @@ crash:
 	$(GO) run ./cmd/crashloop -iters 30 -ops 100 -sync every -layout tiering -tier-runs 3
 	$(GO) run ./cmd/crashloop -iters 30 -ops 100 -sync every -layout lazy -tier-runs 3
 
-ci: fmt vet lint test race fuzz obs-smoke crash
+# Fault-domain isolation soak (internal/crashloop chaos mode via
+# cmd/crashloop -chaos): seeded device-fault scenarios — bit rot, ENOSPC,
+# sticky sync failures, injected latency, flaky reads — each injected into
+# one shard of a 4-shard store and checked against a paired fault-free
+# run: unfaulted shards must stay byte-identical and healthy, every health
+# transition must carry a cause and name only the faulted shard, and a
+# crash+reopen must recover every acked write. Same entry point for a
+# longer soak: `go run ./cmd/crashloop -chaos -ops 20000`.
+chaos:
+	$(GO) run ./cmd/crashloop -chaos
+
+ci: fmt vet lint test race fuzz obs-smoke crash chaos

@@ -13,6 +13,15 @@
 // The process exits non-zero if any recovery violates the durability
 // contract (lost acked writes under -sync every, a non-prefix state under
 // the weaker policies, or a validation failure after reopen).
+//
+// With -chaos the command runs the fault-domain isolation soak instead:
+// seeded device-fault scenarios (bit rot, ENOSPC, sticky sync failures,
+// latency, flaky reads) injected into one shard of a sharded store, with
+// the blast radius, health-event causes, and acked-write durability
+// checked against a paired fault-free run. -scenario selects a single
+// scenario; -ops and -shards apply (shards defaults to 4 in chaos mode).
+//
+//	crashloop -chaos [-scenario bitflip|enospc|stickysync|latency|transient]
 package main
 
 import (
@@ -39,9 +48,16 @@ func main() {
 		paranoid = flag.Bool("paranoid", false, "run the store with Options.Paranoid")
 		layout   = flag.String("layout", "leveling", "level layout: leveling, tiering, or lazy")
 		tierRuns = flag.Int("tier-runs", 0, "run budget T for tiered layouts (0 = default)")
+		chaos    = flag.Bool("chaos", false, "run the fault-domain isolation soak instead of the crash loop")
+		scenario = flag.String("scenario", "", "chaos scenario to run: bitflip, enospc, stickysync, latency, or transient (default: all)")
 		verbose  = flag.Bool("v", false, "log each cycle")
 	)
 	flag.Parse()
+
+	if *chaos {
+		runChaos(*dir, *shards, *ops, *seed, *scenario, *verbose)
+		return
+	}
 
 	var lay lsmssd.Layout
 	switch *layout {
@@ -112,4 +128,60 @@ func main() {
 		}
 	}
 	fmt.Println("crashloop: PASS")
+}
+
+// runChaos drives the chaos mode. The -ops flag shares its default (200)
+// with the crash loop, which is far too small a soak for the fault
+// schedules to fire, so chaos mode only honors -ops when it was set
+// explicitly and otherwise takes the harness default.
+func runChaos(dir string, shards, ops int, seed int64, scenario string, verbose bool) {
+	opsSet, shardsSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "ops":
+			opsSet = true
+		case "shards":
+			shardsSet = true
+		}
+	})
+	if !opsSet {
+		ops = 0
+	}
+	if !shardsSet {
+		shards = 0 // chaos defaults to 4 shards, not the crash loop's 1
+	}
+	workDir := dir
+	cleanup := false
+	if workDir == "" {
+		d, err := os.MkdirTemp("", "chaos-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crashloop: %v\n", err)
+			os.Exit(1)
+		}
+		workDir, cleanup = d, true
+	}
+	cfg := crashloop.ChaosConfig{
+		Dir:      workDir,
+		Shards:   shards,
+		Ops:      ops,
+		Seed:     seed,
+		Scenario: scenario,
+	}
+	if verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	report, err := crashloop.RunChaos(cfg)
+	fmt.Println(report)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashloop: chaos FAIL: %v\n(store files kept in %s)\n", err, workDir)
+		os.Exit(1)
+	}
+	if cleanup {
+		if err := os.RemoveAll(workDir); err != nil {
+			fmt.Fprintf(os.Stderr, "crashloop: cleanup: %v\n", err)
+		}
+	}
+	fmt.Println("crashloop: chaos PASS")
 }

@@ -16,9 +16,15 @@
 //	stats                 engine statistics
 //	levels                per-level breakdown
 //	hist <level> <nbuck>  key histogram of a level
+//	health                per-shard health, causes, quarantined blocks
 //	validate              check every invariant
 //	help                  this text
 //	quit
+//
+// With -scrub <interval> a background scrubber verifies device-block
+// checksums per shard at that cadence (e.g. -scrub 5s); corrupt blocks
+// are repaired from surviving cached copies or quarantined, and every
+// health transition and scrub pass summary is echoed to stderr.
 package main
 
 import (
@@ -48,6 +54,7 @@ func main() {
 		compaction = flag.String("compaction", "sync", "merge scheduling: sync (cascades run inline) or background (scheduler goroutine with write stalls)")
 		walOn      = flag.Bool("wal", false, "enable the write-ahead log for crash durability (requires -path)")
 		walSync    = flag.String("sync", "every", "WAL sync policy: every, interval, or never")
+		scrub      = flag.Duration("scrub", 0, "background corruption-scrub interval per shard (0 disables), e.g. 5s")
 	)
 	flag.Parse()
 
@@ -83,6 +90,7 @@ func main() {
 		MetricsAddr:     *metrics,
 		CompactionMode:  mode,
 		WAL:             lsmssd.WALOptions{Enabled: *walOn, Sync: sync},
+		ScrubInterval:   *scrub,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lsmkv: %v\n", err)
@@ -111,6 +119,17 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "lsmkv: write stall (%s): L0 at %d blocks (trigger %d), waited %v\n",
 				e.Kind, e.L0Blocks, e.Trigger, e.Duration)
+		case lsmssd.HealthEvent:
+			msg := fmt.Sprintf("lsmkv: shard %d health: %s -> %s (%s)", e.Shard, e.From, e.To, e.Cause)
+			if e.Err != "" {
+				msg += ": " + e.Err
+			}
+			fmt.Fprintln(os.Stderr, msg)
+		case lsmssd.ScrubEvent:
+			if e.Corrupt > 0 || e.Quarantined > 0 {
+				fmt.Fprintf(os.Stderr, "lsmkv: scrub shard %d: %d checked, %d corrupt, %d repaired, %d quarantined (%v)\n",
+					e.Shard, e.Checked, e.Corrupt, e.Repaired, e.Quarantined, e.Duration)
+			}
 		}
 	})
 
@@ -148,7 +167,7 @@ func dispatch(db *lsmssd.DB, f []string) error {
 	case "quit", "exit":
 		return errQuit
 	case "help":
-		fmt.Println("put get del scan fill churn stats levels hist validate quit")
+		fmt.Println("put get del scan fill churn stats levels hist health validate quit")
 	case "put":
 		k, err := argN(1)
 		if err != nil {
@@ -242,6 +261,22 @@ func dispatch(db *lsmssd.DB, f []string) error {
 		}
 		for i, frac := range h {
 			fmt.Printf("%3d %6.4f %s\n", i, frac, strings.Repeat("#", int(frac*400)))
+		}
+	case "health":
+		hr := db.Health()
+		fmt.Printf("overall: %s\n", hr.State)
+		for _, sh := range hr.Shards {
+			line := fmt.Sprintf("shard %d: %s", sh.Shard, sh.State)
+			if sh.Cause != "" {
+				line += " (" + sh.Cause + ")"
+			}
+			if sh.Err != "" {
+				line += ": " + sh.Err
+			}
+			fmt.Println(line)
+			for _, q := range sh.Quarantined {
+				fmt.Printf("  quarantined block %d at L%d: %s\n", q.Block, q.Level, q.Reason)
+			}
 		}
 	case "validate":
 		if err := db.Validate(); err != nil {

@@ -2,6 +2,7 @@ package lsmssd
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -113,7 +114,7 @@ func Open(opts Options) (*DB, error) {
 	for i := 0; i < opts.Shards; i++ {
 		s, err := db.openShard(i)
 		if err != nil {
-			return nil, errors.Join(err, db.abortOpen())
+			return nil, errors.Join(shardErr(i, err), db.abortOpen())
 		}
 		db.shards = append(db.shards, s)
 	}
@@ -121,20 +122,21 @@ func Open(opts Options) (*DB, error) {
 }
 
 // abortOpen tears down the shards a failed Open managed to bring up, in
-// the same order Close would: schedulers first (their goroutines need the
-// writer locks), then WALs and devices, then the bus.
+// the same order Close would: schedulers and scrubbers first (their
+// goroutines need the writer locks), then WALs and devices, then the bus.
 func (db *DB) abortOpen() error {
 	var errs []error
 	for _, s := range db.shards {
 		s.sched.Stop()
+		s.stopScrub()
 	}
 	for _, s := range db.shards {
 		s.writerMu.Lock()
 		if s.wal != nil {
-			errs = append(errs, s.wal.Close())
+			errs = append(errs, shardErr(s.id, s.wal.Close()))
 		}
 		s.tree.MarkClosed()
-		errs = append(errs, s.raw.Close())
+		errs = append(errs, shardErr(s.id, s.raw.Close()))
 		s.writerMu.Unlock()
 	}
 	db.bus.Close()
@@ -143,6 +145,17 @@ func (db *DB) abortOpen() error {
 
 func manifestPath(path string) string { return path + ".manifest" }
 func walBase(path string) string      { return path + ".wal" }
+
+// shardErr attributes err to its shard. Fan-out paths (Close, Crash,
+// Checkpoint, Validate, abortOpen) aggregate per-shard failures with
+// errors.Join; without the index a multi-shard teardown error would not
+// say which fault domain each failure belongs to.
+func shardErr(id int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("shard %d: %w", id, err)
+}
 
 // shardFor routes a key to its owning shard: the low bits of the key
 // select one of the power-of-two shards.
@@ -177,7 +190,7 @@ func (db *DB) lockAllShards() (unlock func()) {
 func (db *DB) Checkpoint() error {
 	for _, s := range db.shards {
 		if err := s.checkpoint(); err != nil {
-			return err
+			return shardErr(s.id, err)
 		}
 	}
 	return nil
@@ -225,7 +238,13 @@ func (db *DB) Get(key uint64) (value []byte, found bool, err error) {
 		return nil, false, err
 	}
 	defer v.Release()
-	return v.GetTraced(block.Key(key), sp)
+	value, found, err = v.GetTraced(block.Key(key), sp)
+	if err != nil {
+		// Corruption observed on the read path counts against the shard's
+		// health (Degraded while writable, Failed once read-only).
+		s.noteReadError(err)
+	}
+	return value, found, err
 }
 
 // Scan calls fn for each key in [lo, hi] in ascending order until fn
@@ -273,6 +292,7 @@ func (db *DB) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error 
 func (db *DB) Close() error {
 	for _, s := range db.shards {
 		s.sched.Stop()
+		s.stopScrub()
 	}
 	db.stopRecorder()
 	unlock := db.lockAllShards()
@@ -288,7 +308,7 @@ func (db *DB) Close() error {
 	db.bus.Close()
 	db.closed.Store(true)
 	for _, s := range db.shards {
-		errs = append(errs, s.sched.Err(), s.closeLocked())
+		errs = append(errs, shardErr(s.id, s.sched.Err()), shardErr(s.id, s.closeLocked()))
 	}
 	return errors.Join(errs...)
 }
@@ -303,6 +323,7 @@ func (db *DB) Close() error {
 func (db *DB) Crash() error {
 	for _, s := range db.shards {
 		s.sched.Stop()
+		s.stopScrub()
 	}
 	db.stopRecorder()
 	unlock := db.lockAllShards()
@@ -318,7 +339,7 @@ func (db *DB) Crash() error {
 	db.bus.Close()
 	db.closed.Store(true)
 	for _, s := range db.shards {
-		errs = append(errs, s.crashLocked())
+		errs = append(errs, shardErr(s.id, s.crashLocked()))
 	}
 	return errors.Join(errs...)
 }
@@ -339,7 +360,7 @@ func (db *DB) stopRecorder() {
 func (db *DB) Validate() error {
 	for _, s := range db.shards {
 		if err := s.validate(); err != nil {
-			return err
+			return shardErr(s.id, err)
 		}
 	}
 	return nil

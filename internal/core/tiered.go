@@ -168,8 +168,18 @@ func (t *Tree) flushMemToRun() error {
 // the resident run when the target is the leveled bottom of lazy leveling.
 // The source level is left with one fresh empty run.
 func (t *Tree) mergeTieredLevel(i int) error {
-	tr := t.beginMergeTrace()
 	s := t.slots[i-1]
+	// Quarantine gate: the fold reads every source-run block and may
+	// rewrite the leveled target, so any quarantined block in either
+	// refuses the merge.
+	checked := append([]*level.Level{}, s.runs...)
+	if !t.tiered(i + 1) {
+		checked = append(checked, t.slots[i].newest())
+	}
+	if err := t.quarantineCheck(i, checked...); err != nil {
+		return err
+	}
+	tr := t.beginMergeTrace()
 	xBlocks := s.blocks()
 	tr.xFrom, tr.xTo = 0, xBlocks
 	tgt := t.slots[i]
@@ -218,9 +228,12 @@ func (t *Tree) mergeTieredLevel(i int) error {
 // tombstone to shadow, so tombstones are dropped — the tiered analogue of
 // a full merge into the bottom. Counted as a compaction of the level.
 func (t *Tree) consolidateBottom() error {
-	tr := t.beginMergeTrace()
 	n := len(t.slots)
 	s := t.slots[n-1]
+	if err := t.quarantineCheck(n, s.runs...); err != nil {
+		return err
+	}
+	tr := t.beginMergeTrace()
 	if len(s.runs) < 2 {
 		return fmt.Errorf("core: consolidating bottom L%d with %d run(s)", n, len(s.runs))
 	}

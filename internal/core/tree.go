@@ -40,6 +40,10 @@ type Tree struct {
 	cnt     counters
 	onMerge func(MergeEvent)
 
+	// Quarantined corrupt blocks (quarantine.go): excluded from merges,
+	// pinned on the device, resolved by the scrubber.
+	quar quarantineSet
+
 	// Observability (internal/obs). bus and lat come from Config and may be
 	// nil; both are nil-safe. warned latches the per-level waste warning
 	// (keyed by level identity, which survives relabelling on growth);
@@ -362,6 +366,12 @@ func (t *Tree) grow() {
 
 // mergeFromMem merges records out of L0 into L1 per the policy's decision.
 func (t *Tree) mergeFromMem() error {
+	// Quarantine gate before TakeRange: once records leave the memtable
+	// they are committed to this merge, so a blocked target must refuse
+	// up front.
+	if err := t.quarantineCheck(1, t.slots[0].newest()); err != nil {
+		return err
+	}
 	tr := t.beginMergeTrace()
 	d := t.cfg.Policy.Decide(t, 0)
 	var recs []block.Record
@@ -413,6 +423,9 @@ func (t *Tree) mergeFromLevel(i int) error {
 	tr := t.beginMergeTrace()
 	src := t.slots[i-1].newest()
 	tgt := t.slots[i].newest()
+	if err := t.quarantineCheck(i, src, tgt); err != nil {
+		return err
+	}
 	d := t.cfg.Policy.Decide(t, i)
 	from, to := d.From, d.To
 	if d.Full {

@@ -33,8 +33,10 @@ import (
 var ErrInjected = errors.New("faultdev: injected fault")
 
 // ErrNoSpace reports the configured capacity ceiling was hit, modelling
-// ENOSPC from a full device.
-var ErrNoSpace = errors.New("faultdev: no space left on device")
+// ENOSPC from a full device. It wraps storage.ErrNoSpace so the health
+// layer's errors.Is(err, storage.ErrNoSpace) classification sees an
+// injected ENOSPC exactly as it would see a real one.
+var ErrNoSpace = fmt.Errorf("faultdev: injected: %w", storage.ErrNoSpace)
 
 // Options configures the fault schedule. The zero value injects nothing
 // and passes every call straight through.
@@ -56,6 +58,18 @@ type Options struct {
 	// CapacityBlocks, when positive, fails writes with ErrNoSpace once the
 	// device's live-block count exceeds it.
 	CapacityBlocks int64
+	// SyncFailProb is the per-Sync probability of returning ErrInjected
+	// without committing anything (power-cut volatile state stays
+	// volatile).
+	SyncFailProb float64
+	// SyncFailSticky makes every injected Sync failure permanent: once a
+	// sync has failed, all later syncs fail too — modelling the
+	// fsyncgate contract (a device that failed to flush its cache cannot
+	// be trusted to have flushed it later).
+	SyncFailSticky bool
+	// FreeFailProb is the per-Free probability of returning ErrInjected
+	// without releasing the block.
+	FreeFailProb float64
 	// Latency is added to every read and write.
 	Latency time.Duration
 	// PowerCut arms the power-cut simulation: writes are tracked as
@@ -71,17 +85,22 @@ type Device struct {
 	inner storage.Device
 	opts  Options
 
-	mu          sync.Mutex
-	rng         *rand.Rand
-	writes      int64 // write attempts, including faulted ones
-	reads       int64 // read attempts, including faulted ones
-	failWriteAt int64 // fail every write once writes reaches this (0 = off)
-	failReadAt  int64
-	corrupt     map[storage.BlockID]bool // torn/bit-rotted blocks
-	unsynced    map[storage.BlockID]bool // written since last Sync (power-cut mode)
-	pendingFree map[storage.BlockID]bool // freed since last Sync (power-cut mode)
+	mu           sync.Mutex
+	rng          *rand.Rand
+	writes       int64 // write attempts, including faulted ones
+	reads        int64 // read attempts, including faulted ones
+	syncs        int64 // sync attempts, including faulted ones
+	frees        int64 // free attempts, including faulted ones
+	failWriteAt  int64 // fail every write once writes reaches this (0 = off)
+	failReadAt   int64
+	failSyncAt   int64
+	failFreeAt   int64
+	syncPoisoned bool                     // sticky: a sync failed under SyncFailSticky
+	corrupt      map[storage.BlockID]bool // torn/bit-rotted blocks
+	unsynced     map[storage.BlockID]bool // written since last Sync (power-cut mode)
+	pendingFree  map[storage.BlockID]bool // freed since last Sync (power-cut mode)
 
-	injWriteFails, injReadFails, injTorn, injFlips int64
+	injWriteFails, injReadFails, injTorn, injFlips, injSyncFails, injFreeFails int64
 }
 
 var _ storage.Device = (*Device)(nil)
@@ -114,6 +133,33 @@ func (d *Device) FailReadAt(n int64) {
 	d.mu.Unlock()
 }
 
+// FailSyncAt is FailWriteAt for syncs: every Sync attempt from the n-th
+// on (1-based, counting faulted attempts) fails with ErrInjected. With
+// Options.SyncFailSticky the first injected failure also poisons all
+// later syncs regardless of the counter.
+func (d *Device) FailSyncAt(n int64) {
+	d.mu.Lock()
+	d.failSyncAt = n
+	d.mu.Unlock()
+}
+
+// FailFreeAt is FailWriteAt for frees.
+func (d *Device) FailFreeAt(n int64) {
+	d.mu.Lock()
+	d.failFreeAt = n
+	d.mu.Unlock()
+}
+
+// Corrupt marks id damaged in place: every later Read or Peek of it
+// returns storage.ErrCorrupt, exactly as if a torn write had hit it.
+// Scrub and quarantine tests use it to target a known live block
+// deterministically.
+func (d *Device) Corrupt(id storage.BlockID) {
+	d.mu.Lock()
+	d.corrupt[id] = true
+	d.mu.Unlock()
+}
+
 // Writes returns the number of write attempts so far, faulted included.
 func (d *Device) Writes() int64 {
 	d.mu.Lock()
@@ -126,6 +172,20 @@ func (d *Device) Reads() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.reads
+}
+
+// Syncs returns the number of sync attempts so far, faulted included.
+func (d *Device) Syncs() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncs
+}
+
+// Frees returns the number of free attempts so far, faulted included.
+func (d *Device) Frees() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.frees
 }
 
 // Alloc delegates to the inner device; allocation itself never faults
@@ -226,6 +286,13 @@ func (d *Device) Peek(id storage.BlockID) (*block.Block, error) {
 // block exactly as a power cut would.
 func (d *Device) Free(id storage.BlockID) error {
 	d.mu.Lock()
+	d.frees++
+	if n := d.frees; (d.failFreeAt > 0 && n >= d.failFreeAt) ||
+		(d.opts.FreeFailProb > 0 && d.rng.Float64() < d.opts.FreeFailProb) {
+		d.injFreeFails++
+		d.mu.Unlock()
+		return fmt.Errorf("free %d block %d: %w", n, id, ErrInjected)
+	}
 	if d.opts.PowerCut {
 		if d.pendingFree[id] {
 			d.mu.Unlock()
@@ -253,6 +320,21 @@ func (d *Device) Free(id storage.BlockID) error {
 // power-cut mode it is a no-op.
 func (d *Device) Sync() error {
 	d.mu.Lock()
+	d.syncs++
+	n := d.syncs
+	fail := d.syncPoisoned ||
+		(d.failSyncAt > 0 && n >= d.failSyncAt) ||
+		(d.opts.SyncFailProb > 0 && d.rng.Float64() < d.opts.SyncFailProb)
+	if fail {
+		d.injSyncFails++
+		if d.opts.SyncFailSticky {
+			d.syncPoisoned = true
+		}
+		d.mu.Unlock()
+		// The volatile state stays volatile: a failed sync committed
+		// nothing, exactly like a real cache-flush failure.
+		return fmt.Errorf("sync %d: %w", n, ErrInjected)
+	}
 	if !d.opts.PowerCut {
 		d.mu.Unlock()
 		return nil
@@ -305,6 +387,8 @@ type InjectedStats struct {
 	ReadFails  int64
 	TornWrites int64
 	BitFlips   int64
+	SyncFails  int64
+	FreeFails  int64
 }
 
 // Injected returns a snapshot of the fault counts fired so far.
@@ -316,6 +400,8 @@ func (d *Device) Injected() InjectedStats {
 		ReadFails:  d.injReadFails,
 		TornWrites: d.injTorn,
 		BitFlips:   d.injFlips,
+		SyncFails:  d.injSyncFails,
+		FreeFails:  d.injFreeFails,
 	}
 }
 

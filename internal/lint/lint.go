@@ -109,6 +109,11 @@ type Config struct {
 	// the accessors).
 	PolicyAssertAllowed []string
 
+	// RetryAllowed lists the packages allowed to hand-roll sleep-retry
+	// loops around DeviceMethods calls. Everywhere else the retry-bounded
+	// rule requires internal/retry's capped, accounted backoff.
+	RetryAllowed []string
+
 	// Layering maps a package path to import paths it must not depend on,
 	// directly or transitively.
 	Layering map[string][]string
@@ -214,6 +219,11 @@ func DefaultConfig() Config {
 			"lsmssd/internal/wal",
 			"lsmssd", // the DB layer owns the log-then-apply commit protocol
 		},
+		RetryAllowed: []string{
+			"lsmssd/internal/retry",   // owns the bounded loop
+			"lsmssd/internal/storage", // RetryDevice embeds the Retryer
+		},
+
 		Layering: map[string][]string{
 			"lsmssd/internal/obs":      lowDeny, // obs stays a leaf: engine publishes into it, never the reverse
 			"lsmssd/internal/wal":      lowDeny, // the log is a leaf: the DB layer feeds it, the engine never sees it

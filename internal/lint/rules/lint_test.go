@@ -30,6 +30,9 @@ func fixtureConfig() lint.Config {
 	cfg.WALOrderPkgs = []string{fixturePrefix + "walordering"}
 	cfg.GoShutdownPkgs = []string{fixturePrefix + "goshutdown"}
 	cfg.ShardLockPkgs = []string{fixturePrefix + "shardlockorder"}
+	// The retry-bounded fixture calls Device.Read/Write directly; exempt it
+	// from device-io so only the rule under test fires.
+	cfg.DeviceIOAllowed = append(cfg.DeviceIOAllowed, fixturePrefix+"retrybounded")
 	// The fixture needs a second fan-out name so a failing fan-out shape
 	// can coexist with the fixed lockAllShards.
 	cfg.ShardFanoutFuncs = append(cfg.ShardFanoutFuncs, "lockAllShardsDesc")
@@ -88,6 +91,7 @@ func TestFixturesDetected(t *testing.T) {
 		// v1 syntactic rules.
 		"devcall", "globalrand", "uncheckederr", "layering",
 		"treestate", "obsevent", "compactionstep", "walframe", "layoutassert",
+		"retrybounded",
 		// v2 path-sensitive rules.
 		"lockdiscipline", "viewrefcount", "errflow", "walordering", "goshutdown",
 		"shardlockorder", "spanfinish",

@@ -8,7 +8,7 @@ import (
 	"lsmssd/internal/lint"
 )
 
-// All returns every lsmlint rule: the nine syntactic restrictions and
+// All returns every lsmlint rule: the ten syntactic restrictions and
 // the seven path-sensitive dataflow rules.
 func All() []lint.Rule {
 	return []lint.Rule{
@@ -22,6 +22,7 @@ func All() []lint.Rule {
 		compactionStep,
 		walFrame,
 		layoutAssert,
+		retryBounded,
 		// Path-sensitive (v2, CFG + dataflow).
 		lockDiscipline,
 		viewRefcount,

@@ -1,7 +1,8 @@
 // Package rules implements every lsmlint rule on top of the
 // internal/lint driver. This file holds the syntactic (single-node)
 // rules carried over from lsmlint v1 (layout-assert, added with the
-// compaction-axis decomposition, lives in layoutassert.go):
+// compaction-axis decomposition, lives in layoutassert.go; retry-bounded,
+// added with fault-domain isolation, lives in retrybounded.go):
 //
 //   - device-io: storage.Device.Read/Write may be called only from the
 //     packages that own block I/O and its cost accounting (the paper's

@@ -1,0 +1,99 @@
+// Package retrybounded seeds violations of the retry-bounded rule:
+// hand-rolled for { device I/O; time.Sleep } retry loops outside the
+// sanctioned retry packages, alongside the fixed shapes — the bounded
+// retry.Retryer, sleep-free scan loops, and device-free poll loops.
+package retrybounded
+
+import (
+	"time"
+
+	"lsmssd/internal/block"
+	"lsmssd/internal/retry"
+	"lsmssd/internal/storage"
+)
+
+func handRolled(dev storage.Device, id storage.BlockID) (*block.Block, error) {
+	var err error
+	var b *block.Block
+	for i := 0; i < 10; i++ { // want retry-bounded
+		b, err = dev.Read(id)
+		if err == nil {
+			return b, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil, err
+}
+
+func handRolledRange(dev storage.Device, ids []storage.BlockID, b *block.Block) error {
+	for _, id := range ids { // want retry-bounded
+		if err := dev.Write(id, b); err != nil {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		return nil
+	}
+	return nil
+}
+
+// sleepOuterReadInner: the sleeping outer loop retries the inner scan —
+// still the unbounded shape even though no single loop holds both calls.
+func sleepOuterReadInner(dev storage.Device, ids []storage.BlockID) error {
+	for { // want retry-bounded
+		ok := true
+		for _, id := range ids {
+			if _, err := dev.Read(id); err != nil {
+				ok = false
+			}
+		}
+		if ok {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// bounded is the fixed counterpart: the loop lives inside retry.Do,
+// which caps attempts and wall-clock and accounts exhaustion.
+func bounded(dev storage.Device, id storage.BlockID) (*block.Block, error) {
+	var b *block.Block
+	r := retry.New(retry.Policy{MaxAttempts: 4, Seed: 1})
+	err := r.Do(func() error {
+		var rerr error
+		b, rerr = dev.Read(id)
+		return rerr
+	})
+	return b, err
+}
+
+// scanLoop reads in a loop but never sleeps: a plain scan, not a retry.
+func scanLoop(dev storage.Device, ids []storage.BlockID) error {
+	for _, id := range ids {
+		if _, err := dev.Read(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pollLoop sleeps in a loop but never touches the device: a poll, not a
+// retry.
+func pollLoop(ready func() bool) {
+	for !ready() {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// goroutineIsItsOwnUnit: the sleep happens in a spawned function literal,
+// which is a separate analysis unit — the loop itself only reads.
+func goroutineIsItsOwnUnit(dev storage.Device, ids []storage.BlockID, done chan<- struct{}) {
+	for _, id := range ids {
+		if _, err := dev.Read(id); err != nil {
+			continue
+		}
+		go func() {
+			time.Sleep(time.Millisecond)
+			done <- struct{}{}
+		}()
+	}
+}

@@ -203,3 +203,31 @@ type RunEvent struct {
 }
 
 func (RunEvent) event() {}
+
+// HealthEvent records one accepted shard health transition. Every
+// demotion and promotion carries its cause, so chaos runs and operators
+// can attribute each state change to the fault that produced it.
+type HealthEvent struct {
+	Shard int
+	From  string // health.State display names; obs stays a pure leaf
+	To    string
+	Cause string // machine-stable cause tag, e.g. "enospc", "wal-poisoned"
+	Err   string // the triggering error's text, "" for promotions
+}
+
+func (HealthEvent) event() {}
+
+// ScrubEvent summarizes one completed scrub pass over a shard's live
+// blocks: how many device copies were verified, how many were corrupt,
+// and how the corrupt ones were resolved (rewritten from a surviving
+// copy vs quarantined).
+type ScrubEvent struct {
+	Shard       int
+	Checked     int // block device copies verified this pass
+	Corrupt     int // failed verification this pass
+	Repaired    int // rewritten from a surviving copy (this pass)
+	Quarantined int // blocks in quarantine after the pass
+	Duration    time.Duration
+}
+
+func (ScrubEvent) event() {}

@@ -31,6 +31,24 @@ var ErrNotFound = errors.New("storage: block not found")
 // treating the block as absent: corruption is loud, never silent.
 var ErrCorrupt = errors.New("storage: block corrupt")
 
+// ErrNoSpace is returned when a device cannot store a block because its
+// capacity is exhausted. It is a permanent condition for the shard that
+// hit it (retrying cannot create space): the health layer demotes the
+// shard to read-only while its reads keep serving.
+var ErrNoSpace = errors.New("storage: no space left on device")
+
+// Transient classifies device errors for the retry layer: an error is
+// worth retrying unless it names a permanent condition — corruption
+// (re-reading returns the same damaged bytes), a missing block, or an
+// exhausted device. Everything else (an injected fault, a flaky I/O
+// path) may clear on a re-attempt.
+func Transient(err error) bool {
+	return err != nil &&
+		!errors.Is(err, ErrCorrupt) &&
+		!errors.Is(err, ErrNotFound) &&
+		!errors.Is(err, ErrNoSpace)
+}
+
 // Syncer is implemented by devices whose writes can be made durable on
 // demand. The DB layer syncs the device before writing a checkpoint
 // manifest, so a manifest never references block contents that could

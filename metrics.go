@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strconv"
 
+	"lsmssd/internal/health"
 	"lsmssd/internal/obs"
 )
 
@@ -51,6 +52,13 @@ type (
 	// total exactly. Published for sampled ops (Options.TraceSampleRate)
 	// and every op over Options.SlowOpThreshold.
 	SpanEvent = obs.SpanEvent
+	// HealthEvent records one accepted shard health transition (the From,
+	// To states, a machine-stable Cause tag, and the triggering error's
+	// text). Every demotion and promotion publishes exactly one.
+	HealthEvent = obs.HealthEvent
+	// ScrubEvent summarizes one completed scrub pass over a shard's live
+	// blocks (checked, corrupt, repaired, still-quarantined counts).
+	ScrubEvent = obs.ScrubEvent
 	// TimelineSample is one time bucket of one shard's flight-recorder
 	// timeline; see DB.Timeline.
 	TimelineSample = obs.TimelineSample
@@ -200,6 +208,21 @@ func (db *DB) metricFamilies() []obs.Family {
 		gauge("lsmssd_compaction_queue_depth", "Overflowing merge sources (memtable and full levels) awaiting compaction; always 0 in sync mode.", float64(s.Compaction.QueueDepth)),
 		counter("lsmssd_compaction_steps_total", "Cascade steps executed by the background compaction schedulers.", s.Compaction.Steps),
 		gauge("lsmssd_shards", "Number of key-space shards (independent LSM trees) behind this DB.", float64(len(db.shards))),
+		gauge("lsmssd_quarantined_blocks", "Corrupt blocks currently quarantined (pinned, excluded from merges) across all shards.", float64(s.Quarantined)),
+	}
+	{
+		hf := obs.Family{
+			Name: "lsmssd_shard_health",
+			Help: "Shard fault-domain state: 0 healthy, 1 degraded, 2 read-only, 3 failed.",
+			Type: obs.TypeGauge,
+		}
+		for _, sh := range db.shards {
+			hf.Samples = append(hf.Samples, obs.Sample{
+				Labels: []obs.Label{{Name: "shard", Value: strconv.Itoa(sh.id)}},
+				Value:  float64(sh.health.State()),
+			})
+		}
+		fams = append(fams, hf)
 	}
 	if len(db.shards) > 1 {
 		shardLabel := func(n int) []obs.Label {
@@ -418,6 +441,9 @@ type debugStateJSON struct {
 	CompactionMode  string           `json:"compaction_mode"`
 	CompactionQueue int              `json:"compaction_queue_depth"`
 	WriteStalls     int64            `json:"write_stalls"`
+	Health          string           `json:"health"`
+	Quarantined     int              `json:"quarantined_blocks"`
+	ShardHealth     []ShardHealth    `json:"shard_health,omitempty"`
 	WAL             *WALStats        `json:"wal,omitempty"`
 	Levels          []debugLevelJSON `json:"levels"`
 	Latencies       []LatencyStats   `json:"latencies,omitempty"`
@@ -445,7 +471,13 @@ func (db *DB) debugState() debugStateJSON {
 		CompactionMode:  s.Compaction.Mode,
 		CompactionQueue: s.Compaction.QueueDepth,
 		WriteStalls:     s.Compaction.Slowdowns + s.Compaction.Stops,
+		Health:          s.Health,
+		Quarantined:     s.Quarantined,
 		Latencies:       s.Latencies,
+	}
+	hr := db.Health()
+	if hr.State != health.Healthy.String() {
+		d.ShardHealth = hr.Shards
 	}
 	if s.WAL.Enabled {
 		w := s.WAL

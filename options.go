@@ -64,6 +64,7 @@ import (
 
 	"lsmssd/internal/block"
 	"lsmssd/internal/policy"
+	"lsmssd/internal/storage"
 	"lsmssd/internal/wal"
 )
 
@@ -327,6 +328,31 @@ type Options struct {
 	// TimelineCapacity is the flight recorder's ring size in samples per
 	// shard (default 512 — about 8.5 minutes at the default interval).
 	TimelineCapacity int
+	// ReadRetries caps the attempts a device read makes before its error
+	// surfaces: transient failures (flaky media, injected faults) are
+	// retried through a bounded, jittered backoff, while permanent ones
+	// (ErrCorrupt, ErrNotFound, no-space) pass through on the first try.
+	// Default 3; set 1 to disable retries. Exhausting the retries demotes
+	// the shard to Degraded (see Health).
+	ReadRetries int
+	// ScrubInterval, when positive, runs a background scrubber per shard:
+	// every interval it walks the shard's live blocks verifying their
+	// device checksums, quarantines corrupt blocks (excluding them from
+	// merges), repairs them from a surviving cached copy when possible,
+	// and promotes a Degraded shard back to Healthy after a clean pass.
+	// Zero (the default) disables scrubbing.
+	ScrubInterval time.Duration
+	// ScrubPace is the delay between consecutive block verifications
+	// within a scrub pass, bounding the scrubber's read pressure (default
+	// 500µs when ScrubInterval is set).
+	ScrubPace time.Duration
+	// DeviceWrap, when set, decorates each shard's device at Open:
+	// the shard's base device is passed in and the returned device is
+	// used in its place (the engine's retry layer then wraps the result).
+	// This is the sanctioned fault-injection seam — the chaos harness and
+	// fault-isolation tests wrap shards in a faultdev here. Production
+	// code leaves it nil.
+	DeviceWrap func(shard int, dev storage.Device) storage.Device
 	// Paranoid audits the paper's structural invariants (waste bounds,
 	// pairwise block constraint, fence consistency, level-size bounds; see
 	// internal/invariant) after every merge, level growth, and request.
@@ -389,6 +415,12 @@ func (o Options) withDefaults() Options {
 			o.WAL.SegmentBytes = 4 << 20
 		}
 	}
+	if o.ReadRetries == 0 {
+		o.ReadRetries = 3
+	}
+	if o.ScrubInterval > 0 && o.ScrubPace == 0 {
+		o.ScrubPace = 500 * time.Microsecond
+	}
 	if o.MetricsAddr != "" {
 		o.Metrics = true
 	}
@@ -448,6 +480,15 @@ func (o Options) Validate() error {
 		}
 	default:
 		return fmt.Errorf("lsmssd: Options.CompactionMode %d is not SyncCompaction or BackgroundCompaction", o.CompactionMode)
+	}
+	if o.ReadRetries < 0 {
+		return fmt.Errorf("lsmssd: Options.ReadRetries %d is negative; use 1 to disable retries", o.ReadRetries)
+	}
+	if o.ScrubInterval < 0 {
+		return fmt.Errorf("lsmssd: Options.ScrubInterval %v is negative; use 0 to disable scrubbing", o.ScrubInterval)
+	}
+	if o.ScrubPace < 0 {
+		return fmt.Errorf("lsmssd: Options.ScrubPace %v is negative", o.ScrubPace)
 	}
 	if o.TraceSampleRate < 0 {
 		return fmt.Errorf("lsmssd: Options.TraceSampleRate %d is negative; use 0 to disable sampling", o.TraceSampleRate)

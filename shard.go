@@ -4,15 +4,18 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lsmssd/internal/block"
 	"lsmssd/internal/compaction"
 	"lsmssd/internal/core"
+	"lsmssd/internal/health"
 	"lsmssd/internal/invariant"
 	"lsmssd/internal/manifest"
 	"lsmssd/internal/obs"
 	"lsmssd/internal/policy"
+	"lsmssd/internal/retry"
 	"lsmssd/internal/storage"
 	"lsmssd/internal/wal"
 )
@@ -36,7 +39,27 @@ type shard struct {
 	writerMu sync.Mutex // serializes this shard's mutations, checkpoints, tuning
 	tree     *core.Tree
 	sched    *compaction.Scheduler
-	raw      storage.Device // the unwrapped device, for Close
+	raw      storage.Device // the base device (FileDevice/MemDevice), for Close and reclaim
+	// dev is what the tree reads and writes through: raw, behind the
+	// optional Options.DeviceWrap decoration (the fault-injection seam)
+	// and the transient-read retry layer. rdev is the same object typed
+	// for retry accounting. Checkpoint syncs through dev so injected sync
+	// faults are observed; reclaim and close still address raw directly.
+	dev  storage.Device
+	rdev *storage.RetryDevice
+
+	// health is the shard's fault-domain state machine (health.go,
+	// DESIGN.md §16): write-side faults demote only this shard, reads
+	// keep serving until Failed, and the scrubber promotes a clean
+	// Degraded shard back to Healthy.
+	health *health.Tracker
+
+	// Scrubber goroutine state (nil/zero unless Options.ScrubInterval is
+	// set); the counters feed ShardStats.
+	scrubQuit                                              chan struct{}
+	scrubDone                                              chan struct{}
+	scrubOnce                                              sync.Once
+	scrubPasses, scrubChecked, scrubCorrupt, scrubRepaired atomic.Int64
 
 	// lat is the shard's per-operation latency histogram set, recording
 	// only when Options.Metrics (or MetricsAddr) enabled it. The router
@@ -76,6 +99,7 @@ func (db *DB) openShard(id int) (*shard, error) {
 	opts := db.opts
 	s := &shard{id: id, db: db, path: shardPath(opts.Path, id), lat: &obs.LatencySet{}}
 	s.lat.Enable(db.lat.Enabled())
+	s.health = s.healthTracker()
 	cfg := core.Config{
 		// One policy instance per shard: policies carry mutable state (RR
 		// cursors, Mixed thresholds) and each shard's merges run on its own
@@ -149,7 +173,28 @@ func (db *DB) openShard(id int) (*shard, error) {
 		s.sched.Stop()
 		return nil, errors.Join(err, s.raw.Close())
 	}
+	s.startScrub()
 	return s, nil
+}
+
+// wrapDevice builds the shard's device stack over base: the optional
+// Options.DeviceWrap decoration (fault injection for tests and the
+// chaos harness), then the transient-read retry layer, whose exhaustion
+// callback demotes the shard. The result is what the tree and the
+// checkpoint sync use; base stays in s.raw for close/reclaim.
+func (s *shard) wrapDevice(base storage.Device) storage.Device {
+	dev := base
+	if w := s.db.opts.DeviceWrap; w != nil {
+		dev = w(s.id, dev)
+	}
+	s.rdev = storage.NewRetryDevice(dev, retry.Policy{
+		MaxAttempts: s.db.opts.ReadRetries,
+		Seed:        s.db.opts.Seed + int64(s.id),
+	}, func(err error) {
+		s.health.Degrade("read-retries-exhausted", err)
+	})
+	s.dev = s.rdev
+	return s.dev
 }
 
 // create sets the shard up over a fresh device.
@@ -167,7 +212,7 @@ func (s *shard) create(cfg core.Config) error {
 	} else {
 		dev = storage.NewMemDevice()
 	}
-	cfg.Device = dev
+	cfg.Device = s.wrapDevice(dev)
 	tree, err := core.New(cfg)
 	if err != nil {
 		return errors.Join(err, dev.Close())
@@ -223,7 +268,7 @@ func (s *shard) restore(cfg core.Config, st manifest.State) error {
 	if opts.WAL.Enabled {
 		fd.SetDeferRecycle(true)
 	}
-	cfg.Device = fd
+	cfg.Device = s.wrapDevice(fd)
 	tree, err := core.Restore(cfg, core.ExportedState{Runs: st.Runs, Memtable: st.Memtable})
 	if err != nil {
 		return errors.Join(err, fd.Close())
@@ -342,8 +387,14 @@ func (s *shard) checkpointLocked() error {
 		return nil
 	}
 	if s.wal != nil {
-		if sy, ok := s.raw.(storage.Syncer); ok {
+		// Sync through the wrapped device, not s.raw, so injected sync
+		// faults are observed and demote the shard: a checkpoint whose
+		// sync failed must not advance the durability horizon, and a
+		// device that cannot sync cannot promise durability for further
+		// writes either.
+		if sy, ok := s.dev.(storage.Syncer); ok {
 			if err := sy.Sync(); err != nil {
+				s.health.DemoteReadOnly("sync-failed", err)
 				return fmt.Errorf("lsmssd: syncing device before checkpoint: %w", err)
 			}
 		}
@@ -453,6 +504,17 @@ func (s *shard) logMutation(ops []wal.Op, sp *obs.Span) (rotated bool, err error
 // sync compaction mode the whole inline merge cascade runs inside
 // Notify, which is exactly the write-amplification time the phase names.
 func (s *shard) put(key uint64, value []byte, sp *obs.Span) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
+	err := s.doPut(key, value, sp)
+	if err != nil {
+		s.noteWriteError(err)
+	}
+	return err
+}
+
+func (s *shard) doPut(key uint64, value []byte, sp *obs.Span) error {
 	sp.To(obs.PhaseStallWait)
 	if err := s.sched.Admit(); err != nil {
 		return err
@@ -490,6 +552,17 @@ func (s *shard) put(key uint64, value []byte, sp *obs.Span) error {
 // delete is Delete for the keys this shard owns; phase attribution as in
 // put.
 func (s *shard) delete(key uint64, sp *obs.Span) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
+	err := s.doDelete(key, sp)
+	if err != nil {
+		s.noteWriteError(err)
+	}
+	return err
+}
+
+func (s *shard) doDelete(key uint64, sp *obs.Span) error {
 	sp.To(obs.PhaseStallWait)
 	if err := s.sched.Admit(); err != nil {
 		return err
@@ -528,6 +601,17 @@ func (s *shard) delete(key uint64, sp *obs.Span) error {
 // writer step: one admission, one writer-lock acquisition, one WAL frame
 // (group commit), one batched apply. Phase attribution as in put.
 func (s *shard) applyOps(ops []core.BatchOp, sp *obs.Span) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
+	err := s.doApplyOps(ops, sp)
+	if err != nil {
+		s.noteWriteError(err)
+	}
+	return err
+}
+
+func (s *shard) doApplyOps(ops []core.BatchOp, sp *obs.Span) error {
 	sp.To(obs.PhaseStallWait)
 	if err := s.sched.Admit(); err != nil {
 		return err

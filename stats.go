@@ -3,6 +3,7 @@ package lsmssd
 import (
 	"time"
 
+	"lsmssd/internal/health"
 	"lsmssd/internal/obs"
 )
 
@@ -79,6 +80,13 @@ type Stats struct {
 	// LastSeq, and Recovery describe the present.
 	WAL WALStats
 
+	// Health is the worst shard's fault-domain state ("healthy",
+	// "degraded", "read-only", "failed"); DB.Health has the full
+	// per-shard report. Quarantined counts corrupt blocks currently
+	// quarantined across all shards.
+	Health      string
+	Quarantined int
+
 	// Shards holds the per-shard breakdown, one entry per shard in shard
 	// order — always populated, a single entry for an unsharded DB.
 	Shards []ShardStats
@@ -121,6 +129,26 @@ type ShardStats struct {
 
 	Compaction CompactionStats
 	WAL        WALStats
+
+	// Health is this shard's fault-domain state; HealthCause tags the
+	// last transition ("" while healthy since Open). See DB.Health for
+	// the quarantined-block details.
+	Health      string
+	HealthCause string
+	// Quarantined counts this shard's quarantined corrupt blocks.
+	Quarantined int
+	// RetriedReads counts device reads that needed at least one retry;
+	// RetriesExhausted counts reads that failed even after the full
+	// backoff schedule (each demotes the shard to Degraded).
+	RetriedReads     int64
+	RetriesExhausted int64
+	// Scrub accounting (zero unless Options.ScrubInterval is set):
+	// passes completed, blocks verified, corruption found, and blocks
+	// repaired from a surviving cached copy.
+	ScrubPasses   int64
+	ScrubChecked  int64
+	ScrubCorrupt  int64
+	ScrubRepaired int64
 }
 
 // WALStats describes the write-ahead log (see Options.WAL).
@@ -261,6 +289,16 @@ func (db *DB) Stats() Stats {
 	s.Compaction.Mode = per[0].Compaction.Mode
 	s.Levels = mergeLevels(per)
 	s.Latencies = db.latencyStats()
+	worst := health.Healthy
+	for _, sh := range db.shards {
+		if st := sh.health.State(); st > worst {
+			worst = st
+		}
+	}
+	s.Health = worst.String()
+	for _, ss := range per {
+		s.Quarantined += ss.Quarantined
+	}
 	return s
 }
 
@@ -400,6 +438,16 @@ func (s *shard) stats() (ShardStats, bool) {
 			}
 		}
 	}
+	ss.Health = s.health.State().String()
+	ss.HealthCause, _ = s.health.Cause()
+	ss.Quarantined = s.tree.QuarantinedCount()
+	rs := s.rdev.RetryStats()
+	ss.RetriedReads = rs.Retries
+	ss.RetriesExhausted = rs.Exhausted
+	ss.ScrubPasses = s.scrubPasses.Load()
+	ss.ScrubChecked = s.scrubChecked.Load()
+	ss.ScrubCorrupt = s.scrubCorrupt.Load()
+	ss.ScrubRepaired = s.scrubRepaired.Load()
 	return ss, true
 }
 
